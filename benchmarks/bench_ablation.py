@@ -1,0 +1,152 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Beyond the paper's own Fig. 7 ablation these cover the Discussion
+section's extensions: banded extension (VII-B), multi-GPU splitting
+(VII-C), shuffle-vs-shared communication (VII-A), and job sorting.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.baselines import make_jobs
+from repro.bench.formatting import render_table
+from repro.core import SalobaConfig, SalobaKernel, run_multi_gpu
+from repro.gpusim import GTX1650, RTX3090
+
+
+@pytest.fixture(scope="module")
+def mixed_jobs():
+    rng = np.random.default_rng(17)
+    lengths = rng.integers(64, 2048, size=2000)
+    return make_jobs(
+        [
+            (
+                rng.integers(0, 4, int(x)).astype(np.uint8),
+                rng.integers(0, 4, int(x * 1.1)).astype(np.uint8),
+            )
+            for x in lengths
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def long_jobs():
+    rng = np.random.default_rng(23)
+    return make_jobs(
+        [
+            (rng.integers(0, 4, 4096).astype(np.uint8),
+             rng.integers(0, 4, 4300).astype(np.uint8))
+            for _ in range(1000)
+        ]
+    )
+
+
+def test_banded_extension_tradeoff(benchmark, long_jobs, save_result):
+    """Discussion VII-B: the band cuts modeled time ~q/width-fold on
+    long reads; fidelity is exercised in the exact-mode tests."""
+    full = SalobaKernel(config=SalobaConfig(subwarp_size=8))
+    rows = []
+    for band in (64, 128, 256, 512):
+        banded = SalobaKernel(config=SalobaConfig(subwarp_size=8, band=band))
+        t_f = full.run(long_jobs, GTX1650).total_ms
+        t_b = banded.run(long_jobs, GTX1650).total_ms
+        rows.append([band, t_f, t_b, t_f / t_b])
+        assert t_b < t_f
+    # Wider bands approach the full-table time monotonically.
+    assert rows[0][2] < rows[-1][2]
+    run_once(benchmark, banded.run, long_jobs, GTX1650)
+    save_result(
+        "ablation_banded",
+        render_table(["band", "full_ms", "banded_ms", "speedup"], rows,
+                     title="Banded extension (Disc. VII-B), 4096 bp jobs, GTX1650"),
+    )
+
+
+def test_multi_gpu_scaling(benchmark, mixed_jobs, save_result):
+    """Discussion VII-C: near-linear scaling, small inter-GPU imbalance."""
+    k = SalobaKernel(config=SalobaConfig(subwarp_size=8))
+    one = k.run(mixed_jobs, GTX1650).total_ms
+    rows = []
+    for n in (2, 4):
+        for policy in ("static", "round_robin", "sorted"):
+            res = run_multi_gpu(k, mixed_jobs, [GTX1650] * n, policy=policy)
+            rows.append([n, policy, res.makespan_ms, one / res.makespan_ms, res.imbalance])
+            assert res.makespan_ms < one
+            # "the penalty would be small compared to the thread-level
+            # imbalance problem": policies stay within ~40% of ideal.
+            assert one / res.makespan_ms > n * 0.6
+    sorted_rows = [r for r in rows if r[1] == "sorted"]
+    static_rows = [r for r in rows if r[1] == "static"]
+    # Sorting never balances worse than the static split.
+    for srt, stat in zip(sorted_rows, static_rows):
+        assert srt[4] <= stat[4] + 1e-9
+    run_once(benchmark, run_multi_gpu, k, mixed_jobs, [GTX1650, GTX1650])
+    save_result(
+        "ablation_multigpu",
+        render_table(["gpus", "policy", "makespan_ms", "scaling", "imbalance"], rows,
+                     title="Multi-GPU splitting (Disc. VII-C), mixed-length batch"),
+    )
+
+
+def test_shuffle_vs_shared_memory(benchmark, mixed_jobs, save_result):
+    """Discussion VII-A: shuffles add no speedup over conflict-free
+    shared memory."""
+    shared = SalobaKernel(config=SalobaConfig(subwarp_size=8))
+    shuffle = SalobaKernel(config=SalobaConfig(subwarp_size=8, use_shuffle=True))
+    rows = []
+    for dev in (GTX1650, RTX3090):
+        t_sh = shared.run(mixed_jobs, dev).total_ms
+        t_su = shuffle.run(mixed_jobs, dev).total_ms
+        rows.append([dev.name, t_sh, t_su, t_sh / t_su])
+        assert t_su == pytest.approx(t_sh, rel=0.02)  # "no additional speedup"
+    run_once(benchmark, shuffle.run, mixed_jobs, GTX1650)
+    save_result(
+        "ablation_shuffle",
+        render_table(["device", "shared_ms", "shuffle_ms", "ratio"], rows,
+                     title="Shuffle vs shared-memory communication (Disc. VII-A)"),
+    )
+
+
+def test_job_sorting_ablation(benchmark, mixed_jobs, save_result):
+    """Approximate sorting (Disc. VII-C) against the default order."""
+    plain = SalobaKernel(config=SalobaConfig(subwarp_size=8))
+    srt = SalobaKernel(config=SalobaConfig(subwarp_size=8), sort_jobs=True)
+    rows = []
+    for dev in (GTX1650, RTX3090):
+        t_p = plain.run(mixed_jobs, dev).total_ms
+        t_s = srt.run(mixed_jobs, dev).total_ms
+        rows.append([dev.name, t_p, t_s, t_p / t_s])
+        assert t_s <= t_p * 1.01
+    run_once(benchmark, srt.run, mixed_jobs, GTX1650)
+    save_result(
+        "ablation_sorting",
+        render_table(["device", "unsorted_ms", "sorted_ms", "speedup"], rows,
+                     title="Cost-sorted queue dealing vs submission order"),
+    )
+
+
+def test_subwarp_sweep_equal_lengths(benchmark, save_result):
+    """On a balanced workload the smallest subwarp should win (no
+    imbalance to trade against utilization) — the boundary condition
+    of the Sec. IV-C trade-off."""
+    rng = np.random.default_rng(29)
+    jobs = make_jobs(
+        [
+            (rng.integers(0, 4, 256).astype(np.uint8),
+             rng.integers(0, 4, 280).astype(np.uint8))
+            for _ in range(2000)
+        ]
+    )
+    times = {}
+    for s in (4, 8, 16, 32):
+        times[s] = SalobaKernel(config=SalobaConfig(subwarp_size=s)).run(
+            jobs, GTX1650
+        ).total_ms
+    assert times[4] <= times[32]
+    run_once(benchmark, SalobaKernel(config=SalobaConfig(subwarp_size=8)).run, jobs, GTX1650)
+    save_result(
+        "ablation_subwarp_balanced",
+        render_table(["subwarp", "ms"], [[s, t] for s, t in times.items()],
+                     title="Subwarp sweep on an equal-length (balanced) batch, GTX1650"),
+    )

@@ -1,0 +1,50 @@
+"""Quality benches: banded fidelity (Disc. VII-B) and X-drop savings.
+
+These quantify the quality side of the efficiency trade-offs the
+Discussion section raises: a band sized for the instrument's error
+rate keeps essentially all of the score, and X-drop termination
+removes most of the DP work on realistic extension jobs without
+changing results.
+"""
+
+from conftest import run_once
+from repro.bench.fidelity import banded_fidelity, xdrop_savings
+from repro.bench.formatting import render_table
+
+
+def test_banded_fidelity(benchmark, save_result):
+    points = run_once(benchmark, banded_fidelity, n_jobs=20)
+    save_result(
+        "fidelity_banded",
+        render_table(
+            ["error_rate", "band", "exact_fraction", "mean_score_ratio"],
+            [[p.error_rate, p.band, p.exact_fraction, p.mean_score_ratio] for p in points],
+            title="Banded extension fidelity (band sized by error rate)",
+        ),
+    )
+    for p in points:
+        # "solutions of sufficient quality" (Disc. VII-B): a matched
+        # band keeps >=95% of jobs exactly optimal and ~all the score.
+        assert p.exact_fraction >= 0.9, p
+        assert p.mean_score_ratio >= 0.98, p
+    # Wider bands for noisier instruments.
+    assert points[0].band < points[-1].band
+
+
+def test_xdrop_savings(benchmark, save_result):
+    points = run_once(benchmark, xdrop_savings, n_jobs=15)
+    save_result(
+        "fidelity_xdrop",
+        render_table(
+            ["x", "mean_cells_fraction", "exact_fraction"],
+            [[p.x, p.mean_cells_fraction, p.exact_fraction] for p in points],
+            title="X-drop work savings on simulated extension jobs",
+        ),
+    )
+    # Work saved shrinks as X grows; quality rises.
+    fracs = [p.mean_cells_fraction for p in points]
+    assert fracs == sorted(fracs)
+    assert points[-1].exact_fraction == 1.0
+    # Matched inputs: even a modest X keeps full fidelity while
+    # computing a fraction of the table.
+    assert points[-1].mean_cells_fraction < 0.9

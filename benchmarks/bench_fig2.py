@@ -1,0 +1,49 @@
+"""Fig. 2 reproduction: extension-input length distributions.
+
+Runs the full substrate chain (genome -> reads -> FM-index seeding ->
+chaining -> extension jobs) for both dataset profiles and checks the
+figure's qualitative claims: wide, unclustered distributions with up
+to ~10x spread between short and long inputs.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.bench.experiments import fig2, table2
+from repro.bench.paper import PAPER
+
+
+def test_fig2_distributions(benchmark, save_result):
+    res = run_once(benchmark, fig2)
+    save_result("fig2", res.text)
+    for name in ("dataset A", "dataset B"):
+        stats = res.data[name]
+        # "range from zero to several hundred or thousand".
+        assert stats["query"]["min"] <= 50
+        assert stats["query"]["max"] >= 200
+        # "difference ... up to 10x for both the query and reference":
+        # the bulk spread (p90 vs small percentiles) reaches the
+        # paper's order of magnitude.
+        assert stats["query"]["max"] / max(stats["query"]["p50"], 1) > 1.5
+        assert stats["query"]["spread"] >= PAPER["fig2_spread_up_to"]
+        # "not well clustered": mass is spread across many histogram bins.
+        hist = np.asarray(stats["query_hist"])
+        assert (hist > 0).sum() >= 5
+
+
+def test_fig2_dataset_b_is_long_read(benchmark):
+    res = run_once(benchmark, fig2)
+    a = res.data["dataset A"]["query"]["max"]
+    b = res.data["dataset B"]["query"]["max"]
+    assert b > 4 * a
+
+
+def test_table2_taxonomy(benchmark, save_result):
+    res = run_once(benchmark, table2)
+    save_result("table2", res.text)
+    rows = {k["kernel"]: k for k in res.data["kernels"]}
+    # TABLE II attributes as printed.
+    assert rows["GASAL2"]["parallelism"] == "inter-query"
+    assert rows["SW#"]["parallelism"] == "intra-query"
+    assert rows["ADEPT"]["bitwidth"] == 8
+    assert rows["CUSHAW2-GPU"]["bitwidth"] == 2

@@ -1,0 +1,84 @@
+"""Fig. 7 reproduction: ablation of SALoBa's three techniques.
+
+Cumulative variants (+intra, +lazy-spill, +subwarp) normalized to
+GASAL2 across the length sweep on both devices.  Shape assertions per
+Sec. V-C:
+
+* subwarp scheduling dominates at shorter lengths (<= 1024 bp), where
+  bare intra-query parallelism *degrades* performance;
+* at long lengths the subwarp gain is marginal and intra-query
+  parallelism + lazy spilling carry the speedup;
+* intra-query parallelism contributes more on the RTX3090 (it is more
+  memory-bound: 38.91 vs 23.82 FLOPs/B).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.bench.experiments import fig7
+from repro.gpusim import GTX1650, RTX3090
+
+LENGTHS = (64, 128, 256, 512, 1024, 2048, 4096)
+
+
+@pytest.fixture(scope="module")
+def gtx():
+    return fig7(GTX1650, lengths=LENGTHS)
+
+
+@pytest.fixture(scope="module")
+def rtx():
+    return fig7(RTX3090, lengths=LENGTHS)
+
+
+def test_fig7_gtx1650(benchmark, gtx, save_result):
+    run_once(benchmark, fig7, GTX1650, lengths=(256,))
+    save_result("fig7_gtx1650", gtx.text, json_of=gtx)
+    s = gtx.data["series"]
+    # Bare intra-query parallelism degrades short lengths vs GASAL2.
+    assert s["+intra"][0] < 1.0  # 64 bp
+    # Subwarp scheduling recovers it decisively.
+    assert s["+subwarp"][0] > 1.2 * s["+lazy-spill"][0]
+    # Full SALoBa beats GASAL2 everywhere.
+    assert all(x > 1.0 for x in s["+subwarp"])
+
+
+def test_fig7_rtx3090(benchmark, rtx, save_result):
+    run_once(benchmark, fig7, RTX3090, lengths=(256,))
+    save_result("fig7_rtx3090", rtx.text, json_of=rtx)
+    s = rtx.data["series"]
+    assert s["+subwarp"][0] > s["+lazy-spill"][0]
+    assert all(x > 1.0 for x in s["+subwarp"])
+
+
+def test_fig7_subwarp_gain_fades_at_long_lengths(benchmark, gtx):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    s = gtx.data["series"]
+    gain_short = s["+subwarp"][0] / s["+lazy-spill"][0]  # 64 bp
+    gain_long = s["+subwarp"][-1] / s["+lazy-spill"][-1]  # 4096 bp
+    assert gain_short > 1.5 * gain_long
+    assert gain_long < 1.15  # "the gain from using subwarps becomes marginal"
+
+
+def test_fig7_intra_query_stronger_on_rtx3090(benchmark, gtx, rtx):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # At 4096 bp the intra-query variant's speedup is larger on the
+    # more memory-bound card (Sec. V-C's explanation).
+    assert rtx.data["series"]["+intra"][-1] > gtx.data["series"]["+intra"][-1]
+
+
+def test_fig7_lazy_spill_always_helps(benchmark, gtx, rtx):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for res in (gtx, rtx):
+        s = res.data["series"]
+        for a, b in zip(s["+intra"], s["+lazy-spill"]):
+            assert b >= a * 0.999
+
+
+def test_fig7_subwarp_geomean_short_lengths(benchmark, gtx, rtx):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Paper: 2.26x (GTX1650) and 2.85x (RTX3090) geomean <= 1024 bp.
+    # Our model lands in the same >1.4x regime (see EXPERIMENTS.md).
+    for res in (gtx, rtx):
+        assert res.data["subwarp_geomean_short"] > 1.4

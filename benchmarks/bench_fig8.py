@@ -1,0 +1,100 @@
+"""Fig. 8 reproduction: real-world-style datasets + subwarp sweep.
+
+Dataset A (Illumina-like 250 bp) and dataset B (PacBio-like ~2 kbp)
+extension-job batches from the full seeding pipeline, all kernels,
+both devices, speedups normalized to GASAL2, plus the subwarp-size
+sweep of Fig. 8(c).  Shape assertions per Sec. V-D:
+
+* SALoBa beats GASAL2 on dataset A by more than in the equal-length
+  sweep (workload imbalance favours SALoBa);
+* dataset B's imbalance amplifies the gain well past 2x;
+* SOAP3-dp cannot complete dataset A on the 4 GB card; SOAP3-dp,
+  ADEPT and NVBIO all fail on dataset B;
+* the optimal subwarp size is an interior point for dataset A and a
+  larger size for dataset B (imbalance pushes toward bigger subwarps).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.experiments import fig8
+from repro.bench.paper import PAPER
+
+
+@pytest.fixture(scope="module")
+def res():
+    return fig8()
+
+
+def test_fig8_runs_and_saves(benchmark, res, save_result):
+    run_once(benchmark, fig8, n_jobs_a=2000, n_jobs_b=2000)
+    save_result("fig8", res.text, json_of=res)
+
+
+def test_fig8_dataset_a_speedups(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for dev, paper_sp in PAPER["fig8_dataset_a_speedup"].items():
+        row = res.data["speedup"][("dataset A", dev)]
+        best = max(v for k, v in row.items() if k.startswith("SALoBa") and v)
+        # Paper: 32.5% / 20.2%; same regime, generous tolerance.
+        assert best == pytest.approx(paper_sp, abs=0.35), dev
+        assert best > 1.05
+
+
+def test_fig8_dataset_b_speedups(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for dev in ("GTX1650", "RTX3090"):
+        row = res.data["speedup"][("dataset B", dev)]
+        best = max(v for k, v in row.items() if k.startswith("SALoBa") and v)
+        # Paper: ~2.1x; heavy imbalance makes the win decisive.
+        assert best > 1.8, dev
+
+
+def test_fig8_imbalance_amplifies_gain(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Dataset B gain exceeds dataset A gain on both devices.
+    for dev in ("GTX1650", "RTX3090"):
+        a = max(
+            v for k, v in res.data["speedup"][("dataset A", dev)].items()
+            if k.startswith("SALoBa") and v
+        )
+        b = max(
+            v for k, v in res.data["speedup"][("dataset B", dev)].items()
+            if k.startswith("SALoBa") and v
+        )
+        assert b > a
+
+
+def test_fig8_failure_pattern(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    skips = {
+        key: {line.split(":")[0] for line in lines}
+        for key, lines in res.data["skips"].items()
+    }
+    assert "SOAP3-dp" in skips.get(("dataset A", "GTX1650"), set())
+    for dev in ("GTX1650", "RTX3090"):
+        assert PAPER["fig8_failures"][("dataset B", dev)] <= skips[("dataset B", dev)]
+    # GASAL2, CUSHAW2-GPU and SW# run everywhere.
+    for key, row in res.data["speedup"].items():
+        assert row["CUSHAW2-GPU"] is not None, key
+        assert row["SW#"] is not None, key
+
+
+def test_fig8_subwarp_sweep_shapes(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Dataset A prefers small-to-mid subwarps (short queries make the
+    # warp-sized prologue ruinous); dataset B tolerates bigger ones.
+    for dev in ("GTX1650", "RTX3090"):
+        sweep_a = res.data["subwarp_sweep"][("dataset A", dev)]
+        assert min(sweep_a, key=sweep_a.get) in (4, 8, 16)
+        best_b = res.data["best_subwarp"][("dataset B", dev)]
+        best_a = res.data["best_subwarp"][("dataset A", dev)]
+        assert best_b >= best_a
+
+
+def test_fig8_adept_competitive_only_on_rtx3090(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    a_gtx = res.data["speedup"][("dataset A", "GTX1650")]["ADEPT"]
+    a_rtx = res.data["speedup"][("dataset A", "RTX3090")]["ADEPT"]
+    assert a_rtx is not None and a_gtx is not None
+    assert a_rtx > a_gtx  # paper: ADEPT approaches SALoBa only on RTX3090

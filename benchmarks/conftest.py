@@ -1,0 +1,42 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every bench regenerates one of the paper's tables/figures through the
+experiment registry, times it with pytest-benchmark (single round —
+the experiments are deterministic model evaluations, not noisy
+microkernels), asserts the paper's qualitative shape, and writes the
+rendered rows to ``benchmarks/results/<name>.txt`` so the regenerated
+artifacts survive the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Callable writing an experiment's rendered text (and, for
+    ExperimentResult objects passed via `json_of`, a JSON twin)."""
+
+    def _save(name: str, text: str, json_of=None) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        if json_of is not None:
+            (results_dir / f"{name}.json").write_text(json_of.to_json() + "\n")
+        print(f"\n{text}\n")
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a deterministic experiment with a single round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

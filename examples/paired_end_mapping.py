@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Paired-end mapping with mate rescue.
+
+The complete short-read workflow a sequencing center runs: FR mate
+pairs with a ~400 bp insert, mapped end-to-end, with insert-size
+statistics and BWA-MEM-style rescue of mates too damaged to seed.
+
+Run:  python examples/paired_end_mapping.py
+"""
+
+import numpy as np
+
+from repro.core import PairedReadMapper
+from repro.gpusim import RTX3090
+from repro.seqs import (
+    ILLUMINA_LIKE,
+    GenomeConfig,
+    ReadSimulator,
+    length_stats,
+    synthetic_genome,
+)
+
+
+def main() -> None:
+    genome = synthetic_genome(GenomeConfig(length=100_000), seed=11)
+    sim = ReadSimulator(genome, ILLUMINA_LIKE, seed=12)
+    n_pairs = 40
+    pairs = [sim.sample_read_pair(150, insert_mean=420, insert_sd=35) for _ in range(n_pairs)]
+    print(f"{n_pairs} FR mate pairs, 2 x 150 bp, insert ~420 bp")
+
+    mapper = PairedReadMapper(genome, device=RTX3090, max_insert=900)
+    calls = mapper.map_pairs(
+        [p[0].codes for p in pairs], [p[1].codes for p in pairs]
+    )
+    proper = [c for c in calls if c.proper]
+    inserts = [c.insert_size for c in proper]
+    print(f"proper pairs: {len(proper)}/{n_pairs}")
+    if inserts:
+        s = length_stats(inserts)
+        print(f"insert sizes: min {s.minimum}  median {s.median}  max {s.maximum}")
+
+    # Positional accuracy against the simulator's ground truth.
+    correct = sum(
+        c.proper and abs(c.first.ref_start - p[0].ref_start) <= 20
+        for c, p in zip(calls, pairs)
+    )
+    print(f"position-accurate pairs: {correct}/{n_pairs}")
+
+    # --- mate rescue demo ----------------------------------------------------
+    # Mutate every 12th base of R2: no 19 bp exact seed survives, yet
+    # ~92% identity remains — the mate rescue window search finds it.
+    r1, r2 = pairs[0]
+    broken = r2.codes.copy()
+    broken[::12] = (broken[::12] + 1) % 4
+    call = mapper.map_pairs([r1.codes], [broken])[0]
+    print("\nmate rescue on an unseedable (but 92%-identity) mate:")
+    print(f"  rescued: {call.rescued}  proper: {call.proper}  "
+          f"insert: {call.insert_size} (true {r2.ref_end - r1.ref_start})")
+    print(f"  rescued position error: {abs(call.second.ref_start - r2.ref_start)} bp")
+
+
+if __name__ == "__main__":
+    main()

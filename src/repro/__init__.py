@@ -1,0 +1,41 @@
+"""SALoBa reproduction: GPU seed extension with data locality and workload balance.
+
+This package reproduces *SALoBa: Maximizing Data Locality and Workload
+Balance for Fast Sequence Alignment on GPUs* (IPDPS 2022) as a pure
+Python library.  Because no CUDA device is available, kernels execute
+on :mod:`repro.gpusim` — a warp-step-level GPU execution model that is
+functionally exact (scores match a reference Smith-Waterman) and
+accounts for memory transactions, divergence, and occupancy to produce
+modeled kernel times.
+
+Public API highlights
+---------------------
+- ``repro.SalobaAligner`` — the paper's contribution: warp-per-query
+  intra-query parallelism + lazy spilling + subwarp scheduling.
+- :mod:`repro.baselines` — GASAL2, SOAP3-dp, CUSHAW2-GPU, NVBIO, SW#,
+  ADEPT kernels under the same model.
+- :mod:`repro.seqs`, :mod:`repro.seeding`, :mod:`repro.datasets` — the
+  substrates that generate realistic extension workloads.
+- :mod:`repro.bench` — regenerates every table and figure of the paper.
+"""
+
+from .align import ScoringScheme, bwa_mem_scoring, sw_align, sw_score, sw_traceback
+from .core import SalobaAligner, SalobaConfig, SalobaKernel
+from .gpusim import GTX1650, RTX3090, DeviceProfile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ScoringScheme",
+    "bwa_mem_scoring",
+    "sw_align",
+    "sw_score",
+    "sw_traceback",
+    "SalobaAligner",
+    "SalobaConfig",
+    "SalobaKernel",
+    "DeviceProfile",
+    "GTX1650",
+    "RTX3090",
+    "__version__",
+]

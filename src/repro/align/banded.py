@@ -1,0 +1,101 @@
+"""Banded Smith-Waterman (Discussion VII-B of the paper).
+
+Seed extension rarely strays far from the main diagonal, so computing
+only cells with ``|i - j| <= band`` yields near-identical scores at a
+fraction of the work.  The paper leaves this as an envisioned
+extension; we implement it both as a reference algorithm (here) and as
+a kernel-level option (``repro.core.banded_ext``) so the ablation
+bench can quantify the modeled-time/score-fidelity trade-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..seqs.alphabet import encode
+from .matrix import AlignmentResult
+from .scoring import NEG_INF, ScoringScheme
+
+__all__ = ["banded_sw_align", "band_for_error_rate"]
+
+
+def band_for_error_rate(length: int, error_rate: float, *, slack: int = 8) -> int:
+    """Heuristic band width: expected indel drift plus slack.
+
+    With per-base indel probability ``error_rate``, the alignment path
+    drifts off-diagonal by roughly ``length * error_rate`` cells; a
+    few-sigma slack keeps the optimum inside the band w.h.p.
+    """
+    if length <= 0:
+        raise ValueError("length must be positive")
+    drift = length * max(error_rate, 0.0)
+    return int(np.ceil(drift + 3 * np.sqrt(max(drift, 1.0)))) + slack
+
+
+def banded_sw_align(
+    ref,
+    query,
+    band: int,
+    scoring: ScoringScheme | None = None,
+) -> AlignmentResult:
+    """Smith-Waterman restricted to the band ``|i - j| <= band``.
+
+    Cells outside the band are treated as ``-inf`` (gaps cannot tunnel
+    through them).  With ``band >= max(m, n)`` this equals full SW.
+    """
+    if band < 0:
+        raise ValueError("band must be non-negative")
+    scoring = scoring or ScoringScheme()
+    r = encode(ref).astype(np.intp)
+    q = encode(query).astype(np.intp)
+    m, n = r.size, q.size
+    if m == 0 or n == 0:
+        return AlignmentResult(score=0, ref_end=0, query_end=0)
+    sub = scoring.matrix
+    alpha = scoring.alpha
+    beta = scoring.beta
+
+    # Row-major scan storing only the band: column window per row i is
+    # [max(1, i-band), min(n, i+band)].  State kept as offset arrays of
+    # width 2*band+1 indexed by (j - i + band).
+    width = 2 * band + 1
+    prev_h = np.zeros(width + 2, dtype=np.int64)  # +2 halo for shifts
+    prev_f = np.full(width + 2, NEG_INF, dtype=np.int64)
+    best_score, best_i, best_j = 0, 0, 0
+    for i in range(1, m + 1):
+        jlo = max(1, i - band)
+        jhi = min(n, i + band)
+        if jlo > jhi:
+            break
+        k = np.arange(jlo, jhi + 1)  # query columns in the band
+        off = k - i + band + 1  # position in the halo-padded window
+        # prev row's window was offset by +1 relative to this row
+        # (same j maps one slot to the right), so index off+1.
+        up_h = prev_h[off + 1]
+        up_f = prev_f[off + 1]
+        diag_h = prev_h[off]
+        s = sub[r[i - 1], q[k - 1]]
+        h_row = np.zeros(jhi - jlo + 1, dtype=np.int64)
+        f_row = np.maximum(up_h - alpha, up_f - beta)
+        e = np.int64(NEG_INF)
+        h_left = np.int64(0) if jlo == 1 else np.int64(NEG_INF)
+        for t in range(k.size):
+            e = max(h_left - alpha, e - beta)
+            h = max(e, int(f_row[t]), int(diag_h[t]) + int(s[t]), 0)
+            h_row[t] = h
+            h_left = h
+        new_h = np.full(width + 2, NEG_INF, dtype=np.int64)
+        new_f = np.full(width + 2, NEG_INF, dtype=np.int64)
+        new_h[off] = h_row
+        new_f[off] = f_row
+        # The j = 0 local boundary (H = 0) sits inside the window for
+        # the first `band` rows and must stay reachable diagonally.
+        p0 = band + 1 - i
+        if 0 <= p0 < width + 2:
+            new_h[p0] = 0
+        prev_h, prev_f = new_h, new_f
+        rmax_t = int(np.argmax(h_row))
+        if int(h_row[rmax_t]) > best_score:
+            best_score = int(h_row[rmax_t])
+            best_i, best_j = i, int(k[rmax_t])
+    return AlignmentResult(score=best_score, ref_end=best_i, query_end=best_j)

@@ -1,0 +1,69 @@
+"""Batch traceback: CIGARs for kernel results, computed on demand.
+
+GPU extension kernels report score + endpoint only (that is their
+whole contract — Sec. II); producing the actual alignments afterwards
+is the mapper's job, done on the CPU for the alignments it decides to
+report (CUDAlign 4.0's "speculative traceback" exists precisely
+because shipping full matrices off the GPU is untenable).
+
+Given a kernel's :class:`AlignmentResult` per job, the endpoint bounds
+the rerun: the optimal local path ends at ``(ref_end, query_end)``, so
+only the ``ref_end x query_end`` prefix of the table needs
+rematerializing — typically a small corner of a padded window.
+"""
+
+from __future__ import annotations
+
+from ..seqs.alphabet import encode
+from .matrix import AlignmentResult, full_matrices
+from .scoring import ScoringScheme
+from .traceback import Traceback, traceback
+
+__all__ = ["traceback_one", "traceback_batch"]
+
+
+def traceback_one(
+    ref,
+    query,
+    result: AlignmentResult,
+    scoring: ScoringScheme | None = None,
+) -> Traceback | None:
+    """Recover the CIGAR for one kernel result (None for empty hits)."""
+    scoring = scoring or ScoringScheme()
+    if result.score <= 0 or result.ref_end == 0 or result.query_end == 0:
+        return None
+    ref_c = encode(ref)[: result.ref_end]
+    query_c = encode(query)[: result.query_end]
+    mats = full_matrices(ref_c, query_c, scoring, local=True)
+    tb = traceback(mats, scoring)
+    if tb.score != result.score:
+        raise ValueError(
+            f"endpoint does not reproduce the reported score "
+            f"({tb.score} != {result.score}); stale result?"
+        )
+    return tb
+
+
+def traceback_batch(
+    jobs,
+    results: list[AlignmentResult],
+    scoring: ScoringScheme | None = None,
+    *,
+    min_score: int = 1,
+) -> list[Traceback | None]:
+    """CIGARs for a batch of ``(ref, query)`` jobs and their results.
+
+    Jobs scoring below *min_score* are skipped (None) — mirroring how
+    mappers only trace back alignments they will report.
+    """
+    scoring = scoring or ScoringScheme()
+    if len(jobs) != len(results):
+        raise ValueError(f"{len(jobs)} jobs vs {len(results)} results")
+    out: list[Traceback | None] = []
+    for job, res in zip(jobs, results):
+        ref, query = (job.ref, job.query) if hasattr(job, "ref") else job
+        if res.score < min_score:
+            out.append(None)
+            continue
+        out.append(traceback_one(ref, query, res, scoring))
+    return out

@@ -1,0 +1,107 @@
+"""Full dynamic-programming matrix computation (reference oracle).
+
+This is the slow, obviously-correct implementation every kernel is
+validated against.  It materializes the complete ``H``/``E``/``F``
+matrices with shape ``(m+1, n+1)`` (reference rows ``i``, query
+columns ``j``, row/column 0 being the boundary), exactly following
+Eqs. 1-3 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..seqs.alphabet import encode
+from .scoring import NEG_INF, ScoringScheme
+
+__all__ = ["DPMatrices", "full_matrices", "AlignmentResult"]
+
+
+@dataclass(frozen=True)
+class DPMatrices:
+    """The three DP matrices plus bookkeeping.
+
+    ``H[i, j]`` is the best score of an alignment ending at reference
+    base ``i`` / query base ``j`` (1-based; index 0 is the boundary).
+    """
+
+    H: np.ndarray
+    E: np.ndarray
+    F: np.ndarray
+    local: bool
+
+    @property
+    def best(self) -> tuple[int, int, int]:
+        """``(score, i, j)`` of the maximum H cell (ties: first in scan order)."""
+        idx = int(np.argmax(self.H))
+        i, j = divmod(idx, self.H.shape[1])
+        return int(self.H[i, j]), i, j
+
+    @property
+    def global_score(self) -> int:
+        """Bottom-right corner score (Needleman-Wunsch objective)."""
+        return int(self.H[-1, -1])
+
+
+@dataclass(frozen=True)
+class AlignmentResult:
+    """Score-and-endpoint result, the contract of every extension kernel.
+
+    Attributes
+    ----------
+    score:
+        Best local-alignment score (or global score for NW).
+    ref_end / query_end:
+        1-based end coordinates of the best-scoring cell; 0 means the
+        empty alignment was best.
+    """
+
+    score: int
+    ref_end: int
+    query_end: int
+
+
+def full_matrices(
+    ref,
+    query,
+    scoring: ScoringScheme | None = None,
+    *,
+    local: bool = True,
+) -> DPMatrices:
+    """Compute full ``H``/``E``/``F`` by the textbook row scan.
+
+    ``local=True`` gives Smith-Waterman (zero floor, free boundary);
+    ``local=False`` gives Needleman-Wunsch (boundary pays gap costs,
+    no zero floor).
+    """
+    scoring = scoring or ScoringScheme()
+    r = encode(ref).astype(np.intp)
+    q = encode(query).astype(np.intp)
+    m, n = r.size, q.size
+    H = np.zeros((m + 1, n + 1), dtype=np.int64)
+    E = np.full((m + 1, n + 1), NEG_INF, dtype=np.int64)
+    F = np.full((m + 1, n + 1), NEG_INF, dtype=np.int64)
+    if not local:
+        # Global boundary: leading gaps cost alpha + (k-1)*beta.
+        for j in range(1, n + 1):
+            H[0, j] = -(scoring.alpha + (j - 1) * scoring.beta)
+            E[0, j] = H[0, j]
+        for i in range(1, m + 1):
+            H[i, 0] = -(scoring.alpha + (i - 1) * scoring.beta)
+            F[i, 0] = H[i, 0]
+    sub = scoring.matrix
+    for i in range(1, m + 1):
+        ri = r[i - 1]
+        for j in range(1, n + 1):
+            e = max(H[i, j - 1] - scoring.alpha, E[i, j - 1] - scoring.beta)
+            f = max(H[i - 1, j] - scoring.alpha, F[i - 1, j] - scoring.beta)
+            h = H[i - 1, j - 1] + sub[ri, q[j - 1]]
+            best = max(e, f, h)
+            if local:
+                best = max(best, 0)
+            E[i, j] = e
+            F[i, j] = f
+            H[i, j] = best
+    return DPMatrices(H=H, E=E, F=F, local=local)

@@ -1,0 +1,20 @@
+"""Needleman-Wunsch public entry points (reference implementations).
+
+Global affine-gap alignment (the other classic the paper names in
+Sec. II-A).  Used by the end-to-end examples when a full-length
+alignment of query against its chained reference window is wanted.
+"""
+
+from __future__ import annotations
+
+from .antidiagonal import nw_score
+from .matrix import full_matrices
+from .scoring import ScoringScheme
+
+__all__ = ["nw_score", "nw_score_slow"]
+
+
+def nw_score_slow(ref, query, scoring: ScoringScheme | None = None) -> int:
+    """Row-scan oracle for the global score; tests only."""
+    mats = full_matrices(ref, query, scoring or ScoringScheme(), local=False)
+    return mats.global_score

@@ -1,0 +1,74 @@
+"""Process-parallel exact scoring for large CPU-side batches.
+
+Exact mode is NumPy-vectorized but still CPU-bound for big batches;
+this module shards a job list across worker processes (the standard
+HPC-Python pattern: chunk, fork, gather — each worker runs the
+vectorized block-grid executor on its shard).  Used by examples and
+tests that validate large batches; the GPU-model benches never need it
+(model mode is closed-form).
+
+Workers are spawned per call via ``multiprocessing.Pool``; the scoring
+scheme and job shards are pickled once per worker, and results come
+back in input order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+
+import numpy as np
+
+from .grid import grid_sweep
+from .matrix import AlignmentResult
+from .scoring import ScoringScheme
+
+__all__ = ["parallel_grid_sweep", "default_workers"]
+
+
+def default_workers() -> int:
+    """A sensible worker count: physical parallelism, capped."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def _score_shard(payload: tuple[list, dict]) -> list[AlignmentResult]:
+    jobs, scoring_kwargs = payload
+    return grid_sweep(jobs, ScoringScheme(**scoring_kwargs))
+
+
+def parallel_grid_sweep(
+    jobs: list[tuple[np.ndarray, np.ndarray]],
+    scoring: ScoringScheme | None = None,
+    *,
+    workers: int | None = None,
+    min_jobs_per_worker: int = 4,
+) -> list[AlignmentResult]:
+    """Exact scores for ``(ref, query)`` pairs, sharded across processes.
+
+    Falls back to in-process execution for small batches (forking has
+    real cost) or when only one worker is available.  Results are
+    bit-identical to :func:`~repro.align.grid.grid_sweep` in any mode.
+    """
+    scoring = scoring or ScoringScheme()
+    workers = workers if workers is not None else default_workers()
+    if workers <= 1 or len(jobs) < workers * min_jobs_per_worker:
+        return grid_sweep(jobs, scoring)
+
+    scoring_kwargs = {
+        "match": scoring.match,
+        "mismatch": scoring.mismatch,
+        "alpha": scoring.alpha,
+        "beta": scoring.beta,
+        "n_score": scoring.n_score,
+    }
+    # Contiguous shards keep per-worker batching effective (the grid
+    # executor batches across its shard's wavefronts).
+    shard_size = -(-len(jobs) // workers)
+    shards = [jobs[i : i + shard_size] for i in range(0, len(jobs), shard_size)]
+    ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
+    with ctx.Pool(processes=len(shards)) as pool:
+        parts = pool.map(_score_shard, [(s, scoring_kwargs) for s in shards])
+    out: list[AlignmentResult] = []
+    for part in parts:
+        out.extend(part)
+    return out

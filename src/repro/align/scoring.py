@@ -1,0 +1,104 @@
+"""Affine-gap scoring schemes (Eqs. 1-3 of the paper).
+
+The recurrence used throughout the library is exactly the paper's:
+
+    H(i,j) = max(0*, E(i,j), F(i,j), H(i-1,j-1) + S(i,j))
+    E(i,j) = max(H(i,j-1) - alpha, E(i,j-1) - beta)
+    F(i,j) = max(H(i-1,j) - alpha, F(i-1,j) - beta)
+
+where ``alpha`` penalizes a *new* gap (its first base) and ``beta`` a
+*continued* gap, ``S`` is the substitution score, and the ``0`` arm is
+present for local (Smith-Waterman) alignment and absent for global
+(Needleman-Wunsch) alignment.
+
+``S`` is realized as a 6x6 lookup over codes ``A,C,G,T,N,PAD``: the
+``PAD`` literal is used internally to square sequences up to 8-base
+block boundaries and scores so negatively it can never take part in an
+optimal local alignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PAD", "NEG_INF", "ScoringScheme", "bwa_mem_scoring"]
+
+#: Internal padding code appended after the last real base of a block.
+PAD = 5
+
+#: "Minus infinity" that survives int32 arithmetic without wrapping.
+NEG_INF = -(2**28)
+
+
+@dataclass(frozen=True)
+class ScoringScheme:
+    """Affine-gap scoring parameters.
+
+    Attributes
+    ----------
+    match:
+        Score for identical unambiguous bases (positive).
+    mismatch:
+        Score for differing bases (negative).
+    alpha:
+        Penalty (positive number, subtracted) for opening a gap —
+        the paper's ``alpha``, i.e. gap-open *plus* first extension.
+    beta:
+        Penalty for each further gap base — the paper's ``beta``.
+    n_score:
+        Score applied whenever either base is ``N``; aligners
+        conventionally treat ``N`` as a mismatch.
+    """
+
+    match: int = 1
+    mismatch: int = -4
+    alpha: int = 6
+    beta: int = 1
+    n_score: int = -4
+    _matrix: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self):
+        if self.match <= 0:
+            raise ValueError("match score must be positive")
+        if self.mismatch >= 0:
+            raise ValueError("mismatch score must be negative")
+        if self.alpha <= 0 or self.beta <= 0:
+            raise ValueError("gap penalties alpha/beta must be positive")
+        if self.beta > self.alpha:
+            raise ValueError("continuing a gap (beta) must not cost more than opening one (alpha)")
+        m = np.full((6, 6), self.mismatch, dtype=np.int32)
+        np.fill_diagonal(m, self.match)
+        m[4, :] = self.n_score  # N row
+        m[:, 4] = self.n_score  # N column
+        m[4, 4] = self.n_score  # N never "matches"
+        m[5, :] = NEG_INF  # PAD row/column can never help
+        m[:, 5] = NEG_INF
+        object.__setattr__(self, "_matrix", m)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The 6x6 substitution matrix over ``A,C,G,T,N,PAD`` codes."""
+        return self._matrix
+
+    def substitution(self, ref_codes: np.ndarray, query_codes: np.ndarray) -> np.ndarray:
+        """Vectorized ``S`` lookup; broadcasting applies."""
+        return self._matrix[np.asarray(ref_codes, dtype=np.intp),
+                            np.asarray(query_codes, dtype=np.intp)]
+
+    def gap_cost(self, length: int) -> int:
+        """Total penalty of one gap of *length* bases."""
+        if length <= 0:
+            return 0
+        return self.alpha + (length - 1) * self.beta
+
+
+def bwa_mem_scoring() -> ScoringScheme:
+    """BWA-MEM's default parameters (match 1, mismatch -4, open 6, extend 1).
+
+    BWA-MEM expresses gaps as open ``O`` and extend ``E`` with a gap of
+    length k costing ``O + k*E``; in the paper's notation that is
+    ``alpha = O + E`` and ``beta = E``.
+    """
+    return ScoringScheme(match=1, mismatch=-4, alpha=7, beta=1, n_score=-1)

@@ -1,0 +1,33 @@
+"""Smith-Waterman public entry points (reference implementations).
+
+Thin, documented wrappers tying together the matrix oracle, the
+anti-diagonal vectorized scorer, and traceback.  GPU-model kernels
+live in :mod:`repro.core` and :mod:`repro.baselines`; everything here
+is plain NumPy and serves as the ground truth they are tested against.
+"""
+
+from __future__ import annotations
+
+from .antidiagonal import sw_align
+from .matrix import AlignmentResult, full_matrices
+from .scoring import ScoringScheme
+from .traceback import Traceback, align_with_traceback
+
+__all__ = ["sw_score", "sw_align", "sw_traceback"]
+
+
+def sw_score(ref, query, scoring: ScoringScheme | None = None) -> int:
+    """Best local-alignment score (anti-diagonal vectorized)."""
+    return sw_align(ref, query, scoring).score
+
+
+def sw_traceback(ref, query, scoring: ScoringScheme | None = None) -> Traceback:
+    """Best local alignment with full CIGAR (materializes the matrix)."""
+    return align_with_traceback(ref, query, scoring)
+
+
+def sw_align_slow(ref, query, scoring: ScoringScheme | None = None) -> AlignmentResult:
+    """Row-scan oracle; quadratic Python loop — tests only."""
+    mats = full_matrices(ref, query, scoring or ScoringScheme(), local=True)
+    score, i, j = mats.best
+    return AlignmentResult(score=score, ref_end=i, query_end=j)

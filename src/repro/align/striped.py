@@ -1,0 +1,120 @@
+"""Farrar striped Smith-Waterman (score-only), NumPy-vectorized.
+
+The third classic SW parallelization next to anti-diagonal wavefronts
+and block tiling: Farrar (2007) stripes the query across SIMD lanes so
+the inner loop is dependency-free, fixing the rare cross-lane gap
+carries with a "lazy F" correction loop.  CUDASW++ 2.0's "virtualized
+SIMD" (Sec. VI-A of the paper) is this algorithm on GPU registers.
+
+Included as (a) an independent third implementation to cross-check the
+oracles, and (b) the fastest pure-NumPy scorer here for long single
+pairs: the row loop does O(p) vector operations on width-``V`` arrays
+(``p * V >= n``), so the Python-level iteration count is ``m * p``
+instead of the wavefront's ``m + n`` diagonals of bounded width.
+
+The query profile is precomputed per symbol (Farrar's key trick), and
+the striped layout puts query position ``l * p + k`` at stripe ``k``,
+lane ``l``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..seqs.alphabet import encode
+from .scoring import NEG_INF, ScoringScheme
+
+__all__ = ["striped_sw_score"]
+
+
+def striped_sw_score(
+    ref,
+    query,
+    scoring: ScoringScheme | None = None,
+    *,
+    stripes: int = 8,
+) -> int:
+    """Best local affine-gap score via the striped algorithm.
+
+    ``stripes`` is the segment count ``p``; lanes ``V = ceil(n / p)``.
+    Any ``p >= 1`` gives identical results — it only trades Python
+    loop trips against vector width.
+    """
+    if stripes < 1:
+        raise ValueError("need at least one stripe")
+    scoring = scoring or ScoringScheme()
+    r = encode(ref).astype(np.intp)
+    q = encode(query).astype(np.intp)
+    m, n = r.size, q.size
+    if m == 0 or n == 0:
+        return 0
+    p = min(stripes, n)
+    v = -(-n // p)  # lanes
+    alpha = np.int64(scoring.alpha)
+    beta = np.int64(scoring.beta)
+
+    # Striped query profile: profile[c][k, l] = S(c, q[l*p + k]),
+    # NEG_INF past the query end so padding can never win.
+    positions = (np.arange(v)[None, :] * p + np.arange(p)[:, None])  # (p, v)
+    valid = positions < n
+    safe_pos = np.where(valid, positions, 0)
+    profile = np.full((6, p, v), NEG_INF, dtype=np.int64)
+    for c in range(6):
+        scores = scoring.matrix[c, q[safe_pos.reshape(-1)]].reshape(p, v)
+        profile[c] = np.where(valid, scores, NEG_INF)
+
+    h_store = np.zeros((p, v), dtype=np.int64)  # H of the previous row
+    e_store = np.full((p, v), NEG_INF, dtype=np.int64)
+    best = np.int64(0)
+
+    def shift_lanes(vec: np.ndarray) -> np.ndarray:
+        """Move every lane one step right, injecting the boundary."""
+        out = np.empty_like(vec)
+        out[1:] = vec[:-1]
+        out[0] = 0  # local-alignment boundary column (H = 0)
+        return out
+
+    for i in range(m):
+        prof = profile[r[i]]
+        # Diagonal input for stripe 0 = last stripe of the previous
+        # row, shifted one lane (query position l*p - 1).
+        h_diag = shift_lanes(h_store[p - 1])
+        f = np.full(v, NEG_INF, dtype=np.int64)
+        h_new = np.empty((p, v), dtype=np.int64)
+        for k in range(p):
+            h = np.maximum(h_diag + prof[k], 0)
+            h = np.maximum(h, e_store[k])
+            h = np.maximum(h, f)
+            h_new[k] = h
+            e_store[k] = np.maximum(h - alpha, e_store[k] - beta)
+            f = np.maximum(h - alpha, f - beta)
+            h_diag = h_store[k]
+        # Lazy F: the in-row gap may carry across lane boundaries.
+        k = 0
+        f = shift_lanes_neg(f)
+        guard = 0
+        while (f > h_new[k] - alpha).any() or (f > h_new[k]).any():
+            h_new[k] = np.maximum(h_new[k], f)
+            e_store[k] = np.maximum(e_store[k], h_new[k] - alpha)
+            f = f - beta
+            k += 1
+            if k == p:
+                k = 0
+                f = shift_lanes_neg(f)
+            guard += 1
+            if guard > 2 * p * v + 4:  # provably terminates before this
+                raise AssertionError("lazy-F failed to converge")
+        h_store = h_new
+        row_max = int(h_new.max())
+        if row_max > best:
+            best = row_max
+    return int(best)
+
+
+def shift_lanes_neg(vec: np.ndarray) -> np.ndarray:
+    """Lane shift injecting -inf (used for the F carry, which cannot
+    enter from the boundary column)."""
+    out = np.empty_like(vec)
+    out[1:] = vec[:-1]
+    out[0] = NEG_INF
+    return out

@@ -1,0 +1,152 @@
+"""Alignment traceback (CIGAR recovery) from full DP matrices.
+
+Seed-extension kernels report score + endpoint; producing the actual
+alignment (Fig. 1's red path) is done on demand by tracing back from
+the best cell through the ``H``/``E``/``F`` matrices.  This mirrors
+how BWA-MEM consumes GPU extension results: the kernel gives the
+endpoint, traceback happens separately for reported alignments only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..seqs.alphabet import decode, encode
+from .matrix import DPMatrices, full_matrices
+from .scoring import ScoringScheme
+
+__all__ = ["Cigar", "Traceback", "traceback", "align_with_traceback"]
+
+
+@dataclass(frozen=True)
+class Cigar:
+    """A CIGAR string as ``(count, op)`` runs.
+
+    Ops: ``M`` (match/mismatch), ``I`` (insertion to the reference =
+    query base consumed), ``D`` (deletion from the reference).
+    """
+
+    runs: tuple[tuple[int, str], ...]
+
+    def __str__(self) -> str:
+        return "".join(f"{n}{op}" for n, op in self.runs)
+
+    @property
+    def query_span(self) -> int:
+        return sum(n for n, op in self.runs if op in "MI")
+
+    @property
+    def ref_span(self) -> int:
+        return sum(n for n, op in self.runs if op in "MD")
+
+    @classmethod
+    def from_ops(cls, ops: list[str]) -> "Cigar":
+        runs: list[tuple[int, str]] = []
+        for op in ops:
+            if runs and runs[-1][1] == op:
+                runs[-1] = (runs[-1][0] + 1, op)
+            else:
+                runs.append((1, op))
+        return cls(runs=tuple(runs))
+
+
+@dataclass(frozen=True)
+class Traceback:
+    """A fully resolved local alignment.
+
+    Coordinates are 0-based half-open over the *original* sequences.
+    """
+
+    score: int
+    ref_start: int
+    ref_end: int
+    query_start: int
+    query_end: int
+    cigar: Cigar
+
+    def pretty(self, ref, query, width: int = 60) -> str:
+        """Render the pairwise alignment with a match line (like Fig. 1)."""
+        r = decode(encode(ref)[self.ref_start : self.ref_end])
+        q = decode(encode(query)[self.query_start : self.query_end])
+        top, mid, bot = [], [], []
+        ri = qi = 0
+        for n, op in self.cigar.runs:
+            for _ in range(n):
+                if op == "M":
+                    top.append(r[ri]); bot.append(q[qi])
+                    mid.append("|" if r[ri] == q[qi] else ".")
+                    ri += 1; qi += 1
+                elif op == "D":
+                    top.append(r[ri]); mid.append(" "); bot.append("-")
+                    ri += 1
+                else:  # I
+                    top.append("-"); mid.append(" "); bot.append(q[qi])
+                    qi += 1
+        lines = []
+        for off in range(0, len(top), width):
+            lines.append("R " + "".join(top[off : off + width]))
+            lines.append("  " + "".join(mid[off : off + width]))
+            lines.append("Q " + "".join(bot[off : off + width]))
+            lines.append("")
+        return "\n".join(lines).rstrip()
+
+
+def traceback(mats: DPMatrices, scoring: ScoringScheme) -> Traceback:
+    """Trace the optimal local path back from the best H cell.
+
+    Follows the affine-gap state machine: from state H, test whether
+    the cell came from the diagonal, E, F, or (local) the zero floor;
+    inside E/F, test whether the gap opened here or continues.
+    """
+    if not mats.local:
+        raise ValueError("traceback currently supports local (SW) matrices")
+    H, E, F = mats.H, mats.E, mats.F
+    score, i, j = mats.best
+    end_i, end_j = i, j
+    ops: list[str] = []
+    state = "H"
+    while i > 0 and j > 0:
+        if state == "H":
+            if H[i, j] == 0:
+                break  # local alignment start
+            if H[i, j] == E[i, j]:
+                state = "E"
+            elif H[i, j] == F[i, j]:
+                state = "F"
+            else:
+                ops.append("M")
+                i -= 1
+                j -= 1
+        elif state == "E":  # horizontal gap: consumes query
+            ops.append("I")
+            if E[i, j] == E[i, j - 1] - scoring.beta:
+                j -= 1  # gap continues
+            else:
+                j -= 1
+                state = "H"
+        else:  # "F": vertical gap: consumes reference
+            ops.append("D")
+            if F[i, j] == F[i - 1, j] - scoring.beta:
+                i -= 1
+            else:
+                i -= 1
+                state = "H"
+    # Trailing boundary: exiting with i==0 or j==0 means the path hit
+    # the table edge, which for local alignment is a score-0 start;
+    # nothing more to emit.
+    ops.reverse()
+    return Traceback(
+        score=score,
+        ref_start=i,
+        ref_end=end_i,
+        query_start=j,
+        query_end=end_j,
+        cigar=Cigar.from_ops(ops),
+    )
+
+
+def align_with_traceback(ref, query, scoring: ScoringScheme | None = None) -> Traceback:
+    """Convenience: full matrices + traceback in one call."""
+    scoring = scoring or ScoringScheme()
+    mats = full_matrices(ref, query, scoring, local=True)
+    return traceback(mats, scoring)

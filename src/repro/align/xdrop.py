@@ -1,0 +1,178 @@
+"""X-drop terminated seed extension (the semantics real mappers use).
+
+BWA-MEM's ``ksw_extend`` — and GPU long-read engines like LOGAN [60]
+(Sec. VI-B) — do not run full Smith-Waterman over the extension
+window: the alignment is *anchored* at the seed end (cell (0,0) is the
+only free start) and the sweep stops as soon as every cell of the
+current anti-diagonal has dropped more than ``x`` below the best score
+seen, because no path through such a diagonal can recover.
+
+This gives a fourth alignment flavour next to local / global /
+banded, with its own invariants:
+
+* anchored: ``H(0,0) = 0``; first row/column pay gap costs;
+* no zero floor (scores may go negative while crossing a bad patch);
+* the result is ``max H`` over all cells *visited*;
+* with ``x = inf`` it equals the exhaustive anchored optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..seqs.alphabet import encode
+from .scoring import NEG_INF, ScoringScheme
+
+__all__ = ["XDropResult", "xdrop_extend"]
+
+
+@dataclass(frozen=True)
+class XDropResult:
+    """Outcome of one anchored extension.
+
+    Attributes
+    ----------
+    score:
+        Best anchored-alignment score (0 when even the first bases
+        only lose score — the empty extension).
+    ref_end / query_end:
+        1-based coordinates of the best cell (0,0 = empty extension).
+    dropped:
+        True when the X-drop test terminated the sweep early.
+    cells_computed:
+        DP cells actually evaluated (the work X-drop saved shows as
+        the gap to ``m*n``).
+    """
+
+    score: int
+    ref_end: int
+    query_end: int
+    dropped: bool
+    cells_computed: int
+
+
+def xdrop_extend(
+    ref,
+    query,
+    x: int,
+    scoring: ScoringScheme | None = None,
+) -> XDropResult:
+    """Anchored extension of *query* against *ref* with X-drop *x*.
+
+    Anti-diagonal sweep; cells whose ``H`` has fallen more than *x*
+    below the running best are pruned (set to -inf), and the sweep
+    stops when a whole diagonal is pruned.
+    """
+    if x < 0:
+        raise ValueError("x-drop threshold must be non-negative")
+    scoring = scoring or ScoringScheme()
+    r = encode(ref).astype(np.intp)
+    q = encode(query).astype(np.intp)
+    m, n = r.size, q.size
+    if m == 0 or n == 0:
+        return XDropResult(score=0, ref_end=0, query_end=0, dropped=False, cells_computed=0)
+    sub = scoring.matrix
+    alpha = np.int64(scoring.alpha)
+    beta = np.int64(scoring.beta)
+
+    def boundary(k: int) -> int:
+        return 0 if k == 0 else -(scoring.alpha + (k - 1) * scoring.beta)
+
+    # State indexed by i (reference row) as in the anti-diagonal SW.
+    H_prev2 = np.full(m + 1, NEG_INF, dtype=np.int64)
+    H_prev = np.full(m + 1, NEG_INF, dtype=np.int64)
+    E_prev = np.full(m + 1, NEG_INF, dtype=np.int64)
+    F_prev = np.full(m + 1, NEG_INF, dtype=np.int64)
+    H_prev2[0] = 0  # the anchor
+    H_prev[0] = boundary(1)  # (0,1)
+    H_prev[1] = boundary(1)  # (1,0)
+    E_prev[0] = H_prev[0]
+    F_prev[1] = H_prev[1]
+
+    best = 0
+    best_i = best_j = 0
+    cells = 0
+    idx = np.arange(m + 1)
+    dropped = False
+    # Live windows of reference rows that survived pruning on the two
+    # previous diagonals.  A cell (i, d-i) depends on rows {i, i-1} of
+    # diagonal d-1 and row i-1 of diagonal d-2, so only rows inside
+    # [min(lo1, lo2+1), max(hi1, hi2) + 1] can come alive — which is
+    # what lets X-drop *skip* work instead of merely zeroing it.
+    lo1, hi1 = 0, 1  # diagonal d-1
+    lo2, hi2 = 0, 0  # diagonal d-2
+    for d in range(2, m + n + 1):
+        lo = max(1, d - n, min(lo1, lo2 + 1))
+        hi = min(m, d - 1, max(hi1, hi2) + 1)
+        H_new = np.full(m + 1, NEG_INF, dtype=np.int64)
+        E_new = np.full(m + 1, NEG_INF, dtype=np.int64)
+        F_new = np.full(m + 1, NEG_INF, dtype=np.int64)
+        alive = False
+        new_lo, new_hi = m + 1, -1
+        if lo <= hi:
+            sl = slice(lo, hi + 1)
+            i_vals = idx[sl]
+            e = np.maximum(H_prev[sl] - alpha, E_prev[sl] - beta)
+            f = np.maximum(H_prev[lo - 1 : hi] - alpha, F_prev[lo - 1 : hi] - beta)
+            s = sub[r[i_vals - 1], q[d - i_vals - 1]]
+            h = np.maximum(np.maximum(e, f), H_prev2[lo - 1 : hi] + s)
+            cells += i_vals.size
+            # X-drop pruning: cells too far below the best are dead.
+            pruned = h < best - x
+            h = np.where(pruned, NEG_INF, h)
+            H_new[sl] = h
+            E_new[sl] = np.where(pruned, NEG_INF, e)
+            F_new[sl] = np.where(pruned, NEG_INF, f)
+            if not pruned.all():
+                alive = True
+                survivors = i_vals[~pruned]
+                new_lo = int(survivors.min())
+                new_hi = int(survivors.max())
+                k = int(np.argmax(h))
+                if int(h[k]) > best:
+                    best = int(h[k])
+                    best_i = int(i_vals[k])
+                    best_j = d - best_i
+        # Boundary cells only survive while within x of the best.
+        if d <= n and boundary(d) >= best - x:
+            H_new[0] = boundary(d)
+            E_new[0] = H_new[0]
+            alive = True
+            new_lo = 0
+        if d <= m and boundary(d) >= best - x:
+            H_new[d] = boundary(d)
+            F_new[d] = H_new[d]
+            alive = True
+            new_hi = max(new_hi, d)
+        if not alive:
+            dropped = True
+            break
+        lo2, hi2 = lo1, hi1
+        lo1, hi1 = new_lo, new_hi
+        H_prev2, H_prev = H_prev, H_new
+        E_prev, F_prev = E_new, F_new
+    return XDropResult(
+        score=best,
+        ref_end=best_i,
+        query_end=best_j,
+        dropped=dropped,
+        cells_computed=cells,
+    )
+
+
+def anchored_best_slow(ref, query, scoring: ScoringScheme | None = None) -> tuple[int, int, int]:
+    """Oracle: exhaustive anchored extension (max over the global DP
+    matrix including the zero anchor).  Tests only."""
+    from .matrix import full_matrices
+
+    scoring = scoring or ScoringScheme()
+    mats = full_matrices(ref, query, scoring, local=False)
+    H = mats.H
+    flat = int(np.argmax(H))
+    i, j = divmod(flat, H.shape[1])
+    best = int(H[i, j])
+    if best <= 0:
+        return 0, 0, 0
+    return best, i, j

@@ -1,0 +1,39 @@
+"""Baseline seed-extension kernels under comparison (TABLE II).
+
+All six kernels the paper benchmarks against, reimplemented on the
+GPU execution model with their documented strategies and limitations.
+Import :func:`all_baselines` for the standard comparison set.
+"""
+
+from ..align.scoring import ScoringScheme
+from .adept import AdeptKernel
+from .base import ExtensionJob, ExtensionKernel, KernelRunResult, make_jobs
+from .interquery import (
+    Cushaw2Kernel,
+    Gasal2Kernel,
+    InterQueryKernel,
+    InterQueryParams,
+    NvbioKernel,
+    Soap3dpKernel,
+)
+from .swsharp import SwSharpKernel
+
+__all__ = [
+    "ExtensionJob", "ExtensionKernel", "KernelRunResult", "make_jobs",
+    "InterQueryKernel", "InterQueryParams",
+    "Gasal2Kernel", "NvbioKernel", "Cushaw2Kernel", "Soap3dpKernel",
+    "SwSharpKernel", "AdeptKernel",
+    "all_baselines",
+]
+
+
+def all_baselines(scoring: ScoringScheme | None = None) -> list[ExtensionKernel]:
+    """The six baseline kernels, in the paper's TABLE II order."""
+    return [
+        Soap3dpKernel(scoring),
+        Cushaw2Kernel(scoring),
+        NvbioKernel(scoring),
+        Gasal2Kernel(scoring),
+        SwSharpKernel(scoring),
+        AdeptKernel(scoring),
+    ]

@@ -1,0 +1,88 @@
+"""ADEPT [13]: intra-query parallelism with shuffle-based exchange.
+
+ADEPT assigns one threadblock per pair with one thread per *query
+base* (8-bit codes, cell — not block — granularity) and sweeps the
+cell anti-diagonals, exchanging dependencies through warp shuffles
+plus binary masking.  All intermediate values live in registers and
+shared memory, so it generates **no** global intermediate traffic —
+but a threadblock caps at 1024 threads, which is the structural
+1024 bp limit the paper calls out (Sec. V-D), and the cell-granular
+sweep wastes half its thread-steps in the triangular ramp-up/down.
+"""
+
+from __future__ import annotations
+
+from ..gpusim.counters import Counters
+from ..gpusim.device import WARP_SIZE, DeviceProfile
+from ..gpusim.kernel import LaunchTiming, assemble_launch
+from ..gpusim.memory import AccessPattern, MemoryModel
+from ..gpusim.scheduler import WarpJob
+from ..gpusim.sharedmem import SharedAllocation
+from .base import ExtensionJob, ExtensionKernel
+
+__all__ = ["AdeptKernel"]
+
+#: CUDA threadblock thread limit == ADEPT's max query length.
+MAX_THREADS_PER_BLOCK = 1024
+
+
+class AdeptKernel(ExtensionKernel):
+    """ADEPT's cell-granular, shuffle-communicating intra-query kernel."""
+
+    name = "ADEPT"
+    parallelism = "intra"
+    bits = 8
+
+    #: Extra per-cell issue factor for the 8-bit path's masking logic.
+    ops_scale = 1.1
+    #: Shared bytes per query base (score/argmax reduction buffers).
+    shared_bytes_per_base = 12
+
+    def unsupported_reason(self, jobs: list[ExtensionJob], device: DeviceProfile) -> str | None:
+        if jobs:
+            worst = max(j.query_len for j in jobs)
+            if worst > MAX_THREADS_PER_BLOCK:
+                return (
+                    f"structural length limit: query of {worst} bp exceeds the "
+                    f"{MAX_THREADS_PER_BLOCK}-thread block size"
+                )
+        return super().unsupported_reason(jobs, device)
+
+    def _model(
+        self, jobs: list[ExtensionJob], device: DeviceProfile, mem: MemoryModel
+    ) -> LaunchTiming:
+        cnt = Counters()
+        warps: list[WarpJob] = []
+        max_shared = 0
+        for k, j in enumerate(jobs):
+            threads = max(j.query_len, 1)
+            warps_per_block = -(-threads // WARP_SIZE)
+            steps = j.ref_len + j.query_len - 1 if j.cells else 0
+            # Per-step per-thread work: the cell recurrence, a shuffle
+            # exchange, and (for multi-warp blocks) a share of the
+            # block-wide barrier.
+            step_ops = self.costs.ops_per_cell * self.ops_scale + self.costs.shuffle_ops
+            if warps_per_block > 1:
+                step_ops += self.costs.sync_ops / warps_per_block
+            cycles = steps * step_ops
+            for w in range(warps_per_block):
+                warps.append(WarpJob(cycles=cycles, tag=f"pair{k}.w{w}"))
+            cnt.cells += j.cells
+            cnt.steps += steps
+            cnt.busy_thread_steps += j.cells
+            cnt.idle_thread_steps += steps * threads - j.cells
+            cnt.syncs += steps if warps_per_block > 1 else 0
+            # Only the raw 8-bit sequences are fetched from global.
+            mem.access(j.ref_len + j.query_len, access_size=4,
+                       pattern=AccessPattern.PER_THREAD)
+            shared = self.shared_bytes_per_base * j.query_len
+            max_shared = max(max_shared, shared // max(warps_per_block, 1))
+        return assemble_launch(
+            warps,
+            mem,
+            device,
+            counters=cnt,
+            shared=SharedAllocation(max_shared),
+            n_launches=1,
+            fixed_overhead_s=40e-6,
+        )

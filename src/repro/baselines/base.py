@@ -1,0 +1,189 @@
+"""Common contract for every modeled extension kernel.
+
+A kernel takes a batch of :class:`ExtensionJob` pairs and a
+:class:`~repro.gpusim.device.DeviceProfile`, and produces a
+:class:`KernelRunResult` containing a modeled timing breakdown and —
+when ``compute_scores=True`` (exact mode) — the actual alignment
+results, bit-identical to reference Smith-Waterman (except the 2-bit
+kernels, which randomize ``N`` bases exactly like their real
+counterparts and therefore genuinely sacrifice quality).
+
+Per the paper's methodology (Sec. V-A) all kernels share GASAL2's
+on-GPU packing stage and support one-to-one mapping; each kernel also
+declares its paper-documented limitations (ADEPT's 1024 bp structural
+bound, NVBIO/SOAP3-dp device-memory bounds, ...), surfaced as a
+``skipped`` result instead of an exception so sweep harnesses can plot
+holes where the paper has them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..align.grid import JobGeometry, grid_sweep, job_geometry
+from ..align.matrix import AlignmentResult
+from ..align.scoring import ScoringScheme
+from ..gpusim.costs import DEFAULT_COSTS, CostModel
+from ..gpusim.device import DeviceProfile
+from ..gpusim.kernel import LaunchTiming
+from ..gpusim.memory import AccessPattern, MemoryModel
+from ..seqs.packing import PackingKernelModel
+
+__all__ = ["ExtensionJob", "KernelRunResult", "ExtensionKernel", "make_jobs"]
+
+
+@dataclass(frozen=True)
+class ExtensionJob:
+    """One seed-extension work item: a query vs a reference window."""
+
+    ref: np.ndarray
+    query: np.ndarray
+
+    @property
+    def ref_len(self) -> int:
+        return int(self.ref.size)
+
+    @property
+    def query_len(self) -> int:
+        return int(self.query.size)
+
+    @property
+    def cells(self) -> int:
+        return self.ref_len * self.query_len
+
+    def geometry(self) -> JobGeometry:
+        return job_geometry(self.ref_len, self.query_len)
+
+
+def make_jobs(pairs: list[tuple[np.ndarray, np.ndarray]]) -> list[ExtensionJob]:
+    """Wrap raw ``(query, ref)`` code pairs as jobs.
+
+    Note the argument order follows the workload generators (query
+    first); :class:`ExtensionJob` stores reference first.
+    """
+    return [
+        ExtensionJob(ref=np.asarray(r, dtype=np.uint8), query=np.asarray(q, dtype=np.uint8))
+        for q, r in pairs
+    ]
+
+
+@dataclass(frozen=True)
+class KernelRunResult:
+    """Outcome of running one kernel over one job batch."""
+
+    kernel: str
+    device: str
+    timing: LaunchTiming | None
+    results: list[AlignmentResult] | None
+    skipped: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.skipped is None
+
+    @property
+    def total_ms(self) -> float:
+        if self.timing is None:
+            raise ValueError(f"{self.kernel} was skipped: {self.skipped}")
+        return self.timing.total_ms
+
+
+class ExtensionKernel(ABC):
+    """Base class: shared packing stage, exact mode, and the run plumbing.
+
+    Subclasses implement :meth:`_model` (fill the memory model and
+    return warp jobs + overheads) and may override
+    :meth:`unsupported_reason` and :meth:`_exact_scores`.
+    """
+
+    #: Kernel display name (TABLE II row).
+    name: str = "abstract"
+    #: "inter" or "intra" query parallelism (TABLE II).
+    parallelism: str = "inter"
+    #: Sequence bit width consumed by the kernel (TABLE II).
+    bits: int = 4
+    #: Alignment mapping mode (all modified to one-to-one, Sec. V-A).
+    mapping: str = "one-to-one"
+
+    def __init__(
+        self,
+        scoring: ScoringScheme | None = None,
+        costs: CostModel = DEFAULT_COSTS,
+        packing: PackingKernelModel | None = None,
+    ):
+        self.scoring = scoring or ScoringScheme()
+        self.costs = costs
+        self.packing = packing or PackingKernelModel()
+
+    # ----- capability ------------------------------------------------
+
+    def unsupported_reason(self, jobs: list[ExtensionJob], device: DeviceProfile) -> str | None:
+        """Why this batch cannot run on *device* (None = it can)."""
+        need = self.device_bytes_required(jobs)
+        cap = device.device_mem_gb * 1e9
+        if need > cap:
+            return (
+                f"device memory exceeded: needs {need / 1e9:.1f} GB of "
+                f"intermediate storage, {device.device_mem_gb:.0f} GB available"
+            )
+        return None
+
+    def device_bytes_required(self, jobs: list[ExtensionJob]) -> int:
+        """Device-resident bytes the kernel allocates for the batch."""
+        return sum(j.ref_len + j.query_len for j in jobs)  # packed seqs etc.
+
+    # ----- execution --------------------------------------------------
+
+    def run(
+        self,
+        jobs: list[ExtensionJob],
+        device: DeviceProfile,
+        *,
+        compute_scores: bool = False,
+    ) -> KernelRunResult:
+        """Model (and optionally exactly execute) the batch."""
+        reason = self.unsupported_reason(jobs, device)
+        if reason is not None:
+            return KernelRunResult(
+                kernel=self.name, device=device.name, timing=None, results=None, skipped=reason
+            )
+        mem = MemoryModel(device)
+        self._packing_traffic(mem, jobs)
+        timing = self._model(jobs, device, mem)
+        results = self._exact_scores(jobs) if compute_scores else None
+        return KernelRunResult(
+            kernel=self.name, device=device.name, timing=timing, results=results
+        )
+
+    def _packing_traffic(self, mem: MemoryModel, jobs: list[ExtensionJob]) -> None:
+        """GASAL2-style on-GPU packing, shared by all kernels (Sec. V-A):
+        coalesced streaming read of raw bases + write of packed words."""
+        total = sum(j.ref_len + j.query_len for j in jobs)
+        mem.access(self.packing.global_read_bytes(total), access_size=4,
+                   pattern=AccessPattern.COALESCED)
+        mem.access(self.packing.global_write_bytes(total, max(self.bits, 2)), access_size=4,
+                   pattern=AccessPattern.COALESCED)
+
+    @abstractmethod
+    def _model(
+        self, jobs: list[ExtensionJob], device: DeviceProfile, mem: MemoryModel
+    ) -> LaunchTiming:
+        """Fill *mem* with traffic and assemble the launch timing."""
+
+    def _exact_scores(self, jobs: list[ExtensionJob]) -> list[AlignmentResult]:
+        """Functional execution (default: exact block-grid sweep)."""
+        return grid_sweep([(j.ref, j.query) for j in jobs], self.scoring)
+
+    # ----- reporting ---------------------------------------------------
+
+    def describe(self) -> dict[str, str | int]:
+        """TABLE II row for this kernel."""
+        return {
+            "kernel": self.name,
+            "parallelism": f"{self.parallelism}-query",
+            "bitwidth": self.bits,
+            "mapping": self.mapping,
+        }

@@ -1,0 +1,319 @@
+"""The inter-query kernel family: GASAL2, NVBIO, CUSHAW2-GPU, SOAP3-dp.
+
+All four map one CUDA thread to one query-reference pair (TABLE II)
+and advance through the DP table in 8x8 blocks, storing each block
+row's bottom cells to global memory and reading them back one block
+row later (Sec. II-B).  They differ in the knobs
+:class:`InterQueryParams` captures:
+
+* per-cell instruction efficiency (template generality, branchy code);
+* the intermediate cell record size and access width — GASAL2 packs
+  H/F into 2-byte records fetched 4 bytes at a time, which is where
+  TABLE I's ``32N + 4N^2`` accessed-bytes formula comes from; CUSHAW2
+  compacts storage *and* routes reads through the texture cache
+  (wider effective access, less amplification), the optimization its
+  paper credits;
+* buffer initialization and other fixed per-call overheads — GASAL2's
+  large pre-sized intermediate buffers are its documented small-batch
+  penalty (Sec. V-C, the 64 bp anomaly of Fig. 7);
+* device-memory appetite, which is what knocks NVBIO and SOAP3-dp out
+  of the long-read experiments (Fig. 6/8).
+
+Because one thread owns one pair, a warp's runtime is the *maximum*
+of its 32 threads' serial work — the load-imbalance mechanism of
+Sec. III-A, which the model reproduces by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..align.matrix import AlignmentResult
+from ..gpusim.counters import Counters
+from ..gpusim.device import WARP_SIZE, DeviceProfile
+from ..gpusim.kernel import LaunchTiming, assemble_launch
+from ..gpusim.memory import AccessPattern, MemoryModel
+from ..gpusim.scheduler import WarpJob
+from ..gpusim.sharedmem import SharedAllocation
+from .base import ExtensionJob, ExtensionKernel
+
+__all__ = [
+    "InterQueryParams",
+    "InterQueryKernel",
+    "Gasal2Kernel",
+    "NvbioKernel",
+    "Cushaw2Kernel",
+    "Soap3dpKernel",
+]
+
+
+@dataclass(frozen=True)
+class InterQueryParams:
+    """Knobs distinguishing the inter-query kernels.
+
+    Attributes
+    ----------
+    ops_scale:
+        Per-cell instruction multiplier relative to the shared
+        :class:`~repro.gpusim.costs.CostModel` budget.
+    cell_record_bytes:
+        Bytes stored per boundary cell and direction.
+    intermediate_access_size:
+        Bytes per isolated intermediate-buffer access.
+    seq_access_size:
+        Bytes per isolated packed-sequence fetch during extension.
+    fixed_overhead_s:
+        Serial per-call host overhead (allocs, stream setup).
+    init_record_bytes:
+        Bytes memset per base of pre-sized intermediate buffer
+        (0 = no bulk initialization).
+    init_fixed_len:
+        Buffer length per job the initialization assumes: GASAL2
+        pre-sizes its buffers for the library's configured maximum
+        sequence length rather than the batch maximum, which is why
+        its per-call setup cost fails to amortize at 64 bp
+        (Sec. V-C); 0 = use the batch's longest query.
+    mem_per_base:
+        Device bytes reserved per base of the longest job, per job —
+        the capacity model behind "fails to run: bounded device
+        memory".
+    max_job_len:
+        Structural per-pair length cap (0 = none).
+    """
+
+    ops_scale: float = 1.0
+    cell_record_bytes: int = 2
+    intermediate_access_size: int = 4
+    seq_access_size: int = 2
+    fixed_overhead_s: float = 0.0
+    init_record_bytes: int = 0
+    init_fixed_len: int = 0
+    mem_per_base: int = 16
+    max_job_len: int = 0
+
+
+class InterQueryKernel(ExtensionKernel):
+    """Shared modeling logic of the thread-per-pair kernels."""
+
+    parallelism = "inter"
+    params: InterQueryParams = InterQueryParams()
+
+    # ----- capability --------------------------------------------------
+
+    def device_bytes_required(self, jobs: list[ExtensionJob]) -> int:
+        if not jobs:
+            return 0
+        max_len = max(max(j.ref_len, j.query_len) for j in jobs)
+        return len(jobs) * max_len * self.params.mem_per_base
+
+    def unsupported_reason(self, jobs: list[ExtensionJob], device: DeviceProfile) -> str | None:
+        cap = self.params.max_job_len
+        if cap and jobs:
+            worst = max(max(j.ref_len, j.query_len) for j in jobs)
+            if worst > cap:
+                return f"structural length limit: job of {worst} bp exceeds {cap} bp"
+        return super().unsupported_reason(jobs, device)
+
+    # ----- timing model -------------------------------------------------
+
+    def _thread_cycles(self, job: ExtensionJob) -> float:
+        g = job.geometry()
+        per_block = (
+            self.costs.block_compute_ops * self.params.ops_scale
+            + 2 * self.costs.global_access_ops  # store bottom / load top
+        )
+        return g.blocks * per_block
+
+    def _model(
+        self, jobs: list[ExtensionJob], device: DeviceProfile, mem: MemoryModel
+    ) -> LaunchTiming:
+        cnt = Counters()
+        warps: list[WarpJob] = []
+        # One thread per pair, 32 pairs per warp, in submission order.
+        for w0 in range(0, len(jobs), WARP_SIZE):
+            group = jobs[w0 : w0 + WARP_SIZE]
+            cycles = [self._thread_cycles(j) for j in group]
+            blocks = [j.geometry().blocks for j in group]
+            warps.append(WarpJob(cycles=max(cycles), tag=f"warp{w0 // WARP_SIZE}"))
+            steps = max(blocks)
+            cnt.steps += steps
+            cnt.busy_thread_steps += sum(blocks)
+            cnt.idle_thread_steps += steps * WARP_SIZE - sum(blocks)
+        for j in jobs:
+            g = j.geometry()
+            cnt.cells += j.cells
+            cnt.blocks += g.blocks
+            # Packed-sequence fetches during extension (TABLE I's 32N
+            # term): isolated narrow reads per thread.
+            mem.access(
+                j.ref_len + j.query_len,
+                access_size=self.params.seq_access_size,
+                pattern=AccessPattern.PER_CELL,
+            )
+            # Intermediate block-row boundary cells: written once,
+            # read back once (TABLE I's 4N^2 term).
+            inter = self.params.cell_record_bytes * j.query_len * max(g.r - 1, 0)
+            for _direction in range(2):
+                mem.access(
+                    inter,
+                    access_size=self.params.intermediate_access_size,
+                    pattern=AccessPattern.PER_CELL,
+                )
+        init_bytes = 0
+        if self.params.init_record_bytes and jobs:
+            per_job = self.params.init_fixed_len or max(j.query_len for j in jobs)
+            init_bytes = len(jobs) * per_job * self.params.init_record_bytes
+        return assemble_launch(
+            warps,
+            mem,
+            device,
+            counters=cnt,
+            shared=SharedAllocation(0),
+            n_launches=1,
+            init_bytes=init_bytes,
+            fixed_overhead_s=self.params.fixed_overhead_s,
+        )
+
+
+class Gasal2Kernel(InterQueryKernel):
+    """GASAL2 [9]: the state-of-the-art inter-query baseline.
+
+    Efficient 4-bit kernel; its weaknesses are exactly the paper's
+    diagnosis — per-cell intermediate traffic (Sec. III-B) and large
+    pre-sized buffer initialization (Sec. V-C).
+    """
+
+    name = "GASAL2"
+    bits = 4
+    params = InterQueryParams(
+        ops_scale=1.0,
+        cell_record_bytes=2,
+        intermediate_access_size=4,
+        seq_access_size=2,
+        fixed_overhead_s=180e-6,
+        init_record_bytes=2,
+        init_fixed_len=4096,
+        mem_per_base=16,
+    )
+
+
+class NvbioKernel(InterQueryKernel):
+    """NVBIO [3]: NVIDIA's reusable-component library.
+
+    Light per-call overhead (wins at 64 bp) but generic template code
+    and fat 4-byte intermediate records; its batch scheduler reserves
+    large per-alignment device buffers, so long-read batches exceed
+    device memory (Fig. 6/8 holes).
+    """
+
+    name = "NVBIO"
+    bits = 4  # supports 2/4/8; evaluated at 4 (TABLE II)
+    params = InterQueryParams(
+        ops_scale=1.15,
+        cell_record_bytes=4,
+        intermediate_access_size=4,
+        seq_access_size=2,
+        fixed_overhead_s=25e-6,
+        init_record_bytes=0,
+    )
+
+    #: NVBIO's batch scheduler stages whole batches on-device and adds
+    #: per-alignment working buffers scaled by the longest pair; both
+    #: terms together reproduce where Fig. 6/8 show NVBIO missing.
+    bytes_per_total_base = 400
+    bytes_per_max_base = 300
+
+    def device_bytes_required(self, jobs: list[ExtensionJob]) -> int:
+        if not jobs:
+            return 0
+        total = sum(j.ref_len + j.query_len for j in jobs)
+        max_len = max(max(j.ref_len, j.query_len) for j in jobs)
+        return (
+            self.bytes_per_total_base * total
+            + self.bytes_per_max_base * len(jobs) * max_len
+        )
+
+
+class Cushaw2Kernel(InterQueryKernel):
+    """CUSHAW2-GPU [45]: compact storage + texture-path reads.
+
+    2-bit packing (N bases randomized — a real quality sacrifice the
+    exact mode reproduces), half-size intermediate records and wider
+    effective accesses through the texture cache; pays a modest
+    instruction overhead for the 2-bit unpack + texture addressing.
+    """
+
+    name = "CUSHAW2-GPU"
+    bits = 2
+    mapping = "one-to-many (modified to one-to-one)"
+    params = InterQueryParams(
+        ops_scale=1.35,
+        cell_record_bytes=2,
+        intermediate_access_size=16,
+        seq_access_size=4,
+        fixed_overhead_s=240e-6,
+        init_record_bytes=0,
+        mem_per_base=16,
+    )
+
+    def _exact_scores(self, jobs: list[ExtensionJob]) -> list[AlignmentResult]:
+        return _scores_with_randomized_n(self, jobs)
+
+
+class Soap3dpKernel(InterQueryKernel):
+    """SOAP3-dp [50]: the earliest inter-query design modeled.
+
+    Branch-heavy first-generation kernel with fat records and a
+    device-memory appetite that cannot host long-read batches (it is
+    the first baseline to drop out in Fig. 8a on the 4 GB card).
+    """
+
+    name = "SOAP3-dp"
+    bits = 2
+    params = InterQueryParams(
+        ops_scale=1.3,
+        cell_record_bytes=4,
+        intermediate_access_size=4,
+        seq_access_size=2,
+        fixed_overhead_s=280e-6,
+        init_record_bytes=0,
+    )
+
+    #: SOAP3-dp keeps a byte-per-cell traceback table sized for the
+    #: longest pair in the batch, so the length it can process shrinks
+    #: with batch size and device memory — "some of the inputs
+    #: exceeded the length it could process" (Sec. V-D).
+    bytes_per_cell = 2.0
+
+    def device_bytes_required(self, jobs: list[ExtensionJob]) -> int:
+        if not jobs:
+            return 0
+        max_len = max(max(j.ref_len, j.query_len) for j in jobs)
+        return int(self.bytes_per_cell * len(jobs) * max_len * max_len)
+
+    def _exact_scores(self, jobs: list[ExtensionJob]) -> list[AlignmentResult]:
+        return _scores_with_randomized_n(self, jobs)
+
+
+def _scores_with_randomized_n(
+    kernel: ExtensionKernel, jobs: list[ExtensionJob]
+) -> list[AlignmentResult]:
+    """Exact mode for 2-bit kernels: N bases become random ACGT first.
+
+    This mirrors CUSHAW2-GPU's documented behaviour (Sec. VI-B) and is
+    the one place kernels legitimately diverge from reference scores.
+    """
+    from ..align.grid import grid_sweep
+
+    rng = np.random.default_rng(0xC2)
+    pairs = []
+    for j in jobs:
+        ref, query = j.ref.copy(), j.query.copy()
+        for arr in (ref, query):
+            mask = arr == 4
+            if mask.any():
+                arr[mask] = rng.integers(0, 4, int(mask.sum()), dtype=np.uint8)
+        pairs.append((ref, query))
+    return grid_sweep(pairs, kernel.scoring)

@@ -1,0 +1,104 @@
+"""SW# [35]: whole-table intra-query alignment, one launch per partition.
+
+SW# targets genome-scale single alignments: it slices the DP table
+into anti-diagonal partitions of tiles and launches a separate GPU
+kernel for every partition, synchronizing through global memory
+between launches.  For seed-extension-sized inputs this is ruinous —
+each launch exposes only a handful of tiles of parallelism and pays
+full host launch latency, which is why Fig. 6 shows SW# one to two
+orders of magnitude behind everything else.  The model therefore
+accounts SW# with *serial* launch composition instead of the shared
+bag-of-warps scheduler: within a launch, tiles run in parallel;
+between launches, nothing does.
+"""
+
+from __future__ import annotations
+
+from ..gpusim.counters import Counters
+from ..gpusim.device import WARP_SIZE, DeviceProfile
+from ..gpusim.kernel import LaunchTiming
+from ..gpusim.memory import AccessPattern, MemoryModel
+from ..gpusim.scheduler import ScheduleResult
+from .base import ExtensionJob, ExtensionKernel
+
+__all__ = ["SwSharpKernel"]
+
+
+class SwSharpKernel(ExtensionKernel):
+    """SW#'s partition-per-launch execution model."""
+
+    name = "SW#"
+    parallelism = "intra"
+    bits = 8  # left at its original 8-bit packing (Sec. V-A)
+    #: Square tile edge (cells) each threadblock computes per launch.
+    tile = 64
+    #: Warps cooperating on one tile.
+    warps_per_tile = 2
+
+    def _packing_traffic(self, mem: MemoryModel, jobs: list[ExtensionJob]) -> None:
+        # SW# keeps 8-bit codes: packing is a straight copy-through
+        # (read raw, write raw) rather than a 4-bit compaction.
+        total = sum(j.ref_len + j.query_len for j in jobs)
+        mem.access(total, access_size=4, pattern=AccessPattern.COALESCED)
+        mem.access(total, access_size=4, pattern=AccessPattern.COALESCED)
+
+    def _model(
+        self, jobs: list[ExtensionJob], device: DeviceProfile, mem: MemoryModel
+    ) -> LaunchTiming:
+        cnt = Counters()
+        compute_s = 0.0
+        launches = 0
+        t = self.tile
+        issue = device.int_issue_rate
+        # Tile compute: anti-diagonal sweep inside the tile at cell
+        # granularity (8-bit codes; no block packing), ~50% utilization.
+        tile_steps = 2 * t - 1
+        tile_cycles = tile_steps * self.costs.ops_per_cell * (t / WARP_SIZE)
+        for j in jobs:
+            rt = -(-j.ref_len // t)
+            qt = -(-j.query_len // t)
+            if rt == 0 or qt == 0:
+                continue
+            thread_steps = 0
+            for d in range(rt + qt - 1):
+                tiles_d = min(d + 1, rt, qt, rt + qt - 1 - d)
+                launches += 1
+                # Tiles of one partition spread over the device; each
+                # needs `warps_per_tile` warps, and a launch cannot run
+                # faster than one tile's serial sweep.
+                warps_available = device.sm_count * issue
+                parallel = min(tiles_d * self.warps_per_tile, warps_available)
+                total_cycles = tiles_d * self.warps_per_tile * tile_cycles
+                launch_cycles = max(total_cycles / max(parallel, 1), tile_cycles)
+                compute_s += device.cycles_to_seconds(launch_cycles)
+                # Partition boundaries round-trip through global memory.
+                boundary = tiles_d * t * 2 * 4  # cells on both edges, 4 B
+                mem.access(boundary, access_size=32, pattern=AccessPattern.PER_THREAD)
+                mem.access(boundary, access_size=32, pattern=AccessPattern.PER_THREAD)
+                thread_steps += tiles_d * tile_steps * t
+            cnt.cells += j.cells
+            cnt.steps += (rt + qt - 1) * tile_steps
+            cnt.busy_thread_steps += j.cells
+            cnt.idle_thread_steps += max(thread_steps - j.cells, 0)
+            mem.access(j.ref_len + j.query_len, access_size=4,
+                       pattern=AccessPattern.PER_THREAD)
+        cnt.merge(mem.counters)
+        cnt.kernel_launches += launches
+        memory_s = mem.memory_time_s()
+        overhead_s = launches * device.kernel_launch_us * 1e-6 + 60e-6
+        # Launch-serialized composition: compute cannot hide behind
+        # memory across launch boundaries.
+        total = compute_s + memory_s + overhead_s
+        return LaunchTiming(
+            total_s=total,
+            compute_s=compute_s,
+            memory_s=memory_s,
+            overhead_s=overhead_s,
+            schedule=ScheduleResult(
+                compute_time_s=compute_s,
+                critical_path_s=compute_s,
+                sm_utilization=0.0 if launches else 1.0,
+                total_cycles=0.0,
+            ),
+            counters=cnt,
+        )

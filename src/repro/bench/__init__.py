@@ -1,0 +1,31 @@
+"""Benchmark harness: regenerates every table and figure of the paper."""
+
+from .experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    fig2,
+    fig6,
+    fig7,
+    fig8,
+    run_experiment,
+    table1,
+    table2,
+)
+from .formatting import render_series, render_table
+from .workloads import (
+    DATASET_A_BATCH,
+    DATASET_B_BATCH,
+    PAPER_BATCH,
+    PAPER_LENGTHS,
+    dataset_a_jobs,
+    dataset_b_jobs,
+    equal_length_jobs,
+)
+
+__all__ = [
+    "ExperimentResult", "EXPERIMENTS", "run_experiment",
+    "table1", "table2", "fig2", "fig6", "fig7", "fig8",
+    "render_table", "render_series",
+    "PAPER_LENGTHS", "PAPER_BATCH", "DATASET_A_BATCH", "DATASET_B_BATCH",
+    "equal_length_jobs", "dataset_a_jobs", "dataset_b_jobs",
+]

@@ -1,0 +1,359 @@
+"""Experiment registry: one entry per table / figure in the paper.
+
+Every public function regenerates one evaluation artifact and returns
+an :class:`ExperimentResult` whose ``data`` holds the raw series and
+whose ``text`` renders the paper-style rows.  The benchmark files
+under ``benchmarks/`` are thin wrappers around these.
+
+Index (mirrors DESIGN.md):
+
+========  ==========================================================
+table1    TABLE I  — data stored/accessed by the existing aligner
+table2    TABLE II — baseline kernel taxonomy
+fig2      Fig. 2   — extension-input length distributions (datasets)
+fig6      Fig. 6   — kernel time vs length, both devices
+fig7      Fig. 7   — ablation speedups vs GASAL2, both devices
+fig8      Fig. 8   — real-world datasets + subwarp sweep
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..baselines import all_baselines
+from ..baselines.base import ExtensionJob
+from ..baselines.interquery import Gasal2Kernel
+from ..core.ablation import ablation_variants
+from ..core.config import SUBWARP_SIZES, SalobaConfig
+from ..core.kernel import SalobaKernel
+from ..datasets.synthesize import dataset_a_batch, dataset_b_batch
+from ..gpusim.device import GTX1650, PRE_PASCAL, RTX3090, DeviceProfile
+from .formatting import render_series, render_table
+from .workloads import (
+    DATASET_A_BATCH,
+    DATASET_B_BATCH,
+    PAPER_BATCH,
+    PAPER_LENGTHS,
+    dataset_a_jobs,
+    dataset_b_jobs,
+    equal_length_jobs,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "table1",
+    "table2",
+    "fig2",
+    "fig6",
+    "fig7",
+    "fig8",
+    "EXPERIMENTS",
+    "run_experiment",
+]
+
+#: Devices of the paper's two platforms (Sec. V-A).
+PAPER_DEVICES = (GTX1650, RTX3090)
+
+#: SALoBa configuration used in the headline comparisons.
+DEFAULT_SUBWARP = 8
+
+
+@dataclass
+class ExperimentResult:
+    """Raw data plus rendered text for one experiment."""
+
+    name: str
+    data: dict
+    text: str = ""
+    notes: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return self.text
+
+    def to_json(self, **dumps_kwargs) -> str:
+        """Machine-readable dump (tuple keys flattened to 'a|b')."""
+        import json
+
+        return json.dumps(
+            {"name": self.name, "notes": self.notes, "data": _jsonable(self.data)},
+            **{"indent": 2, **dumps_kwargs},
+        )
+
+
+def _jsonable(obj):
+    """Recursively convert experiment data into JSON-safe values."""
+    if isinstance(obj, dict):
+        return {
+            "|".join(map(str, k)) if isinstance(k, tuple) else str(k): _jsonable(v)
+            for k, v in obj.items()
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    return obj
+
+
+# ---------------------------------------------------------------- table 1
+
+
+def _paper_table1(n: int) -> dict[str, float]:
+    """TABLE I's formulas exactly as printed."""
+    return {
+        "necessary": 2 * n,
+        "stored": 2 * n + n * n / 4,
+        "accessed_pre_pascal": 128 * n + 16 * n * n,
+        "accessed_volta": 32 * n + 4 * n * n,
+    }
+
+
+def table1(lengths: tuple[int, ...] = (64, 256, 1024, 4096)) -> ExperimentResult:
+    """TABLE I: paper formulas vs simulator-counted GASAL2 traffic.
+
+    The simulator runs one N x N pair through the GASAL2 kernel on a
+    Volta-class (32 B) and a pre-Pascal (128 B) profile and reports the
+    counted useful/transferred bytes next to the paper's closed forms.
+    """
+    rng = np.random.default_rng(0)
+    rows = []
+    data: dict[int, dict] = {}
+    for n in lengths:
+        job = ExtensionJob(
+            ref=rng.integers(0, 4, n).astype(np.uint8),
+            query=rng.integers(0, 4, n).astype(np.uint8),
+        )
+        paper = _paper_table1(n)
+        counted = {}
+        for dev, key in ((GTX1650, "volta"), (PRE_PASCAL, "pre_pascal")):
+            run = Gasal2Kernel().run([job], dev)
+            assert run.timing is not None
+            c = run.timing.counters
+            counted[key] = {
+                "useful": c.global_useful_bytes,
+                "transferred": c.global_transferred_bytes,
+            }
+        data[n] = {"paper": paper, "counted": counted}
+        rows.append(
+            [
+                n,
+                int(paper["necessary"]),
+                int(paper["stored"]),
+                int(paper["accessed_volta"]),
+                counted["volta"]["transferred"],
+                int(paper["accessed_pre_pascal"]),
+                counted["pre_pascal"]["transferred"],
+            ]
+        )
+    text = render_table(
+        ["N", "necessary", "stored(paper)", "accessed Volta (paper)",
+         "accessed Volta (counted)", "accessed pre-Pascal (paper)",
+         "accessed pre-Pascal (counted)"],
+        rows,
+        title="TABLE I — existing-aligner data volume: paper formulas vs simulator counts",
+    )
+    return ExperimentResult(name="table1", data=data, text=text)
+
+
+# ---------------------------------------------------------------- table 2
+
+
+def table2() -> ExperimentResult:
+    """TABLE II: the kernels under comparison and their attributes."""
+    kernels = all_baselines() + [SalobaKernel(config=SalobaConfig(subwarp_size=DEFAULT_SUBWARP))]
+    rows = [list(k.describe().values()) for k in kernels]
+    text = render_table(
+        ["kernel", "parallelism", "bitwidth", "mapping"],
+        rows,
+        title="TABLE II — kernels under comparison",
+    )
+    return ExperimentResult(name="table2", data={"kernels": [k.describe() for k in kernels]},
+                            text=text)
+
+
+# ---------------------------------------------------------------- fig 2
+
+
+def fig2() -> ExperimentResult:
+    """Fig. 2: length distributions of the extension inputs.
+
+    Histograms of query and reference lengths for the dataset A and B
+    batches, as produced by the BWA-MEM-style seeding pipeline.
+    """
+    out = {}
+    lines = ["Fig. 2 — extension-input length distributions"]
+    for name, batch in (("dataset A", dataset_a_batch()), ("dataset B", dataset_b_batch())):
+        q, r = batch.query_lengths(), batch.ref_lengths()
+        stats = {
+            "n_jobs": len(batch.jobs),
+            "query": _dist_stats(q),
+            "ref": _dist_stats(r),
+            "query_hist": np.histogram(q, bins=20)[0].tolist(),
+            "ref_hist": np.histogram(r, bins=20)[0].tolist(),
+        }
+        out[name] = stats
+        for which, s in (("query", stats["query"]), ("ref", stats["ref"])):
+            lines.append(
+                f"  {name} {which:>5}: min={s['min']} p50={s['p50']} p90={s['p90']} "
+                f"max={s['max']}  spread(max/min+1)={s['spread']:.0f}x"
+            )
+    return ExperimentResult(name="fig2", data=out, text="\n".join(lines))
+
+
+def _dist_stats(x: np.ndarray) -> dict:
+    return {
+        "min": int(x.min()),
+        "p50": int(np.percentile(x, 50)),
+        "p90": int(np.percentile(x, 90)),
+        "max": int(x.max()),
+        "spread": float(x.max() / max(x.min(), 1)),
+    }
+
+
+# ---------------------------------------------------------------- fig 6
+
+
+def fig6(
+    device: DeviceProfile,
+    *,
+    lengths: tuple[int, ...] = PAPER_LENGTHS,
+    n_pairs: int = PAPER_BATCH,
+    subwarp: int = DEFAULT_SUBWARP,
+) -> ExperimentResult:
+    """Fig. 6: modeled kernel time vs read length on one device."""
+    kernels = all_baselines() + [SalobaKernel(config=SalobaConfig(subwarp_size=subwarp))]
+    series: dict[str, list[float | None]] = {k.name: [] for k in kernels}
+    skips: dict[str, list[str]] = {}
+    for length in lengths:
+        jobs = list(equal_length_jobs(length, n_pairs))
+        for k in kernels:
+            res = k.run(jobs, device)
+            series[k.name].append(res.total_ms if res.ok else None)
+            if not res.ok:
+                skips.setdefault(k.name, []).append(f"L={length}: {res.skipped}")
+    lines = [f"Fig. 6 — kernel time vs length on {device.name} ({n_pairs} pairs/call)"]
+    lines += [render_series(name, list(lengths), ys) for name, ys in series.items()]
+    saloba = series[f"SALoBa(s={subwarp})" if subwarp != 32 else "SALoBa"]
+    gasal = series["GASAL2"]
+    speedups = [
+        (g / s if (g is not None and s) else None) for g, s in zip(gasal, saloba)
+    ]
+    lines.append(render_series("speedup vs GASAL2", list(lengths),
+                               speedups, unit="x"))
+    return ExperimentResult(
+        name="fig6",
+        data={"device": device.name, "lengths": list(lengths), "series": series,
+              "speedup_vs_gasal2": speedups, "skips": skips},
+        text="\n".join(lines),
+    )
+
+
+# ---------------------------------------------------------------- fig 7
+
+
+def fig7(
+    device: DeviceProfile,
+    *,
+    lengths: tuple[int, ...] = PAPER_LENGTHS,
+    n_pairs: int = PAPER_BATCH,
+    subwarp: int = DEFAULT_SUBWARP,
+) -> ExperimentResult:
+    """Fig. 7: cumulative-technique speedups normalized to GASAL2."""
+    variants = ablation_variants(subwarp)
+    series: dict[str, list[float]] = {name: [] for name in variants}
+    for length in lengths:
+        jobs = list(equal_length_jobs(length, n_pairs))
+        base = Gasal2Kernel().run(jobs, device).total_ms
+        for name, cfg in variants.items():
+            t = SalobaKernel(config=cfg).run(jobs, device).total_ms
+            series[name].append(base / t)
+    lines = [f"Fig. 7 — ablation speedup vs GASAL2 on {device.name}"]
+    lines += [render_series(name, list(lengths), ys, unit="x") for name, ys in series.items()]
+    # The paper's headline: geomean gain of subwarp scheduling at
+    # shorter lengths (<= 1024).
+    short = [length <= 1024 for length in lengths]
+    gain = [
+        f / l
+        for f, l, s in zip(series["+subwarp"], series["+lazy-spill"], short)
+        if s
+    ]
+    geomean = float(np.exp(np.mean(np.log(gain)))) if gain else float("nan")
+    lines.append(f"subwarp benefit, geomean over lengths<=1024: {geomean:.2f}x")
+    return ExperimentResult(
+        name="fig7",
+        data={"device": device.name, "lengths": list(lengths), "series": series,
+              "subwarp_geomean_short": geomean},
+        text="\n".join(lines),
+    )
+
+
+# ---------------------------------------------------------------- fig 8
+
+
+def fig8(
+    *,
+    n_jobs_a: int = DATASET_A_BATCH,
+    n_jobs_b: int = DATASET_B_BATCH,
+) -> ExperimentResult:
+    """Fig. 8: real-world-style datasets and the subwarp sweep."""
+    datasets = {
+        "dataset A": list(dataset_a_jobs(n_jobs_a)),
+        "dataset B": list(dataset_b_jobs(n_jobs_b)),
+    }
+    data: dict = {"speedup": {}, "subwarp_sweep": {}, "skips": {}}
+    lines = ["Fig. 8 — real-world data (speedup normalized to GASAL2)"]
+    for ds_name, jobs in datasets.items():
+        for device in PAPER_DEVICES:
+            base = Gasal2Kernel().run(jobs, device)
+            assert base.ok
+            row = {}
+            for k in all_baselines():
+                res = k.run(jobs, device)
+                row[k.name] = (base.total_ms / res.total_ms) if res.ok else None
+                if not res.ok:
+                    data["skips"].setdefault((ds_name, device.name), []).append(
+                        f"{k.name}: {res.skipped}"
+                    )
+            sweep = {}
+            for s in SUBWARP_SIZES:
+                t = SalobaKernel(config=SalobaConfig(subwarp_size=s)).run(jobs, device)
+                sweep[s] = t.total_ms
+                row[f"SALoBa(s={s})"] = base.total_ms / t.total_ms
+            data["speedup"][(ds_name, device.name)] = row
+            data["subwarp_sweep"][(ds_name, device.name)] = sweep
+            best_s = min(sweep, key=sweep.get)
+            data.setdefault("best_subwarp", {})[(ds_name, device.name)] = best_s
+            lines.append(f"  {ds_name} on {device.name} (best subwarp: {best_s}):")
+            for name, sp in row.items():
+                lines.append(
+                    f"    {name:>14}: " + ("skip" if sp is None else f"{sp:.2f}x")
+                )
+    return ExperimentResult(name="fig8", data=data, text="\n".join(lines))
+
+
+# ---------------------------------------------------------------- registry
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1,
+    "table2": table2,
+    "fig2": fig2,
+    "fig6_gtx1650": lambda **kw: fig6(GTX1650, **kw),
+    "fig6_rtx3090": lambda **kw: fig6(RTX3090, **kw),
+    "fig7_gtx1650": lambda **kw: fig7(GTX1650, **kw),
+    "fig7_rtx3090": lambda **kw: fig7(RTX3090, **kw),
+    "fig8": fig8,
+}
+
+
+def run_experiment(name: str, **kwargs) -> ExperimentResult:
+    """Run one registered experiment by id."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; have {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[name](**kwargs)

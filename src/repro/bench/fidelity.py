@@ -1,0 +1,124 @@
+"""Quality studies: banded-score fidelity and X-drop work savings.
+
+Discussion VII-B worries that banded algorithms must still yield
+"solutions of sufficient quality"; this module quantifies that, and
+measures how much DP work X-drop termination saves on realistic
+extension jobs — the two quality/efficiency trade-offs a production
+deployment of SALoBa would tune.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..align.banded import band_for_error_rate, banded_sw_align
+from ..align.smith_waterman import sw_score
+from ..align.xdrop import xdrop_extend
+from ..seqs.genome import GenomeConfig, synthetic_genome
+from ..seqs.simulate import ErrorProfile, simulate_equal_length_pairs
+
+__all__ = ["FidelityPoint", "banded_fidelity", "xdrop_savings"]
+
+
+@dataclass(frozen=True)
+class FidelityPoint:
+    """Banded-vs-full comparison at one error rate."""
+
+    error_rate: float
+    band: int
+    exact_fraction: float
+    mean_score_ratio: float
+    n_jobs: int
+
+
+def _error_profile(rate: float) -> ErrorProfile:
+    """An indel-heavy profile with total per-base error ~= rate."""
+    return ErrorProfile(
+        substitution_rate=rate * 0.3,
+        insertion_rate=rate * 0.4,
+        deletion_rate=rate * 0.3,
+        indel_extend_prob=0.3,
+    )
+
+
+def banded_fidelity(
+    *,
+    error_rates: tuple[float, ...] = (0.01, 0.05, 0.12),
+    n_jobs: int = 30,
+    length: int = 384,
+    seed: int = 0,
+) -> list[FidelityPoint]:
+    """Fraction of jobs whose banded score equals the full score when
+    the band is sized by :func:`band_for_error_rate`."""
+    genome = synthetic_genome(GenomeConfig(length=120_000), seed=seed)
+    points = []
+    for rate in error_rates:
+        # ref_margin=0: extension jobs are anchored at the seed end,
+        # so query and window start on the same diagonal.
+        pairs = simulate_equal_length_pairs(
+            n_jobs, length, reference=genome, profile=_error_profile(rate),
+            ref_margin=0.0, seed=seed + 1,
+        )
+        band = band_for_error_rate(length, rate)
+        exact = 0
+        ratios = []
+        for q, r in pairs:
+            full = sw_score(r, q)
+            banded = banded_sw_align(r, q, band).score
+            exact += banded == full
+            ratios.append(banded / full if full else 1.0)
+        points.append(
+            FidelityPoint(
+                error_rate=rate,
+                band=band,
+                exact_fraction=exact / n_jobs,
+                mean_score_ratio=float(np.mean(ratios)),
+                n_jobs=n_jobs,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class XDropPoint:
+    """X-drop work/quality at one threshold."""
+
+    x: int
+    mean_cells_fraction: float
+    exact_fraction: float
+    n_jobs: int
+
+
+def xdrop_savings(
+    *,
+    thresholds: tuple[int, ...] = (20, 50, 100),
+    n_jobs: int = 25,
+    length: int = 384,
+    seed: int = 3,
+) -> list[XDropPoint]:
+    """DP cells computed (vs exhaustive) and score fidelity per X."""
+    genome = synthetic_genome(GenomeConfig(length=120_000), seed=seed)
+    pairs = simulate_equal_length_pairs(
+        n_jobs, length, reference=genome, profile=_error_profile(0.05),
+        ref_margin=0.0, seed=seed + 1,
+    )
+    exhaustive = [xdrop_extend(r, q, 10**9) for q, r in pairs]
+    points = []
+    for x in thresholds:
+        fracs = []
+        exact = 0
+        for (q, r), ref in zip(pairs, exhaustive):
+            res = xdrop_extend(r, q, x)
+            fracs.append(res.cells_computed / max(ref.cells_computed, 1))
+            exact += res.score == ref.score
+        points.append(
+            XDropPoint(
+                x=x,
+                mean_cells_fraction=float(np.mean(fracs)),
+                exact_fraction=exact / n_jobs,
+                n_jobs=n_jobs,
+            )
+        )
+    return points

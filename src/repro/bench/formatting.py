@@ -1,0 +1,44 @@
+"""Plain-text rendering of experiment results (paper-style rows).
+
+Every experiment renders to an ASCII table so `pytest benchmarks/`
+output and EXPERIMENTS.md can show the regenerated figures as the
+series the paper plots.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(headers: list[str], rows: list[list], *, title: str = "") -> str:
+    """Fixed-width ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: list, ys: list[float | None], *, unit: str = "ms") -> str:
+    """One figure series as `name: x=y` pairs (None = did not run)."""
+    parts = []
+    for x, y in zip(xs, ys):
+        parts.append(f"{x}={'skip' if y is None else f'{y:.3g}{unit}'}")
+    return f"{name}: " + "  ".join(parts)
+
+
+def _fmt(v) -> str:
+    if v is None:
+        return "skip"
+    if isinstance(v, float):
+        return f"{v:.3f}"
+    return str(v)

@@ -1,0 +1,60 @@
+"""The paper's reported numbers, for side-by-side comparison.
+
+Everything the text of the paper states quantitatively about its
+evaluation, collected in one place so benches and EXPERIMENTS.md can
+print *paper vs measured* rows.  Absolute milliseconds are only given
+for 64 bp (Sec. V-B); everything else is relative.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PAPER"]
+
+PAPER: dict = {
+    # Sec. V-B: absolute times at 64 bp (ms), 5000 pairs/call.
+    "fig6_64bp_ms": {
+        "GTX1650": {"NVBIO": 0.42, "SALoBa": 0.51},
+        "RTX3090": {"NVBIO": 0.21, "SALoBa": 0.24},
+    },
+    # Sec. V-B: break-even length where SALoBa overtakes everything.
+    "fig6_break_even_bp": 128,
+    # Sec. V-B: speedups vs GASAL2.
+    "fig6_speedup_vs_gasal2": {
+        "GTX1650": {512: 1.277, "long": 1.30},  # 27.7% at 512; ~30% >=1024
+        "RTX3090": {512: 1.436, "long": 1.50},  # 43.6% at 512; ~50% >=1024
+    },
+    # Sec. V-B: speedups vs CUSHAW2-GPU at long lengths.
+    "fig6_speedup_vs_cushaw2_long": {"GTX1650": 1.40, "RTX3090": 1.20},
+    # Sec. V-D: Fig. 8 real-world results.
+    "fig8_dataset_a_speedup": {"GTX1650": 1.325, "RTX3090": 1.202},
+    "fig8_dataset_b_speedup": {"GTX1650": 2.1, "RTX3090": 2.1},
+    "fig8_best_subwarp": {
+        ("dataset A", "GTX1650"): 16,
+        ("dataset A", "RTX3090"): 8,
+        ("dataset B", "GTX1650"): 16,
+        ("dataset B", "RTX3090"): 16,
+    },
+    # Sec. V-D: kernels that fail per experiment.
+    "fig8_failures": {
+        ("dataset A", "GTX1650"): {"SOAP3-dp"},
+        ("dataset B", "GTX1650"): {"SOAP3-dp", "ADEPT", "NVBIO"},
+        ("dataset B", "RTX3090"): {"SOAP3-dp", "ADEPT", "NVBIO"},
+    },
+    # Sec. V-C / V-D: subwarp-scheduling benefit at shorter lengths
+    # (geomean of time(+lazy-spill)/time(+subwarp) over <=1024 bp).
+    "fig7_subwarp_geomean_short": {"GTX1650": 2.26, "RTX3090": 2.85},
+    # Fig. 2's qualitative claim: up to ~10x shortest-to-longest spread.
+    "fig2_spread_up_to": 10,
+    # TABLE I closed forms (N = sequence length, bytes).
+    "table1": {
+        "necessary": "2N",
+        "stored": "2N + N^2/4",
+        "accessed_pre_pascal": "128N + 16N^2",
+        "accessed_volta": "32N + 4N^2",
+    },
+    # Sec. V-A devices.
+    "devices": {
+        "GTX1650": {"peak_tflops": 2.98, "bandwidth_gbps": 128.1, "flops_per_byte": 23.82},
+        "RTX3090": {"peak_tflops": 35.58, "bandwidth_gbps": 936.2, "flops_per_byte": 38.91},
+    },
+}

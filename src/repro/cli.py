@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the library's main entry points without writing Python:
+
+``align``
+    Score (and optionally trace back) one pair of sequences.
+``experiment``
+    Run a registered paper experiment (table1, fig6_gtx1650, ...).
+``sweep``
+    Quick kernel-vs-length comparison on one device.
+``devices``
+    List the modeled GPU profiles.
+``tune``
+    Subwarp auto-tuning for a FASTA/FASTQ workload sample.
+``map``
+    Map reads (FASTA/FASTQ) against a reference FASTA, TSV output.
+``report``
+    Regenerate the full paper-vs-measured comparison document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import __version__
+from .align import ScoringScheme, align_with_traceback, sw_align
+from .baselines import all_baselines, make_jobs
+from .bench.experiments import EXPERIMENTS, run_experiment
+from .core import SUBWARP_SIZES, SalobaConfig, SalobaKernel
+from .gpusim import known_devices
+from .seqs import read_fasta, read_fastq
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SALoBa reproduction: GPU seed extension on a modeled device",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_align = sub.add_parser("align", help="align two sequences")
+    p_align.add_argument("query")
+    p_align.add_argument("reference")
+    p_align.add_argument("--traceback", action="store_true", help="print the CIGAR/alignment")
+    p_align.add_argument("--match", type=int, default=1)
+    p_align.add_argument("--mismatch", type=int, default=-4)
+    p_align.add_argument("--alpha", type=int, default=6, help="new-gap penalty")
+    p_align.add_argument("--beta", type=int, default=1, help="gap-extension penalty")
+
+    p_exp = sub.add_parser("experiment", help="run a paper experiment")
+    p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument("--pairs", type=int, default=None,
+                       help="batch size override (fig6/fig7)")
+
+    p_sweep = sub.add_parser("sweep", help="kernel comparison at one length")
+    p_sweep.add_argument("--device", default="GTX1650", choices=sorted(known_devices()))
+    p_sweep.add_argument("--length", type=int, default=512)
+    p_sweep.add_argument("--pairs", type=int, default=5000)
+    p_sweep.add_argument("--subwarp", type=int, default=8, choices=SUBWARP_SIZES)
+
+    sub.add_parser("devices", help="list modeled GPU profiles")
+
+    p_tune = sub.add_parser("tune", help="subwarp auto-tuning for a read file")
+    p_tune.add_argument("reads", help="FASTA or FASTQ file of queries")
+    p_tune.add_argument("--device", default="GTX1650", choices=sorted(known_devices()))
+
+    p_map = sub.add_parser("map", help="map reads against a reference")
+    p_map.add_argument("reference", help="reference FASTA (first record used)")
+    p_map.add_argument("reads", help="FASTA or FASTQ reads")
+    p_map.add_argument("--device", default="GTX1650", choices=sorted(known_devices()))
+    p_map.add_argument("--min-seed-len", type=int, default=19)
+    p_map.add_argument("--sam", action="store_true", help="emit SAM instead of TSV")
+
+    p_rep = sub.add_parser("report", help="regenerate the comparison report")
+    p_rep.add_argument("--quick", action="store_true", help="smaller batches")
+    p_rep.add_argument("--out", default=None, help="write markdown here")
+    return parser
+
+
+def _cmd_align(args) -> int:
+    scoring = ScoringScheme(
+        match=args.match, mismatch=args.mismatch, alpha=args.alpha, beta=args.beta
+    )
+    if args.traceback:
+        tb = align_with_traceback(args.reference, args.query, scoring)
+        print(f"score={tb.score} cigar={tb.cigar} "
+              f"ref[{tb.ref_start}:{tb.ref_end}] query[{tb.query_start}:{tb.query_end}]")
+        print(tb.pretty(args.reference, args.query))
+    else:
+        res = sw_align(args.reference, args.query, scoring)
+        print(f"score={res.score} ref_end={res.ref_end} query_end={res.query_end}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    kwargs = {}
+    if args.pairs and args.name.startswith(("fig6", "fig7")):
+        kwargs["n_pairs"] = args.pairs
+    res = run_experiment(args.name, **kwargs)
+    print(res.text)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    device = known_devices()[args.device]
+    rng = np.random.default_rng(0)
+    jobs = make_jobs(
+        [
+            (rng.integers(0, 4, args.length).astype(np.uint8),
+             rng.integers(0, 4, int(args.length * 1.1)).astype(np.uint8))
+            for _ in range(args.pairs)
+        ]
+    )
+    kernels = all_baselines() + [SalobaKernel(config=SalobaConfig(subwarp_size=args.subwarp))]
+    print(f"{args.pairs} pairs x {args.length} bp on {device.name}:")
+    for k in kernels:
+        res = k.run(jobs, device)
+        print(f"  {k.name:>14}: " + (f"{res.total_ms:9.3f} ms" if res.ok else f"skip ({res.skipped})"))
+    return 0
+
+
+def _cmd_devices(_args) -> int:
+    for dev in known_devices().values():
+        print(
+            f"{dev.name:>10} ({dev.architecture}): {dev.sm_count} SMs @ {dev.clock_ghz} GHz, "
+            f"{dev.peak_tflops:.2f} TFLOPs, {dev.mem_bandwidth_gbps} GB/s, "
+            f"{dev.access_granularity} B granularity, {dev.device_mem_gb:.0f} GB"
+        )
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from .core import SalobaAligner
+
+    if args.reads.endswith((".fq", ".fastq")):
+        reads = [rec.codes for rec in read_fastq(args.reads)]
+    else:
+        reads = list(read_fasta(args.reads).values())
+    if not reads:
+        print("no reads found", file=sys.stderr)
+        return 1
+    # Self-extension workload: each read vs itself with 10% margin of
+    # random context — a stand-in when no reference is given.
+    rng = np.random.default_rng(1)
+    pairs = []
+    for codes in reads:
+        margin = rng.integers(0, 4, max(len(codes) // 10, 1)).astype(np.uint8)
+        pairs.append((codes, np.concatenate([codes, margin])))
+    aligner = SalobaAligner(device=known_devices()[args.device])
+    best = aligner.tune_subwarp(pairs)
+    report = aligner.model_batch(pairs)
+    print(f"reads: {len(reads)}  device: {args.device}")
+    print(f"best subwarp size: {best}")
+    print(f"modeled batch time: {report.timing.total_ms:.3f} ms")
+    return 0
+
+
+def _read_queries(path: str):
+    if path.endswith((".fq", ".fastq")):
+        return [(rec.name, rec.codes) for rec in read_fastq(path)]
+    return list(read_fasta(path).items())
+
+
+def _cmd_map(args) -> int:
+    from .core import ReadMapper
+
+    reference = next(iter(read_fasta(args.reference).values()), None)
+    if reference is None:
+        print("empty reference", file=sys.stderr)
+        return 1
+    queries = _read_queries(args.reads)
+    if not queries:
+        print("no reads found", file=sys.stderr)
+        return 1
+    mapper = ReadMapper(
+        reference,
+        device=known_devices()[args.device],
+        min_seed_len=args.min_seed_len,
+    )
+    report = mapper.map_reads([codes for _, codes in queries])
+    if args.sam:
+        from .core import sam_record_for, write_sam
+
+        recs = [
+            sam_record_for(name, codes, m, reference)
+            for (name, codes), m in zip(queries, report.mappings)
+        ]
+        print(write_sam(recs, ref_len=reference.size), end="")
+        print(
+            f"# mapped {report.mapped_fraction:.1%}; modeled GPU time "
+            f"{report.extension_ms:.3f} ms",
+            file=sys.stderr,
+        )
+        return 0
+    print("read\tmapped\tpos\tstrand\tscore")
+    for (name, _), m in zip(queries, report.mappings):
+        strand = "-" if m.reverse else "+"
+        print(f"{name}\t{int(m.mapped)}\t{m.ref_start}\t{strand}\t{m.total_score}")
+    print(
+        f"# mapped {report.mapped_fraction:.1%} of {len(queries)} reads; "
+        f"{report.n_jobs} extension jobs; modeled GPU time {report.extension_ms:.3f} ms",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .bench.report import full_report
+
+    text = full_report(quick=args.quick)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+_COMMANDS = {
+    "align": _cmd_align,
+    "experiment": _cmd_experiment,
+    "sweep": _cmd_sweep,
+    "devices": _cmd_devices,
+    "tune": _cmd_tune,
+    "map": _cmd_map,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

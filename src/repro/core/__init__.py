@@ -1,0 +1,33 @@
+"""SALoBa core: the paper's contribution on the GPU model."""
+
+from .ablation import (
+    ABLATION_ORDER,
+    AblationPoint,
+    ablation_variants,
+    run_ablation,
+    run_subwarp_sweep,
+)
+from .aligner import BatchReport, SalobaAligner
+from .batching import BatchPlan, BatchRunner, StreamResult
+from .config import SUBWARP_SIZES, SalobaConfig
+from .intra_query import SpillAudit, saloba_extend_exact
+from .kernel import SalobaKernel
+from .layout import ChunkPlan, JobPlan, plan_job
+from .mapper import MapperReport, PairedReadMapper, PairMapping, ReadMapper, ReadMapping
+from .multi_gpu import MultiGpuResult, run_multi_gpu, split_jobs
+from .sam import SamRecord, sam_record_for, sam_records_for_pair, write_sam
+from .subwarp import SubwarpSchedule, schedule_subwarps
+
+__all__ = [
+    "SalobaConfig", "SUBWARP_SIZES",
+    "SalobaKernel", "SalobaAligner", "BatchReport",
+    "BatchRunner", "BatchPlan", "StreamResult",
+    "ChunkPlan", "JobPlan", "plan_job",
+    "saloba_extend_exact", "SpillAudit",
+    "SubwarpSchedule", "schedule_subwarps",
+    "ablation_variants", "run_ablation", "run_subwarp_sweep",
+    "AblationPoint", "ABLATION_ORDER",
+    "MultiGpuResult", "run_multi_gpu", "split_jobs",
+    "ReadMapper", "ReadMapping", "MapperReport", "PairedReadMapper", "PairMapping",
+    "SamRecord", "sam_record_for", "sam_records_for_pair", "write_sam",
+]

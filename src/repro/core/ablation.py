@@ -1,0 +1,89 @@
+"""Ablation variants of SALoBa (Fig. 7) and the subwarp sweep (Fig. 8c).
+
+The paper stacks its three techniques cumulatively on top of the
+GASAL2-style baseline:
+
+1. ``+intra``        — intra-query parallelism alone (warp per query,
+                       naive per-step boundary stores);
+2. ``+lazy-spill``   — plus the coalesced double-buffered spilling;
+3. ``+subwarp``      — plus subwarp scheduling (the full SALoBa).
+
+Each variant is just a :class:`~repro.core.config.SalobaConfig`; this
+module names them and provides runners that report speedup normalized
+to GASAL2, matching the figure's y-axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.base import ExtensionJob
+from ..baselines.interquery import Gasal2Kernel
+from ..gpusim.device import WARP_SIZE, DeviceProfile
+from .config import SUBWARP_SIZES, SalobaConfig
+from .kernel import SalobaKernel
+
+__all__ = ["ABLATION_ORDER", "ablation_variants", "AblationPoint", "run_ablation",
+           "run_subwarp_sweep"]
+
+ABLATION_ORDER = ("+intra", "+lazy-spill", "+subwarp")
+
+
+def ablation_variants(subwarp_size: int = 8) -> dict[str, SalobaConfig]:
+    """The cumulative variant configs, in presentation order."""
+    return {
+        "+intra": SalobaConfig(subwarp_size=WARP_SIZE, lazy_spill=False),
+        "+lazy-spill": SalobaConfig(subwarp_size=WARP_SIZE, lazy_spill=True),
+        "+subwarp": SalobaConfig(subwarp_size=subwarp_size, lazy_spill=True),
+    }
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """One (variant, device) measurement normalized to GASAL2."""
+
+    variant: str
+    device: str
+    time_ms: float
+    gasal2_ms: float
+
+    @property
+    def speedup(self) -> float:
+        return self.gasal2_ms / self.time_ms if self.time_ms else float("inf")
+
+
+def run_ablation(
+    jobs: list[ExtensionJob],
+    device: DeviceProfile,
+    *,
+    subwarp_size: int = 8,
+    scoring=None,
+) -> list[AblationPoint]:
+    """Run GASAL2 plus the three cumulative variants on one batch."""
+    base = Gasal2Kernel(scoring).run(jobs, device)
+    points = []
+    for name, cfg in ablation_variants(subwarp_size).items():
+        res = SalobaKernel(scoring, cfg).run(jobs, device)
+        points.append(
+            AblationPoint(
+                variant=name,
+                device=device.name,
+                time_ms=res.total_ms,
+                gasal2_ms=base.total_ms,
+            )
+        )
+    return points
+
+
+def run_subwarp_sweep(
+    jobs: list[ExtensionJob],
+    device: DeviceProfile,
+    *,
+    scoring=None,
+) -> dict[int, float]:
+    """Fig. 8c: modeled time (ms) for every subwarp size."""
+    out = {}
+    for s in SUBWARP_SIZES:
+        cfg = SalobaConfig(subwarp_size=s)
+        out[s] = SalobaKernel(scoring, cfg).run(jobs, device).total_ms
+    return out

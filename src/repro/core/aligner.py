@@ -1,0 +1,151 @@
+"""SALoBa's public batch-alignment API.
+
+:class:`SalobaAligner` is the library entry point a downstream read
+mapper would use: hand it query/reference pairs, get scores and
+endpoints back, with the modeled GPU timing available for capacity
+planning.  It wraps kernel construction, subwarp auto-tuning, and the
+device profiles so callers never touch the simulator directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..align.batch_traceback import traceback_batch
+from ..align.matrix import AlignmentResult
+from ..align.scoring import ScoringScheme
+from ..align.traceback import Traceback, align_with_traceback
+from ..baselines.base import ExtensionJob, KernelRunResult, make_jobs
+from ..gpusim.device import GTX1650, DeviceProfile
+from ..gpusim.kernel import LaunchTiming
+from ..seqs.alphabet import encode
+from .config import SUBWARP_SIZES, SalobaConfig
+from .kernel import SalobaKernel
+
+__all__ = ["BatchReport", "SalobaAligner"]
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Everything a batch run produced.
+
+    Attributes
+    ----------
+    results:
+        One :class:`AlignmentResult` per input pair (None when the
+        batch ran in model-only mode).
+    timing:
+        Modeled GPU timing breakdown.
+    tracebacks:
+        Per-pair CIGAR tracebacks when requested (None entries for
+        empty/sub-threshold alignments).
+    """
+
+    results: list[AlignmentResult] | None
+    timing: LaunchTiming
+    tracebacks: list[Traceback | None] | None = None
+
+    @property
+    def total_ms(self) -> float:
+        return self.timing.total_ms
+
+
+class SalobaAligner:
+    """High-level seed-extension aligner (the paper's deliverable).
+
+    Parameters
+    ----------
+    scoring:
+        Affine-gap scoring scheme; defaults to the library default.
+    config:
+        Kernel configuration; defaults to lazy spilling with subwarp
+        size 8 (the paper's RTX3090 sweet spot).
+    device:
+        GPU profile the timing model targets.
+
+    Examples
+    --------
+    >>> from repro import SalobaAligner
+    >>> a = SalobaAligner()
+    >>> a.align("ACGTACGTAC", "ACGTACGTAC").score
+    10
+    """
+
+    def __init__(
+        self,
+        scoring: ScoringScheme | None = None,
+        config: SalobaConfig | None = None,
+        device: DeviceProfile = GTX1650,
+    ):
+        self.scoring = scoring or ScoringScheme()
+        self.config = config or SalobaConfig()
+        self.device = device
+        self._kernel = SalobaKernel(self.scoring, self.config)
+
+    # ----- single-pair convenience ----------------------------------------
+
+    def align(self, query, ref) -> AlignmentResult:
+        """Score one pair through the exact SALoBa dataflow."""
+        job = ExtensionJob(ref=encode(ref), query=encode(query))
+        return self._kernel._exact_scores([job])[0]
+
+    def align_traceback(self, query, ref) -> Traceback:
+        """Full alignment with CIGAR (reference-path traceback)."""
+        return align_with_traceback(encode(ref), encode(query), self.scoring)
+
+    # ----- batch API --------------------------------------------------------
+
+    def align_batch(
+        self,
+        pairs: list[tuple[np.ndarray, np.ndarray]],
+        *,
+        compute_scores: bool = True,
+        traceback: bool = False,
+        min_traceback_score: int = 1,
+    ) -> BatchReport:
+        """Extend a batch of ``(query, reference)`` code pairs.
+
+        ``compute_scores=False`` runs the timing model only — the mode
+        the benchmark harness uses for paper-scale batches.
+        ``traceback=True`` additionally recovers CIGARs for every
+        result scoring at least *min_traceback_score* (the kernel
+        reports endpoints; traceback reruns only the bounded prefix —
+        see :mod:`repro.align.batch_traceback`).
+        """
+        jobs = make_jobs(pairs)
+        run = self._kernel.run(
+            jobs, self.device, compute_scores=compute_scores or traceback
+        )
+        assert run.timing is not None  # SALoBa has no capacity limits
+        tracebacks = None
+        if traceback:
+            assert run.results is not None
+            tracebacks = traceback_batch(
+                jobs, run.results, self.scoring, min_score=min_traceback_score
+            )
+        return BatchReport(results=run.results, timing=run.timing, tracebacks=tracebacks)
+
+    def model_batch(self, pairs) -> KernelRunResult:
+        """Raw kernel-run result (timing + counters), model mode."""
+        return self._kernel.run(make_jobs(pairs), self.device, compute_scores=False)
+
+    # ----- tuning -------------------------------------------------------------
+
+    def tune_subwarp(self, pairs) -> int:
+        """Pick the fastest subwarp size for this workload + device.
+
+        Runs the timing model at every legal size (cheap) and adopts
+        the winner — the procedure behind Fig. 8c's optimum.
+        """
+        jobs = make_jobs(pairs)
+        best_s, best_t = self.config.subwarp_size, float("inf")
+        for s in SUBWARP_SIZES:
+            kern = SalobaKernel(self.scoring, self.config.with_(subwarp_size=s))
+            t = kern.run(jobs, self.device).total_ms
+            if t < best_t:
+                best_s, best_t = s, t
+        self.config = self.config.with_(subwarp_size=best_s)
+        self._kernel = SalobaKernel(self.scoring, self.config)
+        return best_s

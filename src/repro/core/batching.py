@@ -1,0 +1,122 @@
+"""Stream batching: feeding millions of extensions through bounded calls.
+
+Real deployments (GASAL2 inside BWA-MEM) stream work to the GPU in
+fixed-size batches sized to the device's memory and occupancy sweet
+spot.  :class:`BatchRunner` slices an arbitrarily long job stream into
+such calls, runs each through any :class:`ExtensionKernel`, and
+aggregates timings — including the per-call overheads that make
+too-small batches expensive and the capacity limits that make
+too-large ones impossible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..align.matrix import AlignmentResult
+from ..baselines.base import ExtensionJob, ExtensionKernel
+from ..gpusim.device import DeviceProfile
+
+__all__ = ["BatchPlan", "StreamResult", "BatchRunner"]
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """How a job stream is split into kernel calls.
+
+    Attributes
+    ----------
+    batch_size:
+        Jobs per call.
+    n_batches:
+        Calls needed for the stream.
+    """
+
+    batch_size: int
+    n_batches: int
+
+
+@dataclass
+class StreamResult:
+    """Aggregate outcome of streaming a job list through a kernel."""
+
+    kernel: str
+    device: str
+    plan: BatchPlan
+    total_ms: float = 0.0
+    per_batch_ms: list[float] = field(default_factory=list)
+    results: list[AlignmentResult] | None = None
+    skipped_batches: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        return not self.skipped_batches
+
+
+class BatchRunner:
+    """Slice a job stream into device-sized kernel calls."""
+
+    def __init__(self, kernel: ExtensionKernel, device: DeviceProfile,
+                 *, batch_size: int = 5000):
+        if batch_size < 1:
+            raise ValueError("batch size must be positive")
+        self.kernel = kernel
+        self.device = device
+        self.batch_size = batch_size
+
+    def plan(self, n_jobs: int) -> BatchPlan:
+        return BatchPlan(
+            batch_size=self.batch_size,
+            n_batches=-(-n_jobs // self.batch_size) if n_jobs else 0,
+        )
+
+    def run(self, jobs: list[ExtensionJob], *, compute_scores: bool = False
+            ) -> StreamResult:
+        """Run the whole stream; skipped batches are recorded, not fatal."""
+        plan = self.plan(len(jobs))
+        out = StreamResult(
+            kernel=self.kernel.name,
+            device=self.device.name,
+            plan=plan,
+            results=[] if compute_scores else None,
+        )
+        for b in range(plan.n_batches):
+            batch = jobs[b * self.batch_size : (b + 1) * self.batch_size]
+            res = self.kernel.run(batch, self.device, compute_scores=compute_scores)
+            if not res.ok:
+                out.skipped_batches.append((b, res.skipped))
+                if compute_scores:
+                    out.results.extend(
+                        [AlignmentResult(score=0, ref_end=0, query_end=0)] * len(batch)
+                    )
+                continue
+            out.per_batch_ms.append(res.total_ms)
+            out.total_ms += res.total_ms
+            if compute_scores:
+                out.results.extend(res.results)
+        return out
+
+    def tune_batch_size(self, sample: list[ExtensionJob],
+                        candidates: tuple[int, ...] = (1000, 2000, 5000, 10_000, 20_000),
+                        *, stream_length: int = 100_000) -> int:
+        """Pick the batch size minimizing modeled time for a stream of
+        ``stream_length`` jobs shaped like *sample*.
+
+        Small batches multiply per-call overheads; huge batches can
+        exceed device capacity (which disqualifies the candidate).
+        """
+        if not sample:
+            raise ValueError("need a non-empty sample")
+        best_size, best_t = self.batch_size, float("inf")
+        for size in candidates:
+            reps = -(-size // len(sample))
+            batch = (sample * reps)[:size]
+            res = self.kernel.run(batch, self.device)
+            if not res.ok:
+                continue
+            calls = -(-stream_length // size)
+            total = res.total_ms * calls
+            if total < best_t:
+                best_size, best_t = size, total
+        self.batch_size = best_size
+        return best_size

@@ -1,0 +1,74 @@
+"""SALoBa kernel configuration.
+
+One dataclass gathers every design choice of Sec. IV so the ablation
+study (Fig. 7) and the subwarp sweep (Fig. 8c) are plain config
+sweeps: intra-query parallelism is the baseline structure of the
+kernel; *lazy spilling* and the *subwarp size* toggle on top of it;
+the banded mode implements the Discussion VII-B extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..gpusim.device import WARP_SIZE
+
+__all__ = ["SalobaConfig", "SUBWARP_SIZES"]
+
+#: Legal subwarp widths: powers of two dividing a warp (Sec. IV-C).
+SUBWARP_SIZES = (4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class SalobaConfig:
+    """Tunable parameters of the SALoBa kernel.
+
+    Attributes
+    ----------
+    subwarp_size:
+        Threads cooperating on one query (32 = whole-warp, i.e.
+        subwarp scheduling off).  Smaller subwarps shrink the
+        prologue/epilogue but re-admit intra-warp load imbalance.
+    lazy_spill:
+        When True, chunk-boundary rows are staged in the
+        double-buffered shared region and flushed to global memory in
+        coalesced warp bursts (Sec. IV-B); when False, the last thread
+        stores each block's bottom row directly (Fig. 4 left).
+    use_shuffle:
+        Exchange inter-thread dependencies with warp shuffle
+        instructions instead of shared memory (Discussion VII-A).
+        Shuffle throughput matches conflict-free shared access, so the
+        paper found no speedup — the model lets the ablation bench
+        verify that.
+    band:
+        0 = full table; otherwise only cells with ``|i-j| <= band``
+        are computed (Discussion VII-B).
+    cell_record_bytes:
+        Bytes per boundary cell crossing a chunk boundary (H and F as
+        a packed 16-bit pair each).
+    fixed_overhead_s:
+        Serial per-call host overhead.
+    """
+
+    subwarp_size: int = 8
+    lazy_spill: bool = True
+    use_shuffle: bool = False
+    band: int = 0
+    cell_record_bytes: int = 4
+    fixed_overhead_s: float = 40e-6
+
+    def __post_init__(self):
+        if self.subwarp_size not in SUBWARP_SIZES:
+            raise ValueError(f"subwarp_size must be one of {SUBWARP_SIZES}")
+        if self.band < 0:
+            raise ValueError("band must be non-negative")
+        if self.cell_record_bytes <= 0:
+            raise ValueError("cell_record_bytes must be positive")
+
+    @property
+    def subwarps_per_warp(self) -> int:
+        return WARP_SIZE // self.subwarp_size
+
+    def with_(self, **changes) -> "SalobaConfig":
+        """Functional update (sugar over :func:`dataclasses.replace`)."""
+        return replace(self, **changes)

@@ -1,0 +1,175 @@
+"""The SALoBa kernel: timing model + exact execution (Sec. IV).
+
+Composes the three techniques on the GPU model:
+
+* **intra-query parallelism** — a subwarp cooperates on one query, so
+  intermediate rows cross global memory only at *chunk* boundaries:
+  1/s of the inter-query kernels' traffic (Sec. IV-A);
+* **lazy spilling** — those boundary rows move in coalesced warp
+  bursts instead of isolated last-thread stores (Sec. IV-B);
+* **subwarp scheduling** — ``32/s`` queries share a warp in lockstep;
+  the warp runs at the pace of its slowest subwarp (Sec. IV-C).
+
+Cycle costs come from the shared :class:`~repro.gpusim.costs.CostModel`
+applied to the :mod:`~repro.core.layout` decomposition; exact mode
+funnels each job through the faithful dataflow executor of
+:mod:`~repro.core.intra_query`.
+"""
+
+from __future__ import annotations
+
+from ..align.blocks import BLOCK
+from ..align.matrix import AlignmentResult
+from ..baselines.base import ExtensionJob, ExtensionKernel
+from ..gpusim.counters import Counters
+from ..gpusim.device import WARP_SIZE, DeviceProfile
+from ..gpusim.kernel import LaunchTiming, assemble_launch
+from ..gpusim.memory import AccessPattern, MemoryModel
+from ..gpusim.scheduler import WarpJob
+from ..gpusim.sharedmem import SharedAllocation
+from .config import SalobaConfig
+from .intra_query import saloba_extend_exact
+from .layout import JobPlan, plan_job
+from .subwarp import schedule_subwarps
+
+__all__ = ["SalobaKernel"]
+
+
+class SalobaKernel(ExtensionKernel):
+    """SALoBa on the GPU model.  See module docstring."""
+
+    name = "SALoBa"
+    parallelism = "intra"
+    bits = 4
+
+    def __init__(self, scoring=None, config: SalobaConfig | None = None, *,
+                 sort_jobs: bool = False, costs=None, packing=None):
+        kwargs = {}
+        if costs is not None:
+            kwargs["costs"] = costs
+        super().__init__(scoring, packing=packing, **kwargs)
+        self.config = config or SalobaConfig()
+        #: Discussion VII-C: optionally sort queries by cost before
+        #: packing warps, trading preprocessing for balance.
+        self.sort_jobs = sort_jobs
+        if self.config.subwarp_size != WARP_SIZE:
+            self.name = f"SALoBa(s={self.config.subwarp_size})"
+        if self.config.band:
+            self.name += f"[band={self.config.band}]"
+
+    # ----- per-job structural cost ---------------------------------------
+
+    def job_plan(self, job: ExtensionJob) -> JobPlan:
+        return plan_job(job.geometry(), self.config.subwarp_size, self.config.band)
+
+    def _step_ops(self) -> float:
+        """Warp issues per anti-diagonal step of a subwarp."""
+        if self.config.use_shuffle:
+            # Discussion VII-A: register-to-register exchange; same
+            # throughput class as conflict-free shared access.
+            comm = 2 * self.costs.shuffle_ops
+        else:
+            comm = 2 * self.costs.shared_access_ops
+        ops = self.costs.block_compute_ops + comm
+        if not self.config.lazy_spill:
+            # Naive scheme (Fig. 4 left): the boundary row goes through
+            # isolated global accesses every step instead of bursts.
+            ops += 2 * self.costs.global_access_ops
+        return ops
+
+    def _spill_event_ops(self) -> float:
+        """Issues per coalesced flush burst (and matching read-back)."""
+        words_per_thread = BLOCK * self.config.cell_record_bytes / 4
+        return 2 * (words_per_thread * self.costs.spill_ops_per_word) + self.costs.shared_access_ops
+
+    def job_cycles(self, job: ExtensionJob) -> float:
+        plan = self.job_plan(job)
+        cycles = plan.total_steps * self._step_ops()
+        if self.config.lazy_spill:
+            cycles += plan.spill_events * self._spill_event_ops()
+        return cycles
+
+    # ----- timing model ----------------------------------------------------
+
+    def _model(
+        self, jobs: list[ExtensionJob], device: DeviceProfile, mem: MemoryModel
+    ) -> LaunchTiming:
+        cfg = self.config
+        cnt = Counters()
+        plans = [self.job_plan(j) for j in jobs]
+        job_cycles = [self.job_cycles(j) for j in jobs]
+        # Persistent-subwarp launch: fill the device with warps and
+        # let each subwarp drain a grid-strided query queue.
+        sched = schedule_subwarps(
+            job_cycles,
+            cfg.subwarps_per_warp,
+            device.concurrent_warps,
+            sort_jobs=self.sort_jobs,
+        )
+        warps = [WarpJob(cycles=c, tag=f"warp{i}") for i, c in enumerate(sched.warp_cycles)]
+
+        step_ops = self._step_ops()
+        # Divergence between co-resident subwarp queues: lanes of
+        # faster queues idle until the slowest drains.
+        cnt.idle_thread_steps += int(sched.divergence_waste / step_ops * cfg.subwarp_size)
+        for job, plan in zip(jobs, plans):
+            cnt.cells += job.cells
+            cnt.blocks += plan.total_blocks
+            cnt.steps += plan.total_steps
+            cnt.busy_thread_steps += sum(c.busy_thread_steps for c in plan.chunks)
+            cnt.idle_thread_steps += sum(
+                c.idle_thread_steps(cfg.subwarp_size) for c in plan.chunks
+            )
+            cnt.spills += plan.spill_events if cfg.lazy_spill else 0
+            cnt.shared_bytes += plan.total_steps * 2 * BLOCK * cfg.cell_record_bytes
+
+            # Chunk-boundary rows: written once, read once.
+            boundary_bytes = plan.boundary_cells * cfg.cell_record_bytes
+            if cfg.lazy_spill:
+                pattern, size = AccessPattern.COALESCED, 128
+            else:
+                # Last-thread per-block stores: isolated 8-cell runs.
+                pattern, size = AccessPattern.PER_THREAD, BLOCK * cfg.cell_record_bytes
+            for _direction in range(2):
+                mem.access(boundary_bytes, access_size=size, pattern=pattern)
+
+            # Packed sequences: the reference strip words once per
+            # chunk row set, the query words once per chunk; warp-wide
+            # neighbouring threads fetch adjacent words -> coalesced.
+            g = plan.geometry
+            seq_bytes = g.r * 4 + len(plan.chunks) * g.q * 4
+            mem.access(seq_bytes, access_size=4, pattern=AccessPattern.COALESCED)
+
+        # Shuffle mode keeps only the spill staging area in shared
+        # memory; the communication buffer lives in registers.
+        shared_bytes = 2 * WARP_SIZE * BLOCK * cfg.cell_record_bytes
+        if cfg.use_shuffle:
+            shared_bytes //= 2
+        shared = SharedAllocation(shared_bytes)
+        return assemble_launch(
+            warps,
+            mem,
+            device,
+            counters=cnt,
+            shared=shared,
+            n_launches=1,
+            init_bytes=len(jobs) * 16,  # result structs only
+            fixed_overhead_s=cfg.fixed_overhead_s,
+        )
+
+    # ----- exact mode -------------------------------------------------------
+
+    def _exact_scores(self, jobs: list[ExtensionJob]) -> list[AlignmentResult]:
+        if self.config.band:
+            from ..align.banded import banded_sw_align
+
+            return [
+                banded_sw_align(j.ref, j.query, self.config.band, self.scoring) for j in jobs
+            ]
+        results = []
+        for j in jobs:
+            res, audit = saloba_extend_exact(j.ref, j.query, self.scoring, self.config)
+            if not audit.consistent:
+                raise AssertionError(f"lazy-spill audit failed: {audit}")
+            results.append(res)
+        return results

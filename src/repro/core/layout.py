@@ -1,0 +1,107 @@
+"""Chunk/strip/block decomposition of a DP table (Sec. IV-A, Fig. 3).
+
+The table is cut into horizontal *chunks* of ``subwarp_size`` block
+rows; each thread of the subwarp owns one *strip* (a block row) and
+walks it left to right, staggered one step behind the thread above.
+This module computes the resulting step/utilization/traffic geometry
+— one shared source of truth for the timing model, the counters, and
+the exact executor, so they cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..align.blocks import BLOCK
+from ..align.grid import JobGeometry
+
+__all__ = ["ChunkPlan", "JobPlan", "plan_job"]
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """Execution geometry of one chunk.
+
+    Attributes
+    ----------
+    height:
+        Active strips (threads) in this chunk; equals the subwarp
+        size except possibly in the last chunk.
+    width:
+        Blocks per strip actually computed (the full query width, or
+        the banded window).
+    steps:
+        Anti-diagonal steps to drain the chunk: ``width + height - 1``
+        (the 31-step prologue/epilogue of Fig. 3 for height 32).
+    """
+
+    height: int
+    width: int
+
+    @property
+    def steps(self) -> int:
+        return self.width + self.height - 1 if self.width else 0
+
+    @property
+    def busy_thread_steps(self) -> int:
+        return self.height * self.width
+
+    def idle_thread_steps(self, lanes: int) -> int:
+        """Idle lane-steps given *lanes* issued lanes (the subwarp width)."""
+        return self.steps * lanes - self.busy_thread_steps
+
+
+@dataclass(frozen=True)
+class JobPlan:
+    """Full decomposition of one job under a subwarp size and band."""
+
+    geometry: JobGeometry
+    subwarp_size: int
+    chunks: tuple[ChunkPlan, ...]
+
+    @property
+    def total_steps(self) -> int:
+        return sum(c.steps for c in self.chunks)
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(c.busy_thread_steps for c in self.chunks)
+
+    @property
+    def boundary_cells(self) -> int:
+        """Cells crossing chunk boundaries (stored once, read once)."""
+        inner = max(len(self.chunks) - 1, 0)
+        return inner * min(self.geometry.query_len,
+                           self.chunks[0].width * BLOCK if self.chunks else 0)
+
+    @property
+    def spill_events(self) -> int:
+        """Coalesced flush events under lazy spilling: one per
+        ``subwarp_size`` block columns of each interior boundary."""
+        inner = max(len(self.chunks) - 1, 0)
+        if inner == 0:
+            return 0
+        per_boundary = -(-self.chunks[0].width // self.subwarp_size)
+        return inner * per_boundary
+
+
+def plan_job(geometry: JobGeometry, subwarp_size: int, band: int = 0) -> JobPlan:
+    """Decompose *geometry* into chunks for a given subwarp size.
+
+    With ``band > 0`` each strip only computes the block window within
+    the band; the window is widest in the table's interior, so the
+    per-strip width is conservatively ``min(q, 2*ceil(band/8) + 1)``
+    blocks — the value the banded kernel's ablation bench reports.
+    """
+    r, q = geometry.r, geometry.q
+    width = q
+    if band > 0:
+        band_blocks = -(-band // BLOCK)
+        width = min(q, 2 * band_blocks + 1)
+    chunks = []
+    row = 0
+    while row < r:
+        height = min(subwarp_size, r - row)
+        chunks.append(ChunkPlan(height=height, width=width))
+        row += height
+    return JobPlan(geometry=geometry, subwarp_size=subwarp_size, chunks=tuple(chunks))

@@ -1,0 +1,303 @@
+"""ReadMapper: the end-to-end seed-and-extend API.
+
+The paper's intro motivates SALoBa with whole read-mapping pipelines
+(BWA-MEM on GRCh38); this module is the downstream-user view of the
+library — hand it a reference and reads, get mapping positions and
+scores back, with the extension stage running through SALoBa and its
+modeled GPU time reported:
+
+    mapper = ReadMapper(reference, device=RTX3090)
+    report = mapper.map_reads(reads)
+    report.mappings[0].ref_start, report.extension_ms
+
+Seeding (FM-index SMEMs + chaining) runs on the "CPU" (plain Python),
+extension jobs are batched through :class:`SalobaKernel` — the same
+division of labour as GASAL2-accelerated BWA-MEM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..align.scoring import ScoringScheme
+from ..align.semiglobal import semiglobal_align
+from ..baselines.base import ExtensionJob
+from ..gpusim.device import GTX1650, DeviceProfile
+from ..gpusim.kernel import LaunchTiming
+from ..seeding.chaining import Chain, chain_seeds
+from ..seeding.jobs import extension_jobs_for_chain
+from ..seeding.smem import SmemSeeder
+from ..seqs.alphabet import reverse_complement
+from .config import SalobaConfig
+from .kernel import SalobaKernel
+
+__all__ = ["ReadMapping", "MapperReport", "PairMapping", "ReadMapper", "PairedReadMapper"]
+
+
+@dataclass(frozen=True)
+class ReadMapping:
+    """Mapping call for one read.
+
+    Attributes
+    ----------
+    read_index:
+        Position in the input batch.
+    mapped:
+        Whether any chain anchored the read.
+    ref_start:
+        Estimated 0-based mapping position (chain diagonal), -1 when
+        unmapped.
+    reverse:
+        True when the read mapped on the reverse strand.
+    seed_score:
+        Total exactly-matching bases in the winning chain.
+    extension_score:
+        Sum of the extension kernel's scores for this read's jobs.
+    total_score:
+        ``seed_score + extension_score`` — the mapper's ranking key.
+    """
+
+    read_index: int
+    mapped: bool
+    ref_start: int
+    reverse: bool
+    seed_score: int
+    extension_score: int
+
+    @property
+    def total_score(self) -> int:
+        return self.seed_score + self.extension_score
+
+
+@dataclass(frozen=True)
+class MapperReport:
+    """Batch mapping output plus the modeled extension timing."""
+
+    mappings: list[ReadMapping]
+    timing: LaunchTiming | None
+    n_jobs: int
+
+    @property
+    def extension_ms(self) -> float:
+        return self.timing.total_ms if self.timing else 0.0
+
+    @property
+    def mapped_fraction(self) -> float:
+        if not self.mappings:
+            return 0.0
+        return sum(m.mapped for m in self.mappings) / len(self.mappings)
+
+
+class ReadMapper:
+    """Seed-and-extend read mapper over a fixed reference."""
+
+    def __init__(
+        self,
+        reference: np.ndarray,
+        *,
+        scoring: ScoringScheme | None = None,
+        config: SalobaConfig | None = None,
+        device: DeviceProfile = GTX1650,
+        min_seed_len: int = 19,
+        max_hits: int = 16,
+        gap_margin: int = 150,
+    ):
+        self.reference = np.asarray(reference, dtype=np.uint8)
+        self.scoring = scoring or ScoringScheme()
+        self.device = device
+        self.kernel = SalobaKernel(self.scoring, config or SalobaConfig())
+        self.seeder = SmemSeeder(self.reference, min_seed_len=min_seed_len, max_hits=max_hits)
+        self.gap_margin = gap_margin
+
+    # ----- per-read seeding ------------------------------------------------
+
+    def _best_chain(self, codes: np.ndarray) -> Chain | None:
+        seeds = self.seeder.seed(codes)
+        chains = chain_seeds(seeds)
+        return chains[0] if chains else None
+
+    def _orient(self, codes: np.ndarray) -> tuple[Chain | None, np.ndarray, bool]:
+        """Pick the strand whose best chain scores higher."""
+        fwd = self._best_chain(codes)
+        rc = reverse_complement(codes)
+        rev = self._best_chain(rc)
+        if fwd is None and rev is None:
+            return None, codes, False
+        if rev is None or (fwd is not None and fwd.score >= rev.score):
+            return fwd, codes, False
+        return rev, rc, True
+
+    # ----- batch mapping -----------------------------------------------------
+
+    def map_reads(self, reads: list[np.ndarray], *, compute_scores: bool = True
+                  ) -> MapperReport:
+        """Map a batch of reads; extension runs as one kernel batch."""
+        per_read: list[dict] = []
+        jobs: list[ExtensionJob] = []
+        job_owner: list[int] = []
+        for idx, read in enumerate(reads):
+            codes = np.asarray(read, dtype=np.uint8)
+            chain, oriented, reverse = self._orient(codes)
+            entry = {
+                "chain": chain,
+                "reverse": reverse,
+                "jobs": [],
+            }
+            if chain is not None:
+                pairs = extension_jobs_for_chain(
+                    oriented, self.reference, chain, gap_margin=self.gap_margin
+                )
+                for q, r in pairs:
+                    jobs.append(ExtensionJob(ref=r, query=q))
+                    job_owner.append(idx)
+            per_read.append(entry)
+
+        timing = None
+        ext_scores = [0] * len(reads)
+        if jobs:
+            run = self.kernel.run(jobs, self.device, compute_scores=compute_scores)
+            assert run.timing is not None
+            timing = run.timing
+            if compute_scores and run.results:
+                for owner, res in zip(job_owner, run.results):
+                    ext_scores[owner] += res.score
+
+        mappings = []
+        for idx, entry in enumerate(per_read):
+            chain = entry["chain"]
+            if chain is None:
+                mappings.append(
+                    ReadMapping(idx, mapped=False, ref_start=-1, reverse=False,
+                                seed_score=0, extension_score=0)
+                )
+                continue
+            seed_score = sum(s.length for s in chain.seeds)
+            mappings.append(
+                ReadMapping(
+                    read_index=idx,
+                    mapped=True,
+                    ref_start=max(chain.rstart - chain.qstart, 0),
+                    reverse=entry["reverse"],
+                    seed_score=seed_score,
+                    extension_score=ext_scores[idx],
+                )
+            )
+        return MapperReport(mappings=mappings, timing=timing, n_jobs=len(jobs))
+
+
+@dataclass(frozen=True)
+class PairMapping:
+    """Mapping call for one mate pair (FR orientation).
+
+    Attributes
+    ----------
+    first / second:
+        The per-end calls (the second may come from mate rescue).
+    proper:
+        Both ends mapped, opposite strands, insert within bounds.
+    insert_size:
+        Outer fragment span when proper, else -1.
+    rescued:
+        True when one end was recovered by semiglobal search of the
+        expected window (BWA-MEM-style mate rescue).
+    """
+
+    first: ReadMapping
+    second: ReadMapping
+    proper: bool
+    insert_size: int
+    rescued: bool
+
+
+def _pair_geometry(a: ReadMapping, b: ReadMapping, len_a: int, len_b: int) -> tuple[bool, int]:
+    """FR properness and insert size of two mapped ends."""
+    if not (a.mapped and b.mapped) or a.reverse == b.reverse:
+        return False, -1
+    fwd, rev = (a, b) if not a.reverse else (b, a)
+    fwd_len = len_a if fwd is a else len_b
+    rev_len = len_b if rev is b else len_a
+    insert = rev.ref_start + rev_len - fwd.ref_start
+    return insert > 0, insert
+
+
+class PairedReadMapper(ReadMapper):
+    """Paired-end mapping with insert-size checks and mate rescue.
+
+    Extends :class:`ReadMapper` with ``map_pairs``: both ends are
+    mapped independently; when exactly one end anchors, the other is
+    searched for with a whole-read semiglobal alignment inside the
+    window the insert-size bound implies — BWA-MEM's mate rescue, with
+    the rescue alignment standing in for the GPU-side rescue kernels
+    production mappers use.
+    """
+
+    def __init__(self, *args, max_insert: int = 1000,
+                 rescue_min_identity: float = 0.5, **kwargs):
+        super().__init__(*args, **kwargs)
+        if max_insert <= 0:
+            raise ValueError("max_insert must be positive")
+        if not 0.0 < rescue_min_identity <= 1.0:
+            raise ValueError("rescue_min_identity must be in (0, 1]")
+        self.max_insert = max_insert
+        self.rescue_min_identity = rescue_min_identity
+
+    def _rescue(self, anchor: ReadMapping, anchor_len: int, mate: np.ndarray,
+                idx: int) -> ReadMapping | None:
+        """Search the expected window for the unmapped mate."""
+        n = self.reference.size
+        if anchor.reverse:
+            lo = max(anchor.ref_start + anchor_len - self.max_insert, 0)
+            hi = anchor.ref_start + anchor_len
+            candidate = np.asarray(mate, dtype=np.uint8)
+            reverse = False
+        else:
+            lo = anchor.ref_start
+            hi = min(anchor.ref_start + self.max_insert, n)
+            candidate = reverse_complement(mate)
+            reverse = True
+        window = self.reference[lo:hi]
+        if window.size < candidate.size // 2:
+            return None
+        res = semiglobal_align(window, candidate, self.scoring)
+        # Threshold as a fraction of the perfect score — mismatches
+        # cost match+|mismatch| each, so 0.5 admits ~90%-identity mates.
+        threshold = self.rescue_min_identity * candidate.size * self.scoring.match
+        if res.score < threshold:
+            return None
+        ref_start = lo + max(res.ref_end - candidate.size, 0)
+        return ReadMapping(
+            read_index=idx,
+            mapped=True,
+            ref_start=ref_start,
+            reverse=reverse,
+            seed_score=0,
+            extension_score=int(res.score),
+        )
+
+    def map_pairs(self, reads1: list[np.ndarray], reads2: list[np.ndarray],
+                  *, compute_scores: bool = True) -> list[PairMapping]:
+        """Map mate pairs; returns one :class:`PairMapping` per pair."""
+        if len(reads1) != len(reads2):
+            raise ValueError("mate lists must have equal length")
+        rep1 = self.map_reads(reads1, compute_scores=compute_scores)
+        rep2 = self.map_reads(reads2, compute_scores=compute_scores)
+        out: list[PairMapping] = []
+        for i, (m1, m2) in enumerate(zip(rep1.mappings, rep2.mappings)):
+            rescued = False
+            if m1.mapped and not m2.mapped:
+                found = self._rescue(m1, len(reads1[i]), reads2[i], i)
+                if found is not None:
+                    m2, rescued = found, True
+            elif m2.mapped and not m1.mapped:
+                found = self._rescue(m2, len(reads2[i]), reads1[i], i)
+                if found is not None:
+                    m1, rescued = found, True
+            proper, insert = _pair_geometry(m1, m2, len(reads1[i]), len(reads2[i]))
+            proper = proper and 0 < insert <= self.max_insert
+            out.append(
+                PairMapping(first=m1, second=m2, proper=proper,
+                            insert_size=insert if proper else -1, rescued=rescued)
+            )
+        return out

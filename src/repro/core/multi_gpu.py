@@ -1,0 +1,105 @@
+"""Multi-GPU extension (Discussion VII-C).
+
+The paper envisions splitting the query batch across the GPUs of one
+machine.  This module implements the three assignment policies the
+discussion sketches and models the resulting makespan:
+
+* ``static``      — contiguous equal-count split (the simple scheme);
+* ``round_robin`` — interleaved assignment;
+* ``sorted``      — the suggested mitigation: sort jobs by cost and
+  deal them greedily to the least-loaded device ("dynamic assignment
+  or preprocessing with approximate sorting").
+
+Makespan is the slowest device's modeled time; the inter-device
+imbalance the paper predicts to be "small compared to the thread-level
+imbalance problem" is reported so the claim can be checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.base import ExtensionJob, ExtensionKernel
+from ..gpusim.device import DeviceProfile
+
+__all__ = ["MultiGpuResult", "split_jobs", "run_multi_gpu"]
+
+_POLICIES = ("static", "round_robin", "sorted")
+
+
+@dataclass(frozen=True)
+class MultiGpuResult:
+    """Outcome of a multi-GPU batch run.
+
+    Attributes
+    ----------
+    per_device_ms:
+        Modeled time per device, in device order.
+    makespan_ms:
+        The batch finishes when the slowest device does.
+    imbalance:
+        ``max/mean - 1`` of the device times (0 = perfect balance).
+    """
+
+    policy: str
+    per_device_ms: tuple[float, ...]
+    makespan_ms: float
+
+    @property
+    def imbalance(self) -> float:
+        mean = sum(self.per_device_ms) / len(self.per_device_ms)
+        return self.makespan_ms / mean - 1.0 if mean else 0.0
+
+
+def split_jobs(
+    jobs: list[ExtensionJob], n_devices: int, policy: str = "static"
+) -> list[list[ExtensionJob]]:
+    """Partition *jobs* across *n_devices* under *policy*."""
+    if n_devices < 1:
+        raise ValueError("need at least one device")
+    if policy not in _POLICIES:
+        raise ValueError(f"policy must be one of {_POLICIES}")
+    buckets: list[list[ExtensionJob]] = [[] for _ in range(n_devices)]
+    if policy == "static":
+        size = -(-len(jobs) // n_devices)
+        for d in range(n_devices):
+            buckets[d] = jobs[d * size : (d + 1) * size]
+    elif policy == "round_robin":
+        for i, j in enumerate(jobs):
+            buckets[i % n_devices].append(j)
+    else:  # sorted: greedy longest-first onto least-loaded
+        costs = np.array([j.cells for j in jobs], dtype=np.int64)
+        order = np.argsort(costs)[::-1]
+        load = [0] * n_devices
+        for i in order:
+            d = int(np.argmin(load))
+            buckets[d].append(jobs[int(i)])
+            load[d] += int(costs[i])
+    return buckets
+
+
+def run_multi_gpu(
+    kernel: ExtensionKernel,
+    jobs: list[ExtensionJob],
+    devices: list[DeviceProfile],
+    *,
+    policy: str = "sorted",
+) -> MultiGpuResult:
+    """Model the batch split across *devices* (homogeneous or not)."""
+    buckets = split_jobs(jobs, len(devices), policy)
+    times = []
+    for bucket, dev in zip(buckets, devices):
+        if not bucket:
+            times.append(0.0)
+            continue
+        res = kernel.run(bucket, dev)
+        if not res.ok:
+            raise RuntimeError(f"{kernel.name} cannot run on {dev.name}: {res.skipped}")
+        times.append(res.total_ms)
+    return MultiGpuResult(
+        policy=policy,
+        per_device_ms=tuple(times),
+        makespan_ms=max(times) if times else 0.0,
+    )

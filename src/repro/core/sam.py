@@ -1,0 +1,185 @@
+"""SAM output for mapping results.
+
+Emits standard SAM (v1.6) records for :class:`ReadMapper` /
+:class:`PairedReadMapper` calls so downstream tooling can consume the
+pipeline's output.  CIGARs come from a bounded realignment of each
+mapped read against its called window (with soft clips for read ends
+the local alignment drops); MAPQ is a score-proportional estimate.
+
+Only the fields this pipeline can populate honestly are populated —
+everything else gets the SAM-specified null values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..align.scoring import ScoringScheme
+from ..align.traceback import align_with_traceback
+from ..seqs.alphabet import decode, reverse_complement
+from .mapper import PairMapping, ReadMapping
+
+__all__ = ["SamRecord", "sam_record_for", "sam_records_for_pair", "write_sam"]
+
+# SAM FLAG bits.
+FLAG_PAIRED = 0x1
+FLAG_PROPER = 0x2
+FLAG_UNMAPPED = 0x4
+FLAG_MATE_UNMAPPED = 0x8
+FLAG_REVERSE = 0x10
+FLAG_MATE_REVERSE = 0x20
+FLAG_FIRST = 0x40
+FLAG_SECOND = 0x80
+
+#: Window padding around the called position for CIGAR realignment.
+_REALIGN_PAD = 40
+
+
+@dataclass(frozen=True)
+class SamRecord:
+    """One SAM alignment line."""
+
+    qname: str
+    flag: int
+    rname: str
+    pos: int  # 1-based leftmost, 0 when unmapped
+    mapq: int
+    cigar: str
+    seq: str
+    tlen: int = 0
+    rnext: str = "*"
+    pnext: int = 0
+
+    def line(self) -> str:
+        return "\t".join(
+            [
+                self.qname,
+                str(self.flag),
+                self.rname if not self.flag & FLAG_UNMAPPED else "*",
+                str(self.pos),
+                str(self.mapq),
+                self.cigar,
+                self.rnext,
+                str(self.pnext),
+                str(self.tlen),
+                self.seq,
+                "*",
+            ]
+        )
+
+
+def _mapq(score: int, read_len: int, match: int) -> int:
+    """Score-proportional mapping quality in 0..60."""
+    if read_len <= 0:
+        return 0
+    frac = max(min(score / (read_len * match), 1.0), 0.0)
+    return int(round(60 * frac))
+
+
+def _cigar_with_clips(read_len: int, tb) -> str:
+    """CIGAR of the local alignment plus soft clips for dropped ends."""
+    left = tb.query_start
+    right = read_len - tb.query_end
+    parts = []
+    if left:
+        parts.append(f"{left}S")
+    parts.append(str(tb.cigar))
+    if right:
+        parts.append(f"{right}S")
+    return "".join(parts)
+
+
+def sam_record_for(
+    name: str,
+    read: np.ndarray,
+    mapping: ReadMapping,
+    reference: np.ndarray,
+    *,
+    rname: str = "ref",
+    scoring: ScoringScheme | None = None,
+    flag_extra: int = 0,
+) -> SamRecord:
+    """Build the SAM record for one single-end mapping call."""
+    scoring = scoring or ScoringScheme()
+    read = np.asarray(read, dtype=np.uint8)
+    if not mapping.mapped:
+        return SamRecord(
+            qname=name,
+            flag=FLAG_UNMAPPED | flag_extra,
+            rname="*",
+            pos=0,
+            mapq=0,
+            cigar="*",
+            seq=decode(read),
+        )
+    oriented = reverse_complement(read) if mapping.reverse else read
+    lo = max(mapping.ref_start - _REALIGN_PAD, 0)
+    hi = min(mapping.ref_start + oriented.size + _REALIGN_PAD, reference.size)
+    window = np.asarray(reference[lo:hi], dtype=np.uint8)
+    tb = align_with_traceback(window, oriented, scoring)
+    flag = flag_extra | (FLAG_REVERSE if mapping.reverse else 0)
+    return SamRecord(
+        qname=name,
+        flag=flag,
+        rname=rname,
+        pos=lo + tb.ref_start + 1,  # SAM is 1-based
+        mapq=_mapq(tb.score, oriented.size, scoring.match),
+        cigar=_cigar_with_clips(oriented.size, tb),
+        # SAM stores the sequence as aligned (reverse-complemented for
+        # reverse-strand hits).
+        seq=decode(oriented),
+    )
+
+
+def sam_records_for_pair(
+    names: tuple[str, str],
+    reads: tuple[np.ndarray, np.ndarray],
+    pair: PairMapping,
+    reference: np.ndarray,
+    *,
+    rname: str = "ref",
+    scoring: ScoringScheme | None = None,
+) -> tuple[SamRecord, SamRecord]:
+    """SAM records for both ends of one pair, with mate fields set."""
+    base = FLAG_PAIRED | (FLAG_PROPER if pair.proper else 0)
+    recs = []
+    ends = (
+        (names[0], reads[0], pair.first, FLAG_FIRST, pair.second),
+        (names[1], reads[1], pair.second, FLAG_SECOND, pair.first),
+    )
+    for name, read, mapping, which, mate in ends:
+        extra = base | which
+        if not mate.mapped:
+            extra |= FLAG_MATE_UNMAPPED
+        elif mate.reverse:
+            extra |= FLAG_MATE_REVERSE
+        rec = sam_record_for(
+            name, read, mapping, reference, rname=rname, scoring=scoring,
+            flag_extra=extra,
+        )
+        recs.append(rec)
+    a, b = recs
+    if pair.proper:
+        sign = 1 if not pair.first.reverse else -1
+        a = SamRecord(**{**a.__dict__, "rnext": "=", "pnext": b.pos,
+                         "tlen": sign * pair.insert_size})
+        b = SamRecord(**{**b.__dict__, "rnext": "=", "pnext": a.pos,
+                         "tlen": -sign * pair.insert_size})
+    return a, b
+
+
+def write_sam(
+    records: list[SamRecord],
+    *,
+    rname: str = "ref",
+    ref_len: int = 0,
+) -> str:
+    """Render a header plus the record lines."""
+    lines = ["@HD\tVN:1.6\tSO:unknown"]
+    if ref_len:
+        lines.append(f"@SQ\tSN:{rname}\tLN:{ref_len}")
+    lines.append("@PG\tID:repro\tPN:repro-saloba")
+    lines.extend(r.line() for r in records)
+    return "\n".join(lines) + "\n"

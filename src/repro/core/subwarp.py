@@ -1,0 +1,109 @@
+"""Subwarp scheduling: packing queries into warps (Sec. IV-C, Fig. 5).
+
+A warp of 32 threads hosts ``32 / s`` subwarps of ``s`` threads.  The
+kernel launches enough warps to fill the device and each subwarp
+drains a grid-strided *queue* of queries (persistent-threads style, as
+GPU aligners do); a warp retires when its slowest subwarp's queue is
+empty.  All subwarps execute the same instruction stream in lockstep,
+so the warp's issue cost is the *maximum* of its subwarp queue loads.
+
+This is exactly the paper's trade-off:
+
+* aggregate issue cost ≈ Σ_jobs r_j (q_j + s - 1) / 32 — the
+  ``(s-1)`` term is the prologue/epilogue tax, growing with the
+  subwarp size;
+* the max-over-queues term is the re-admitted load imbalance, growing
+  as subwarps shrink (more, shorter queues ⇒ higher variance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SubwarpSchedule", "schedule_subwarps"]
+
+
+@dataclass(frozen=True)
+class SubwarpSchedule:
+    """Result of dealing jobs onto subwarp queues.
+
+    Attributes
+    ----------
+    queues:
+        ``queues[k]`` is the list of job indices on subwarp queue k;
+        warp ``w`` owns queues ``w*spw .. (w+1)*spw - 1``.
+    queue_loads:
+        Total cycle load per queue.
+    warp_cycles:
+        Per-warp issue cost (max over its queues).
+    divergence_waste:
+        Cycle-lanes lost to intra-warp imbalance, summed over warps.
+    """
+
+    queues: list[list[int]]
+    queue_loads: np.ndarray
+    warp_cycles: list[float]
+    divergence_waste: float
+
+    @property
+    def n_warps(self) -> int:
+        return len(self.warp_cycles)
+
+
+def schedule_subwarps(
+    job_cycles: list[float],
+    subwarps_per_warp: int,
+    max_warps: int,
+    *,
+    sort_jobs: bool = False,
+) -> SubwarpSchedule:
+    """Deal jobs onto subwarp queues and compute per-warp costs.
+
+    Parameters
+    ----------
+    job_cycles:
+        Modeled cycles of each job on one subwarp.
+    subwarps_per_warp:
+        ``32 / subwarp_size``.
+    max_warps:
+        Warps the launch provides (enough to fill the device; fewer
+        when the batch is small).
+    sort_jobs:
+        Discussion VII-C's mitigation: deal longest jobs first onto
+        the least-loaded queue instead of round-robin.
+    """
+    if subwarps_per_warp < 1:
+        raise ValueError("a warp hosts at least one subwarp")
+    if max_warps < 1:
+        raise ValueError("need at least one warp")
+    n = len(job_cycles)
+    n_warps = min(max_warps, max(1, -(-n // subwarps_per_warp)))
+    n_queues = n_warps * subwarps_per_warp
+    queues: list[list[int]] = [[] for _ in range(n_queues)]
+    loads = np.zeros(n_queues, dtype=np.float64)
+    if sort_jobs:
+        order = np.argsort(job_cycles)[::-1]
+        for i in order:
+            k = int(np.argmin(loads))
+            queues[k].append(int(i))
+            loads[k] += job_cycles[int(i)]
+    else:
+        for i, c in enumerate(job_cycles):
+            k = i % n_queues
+            queues[k].append(i)
+            loads[k] += c
+    warp_cycles: list[float] = []
+    waste = 0.0
+    for w in range(n_warps):
+        chunk = loads[w * subwarps_per_warp : (w + 1) * subwarps_per_warp]
+        m = float(chunk.max()) if chunk.size else 0.0
+        warp_cycles.append(m)
+        waste += float(m * chunk.size - chunk.sum())
+    return SubwarpSchedule(
+        queues=queues,
+        queue_loads=loads,
+        warp_cycles=warp_cycles,
+        divergence_waste=waste,
+    )

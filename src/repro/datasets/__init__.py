@@ -1,0 +1,9 @@
+"""Simulated stand-ins for the paper's SRA datasets (Sec. V-D)."""
+
+from .profiles import DATASET_A, DATASET_B, DatasetProfile
+from .synthesize import DatasetBatch, dataset_a_batch, dataset_b_batch, simulate_batch
+
+__all__ = [
+    "DatasetProfile", "DATASET_A", "DATASET_B",
+    "DatasetBatch", "simulate_batch", "dataset_a_batch", "dataset_b_batch",
+]

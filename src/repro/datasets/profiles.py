@@ -1,0 +1,101 @@
+"""Dataset profiles standing in for the paper's SRA downloads.
+
+The paper's real-world experiments (Sec. V-D) use two SRA datasets we
+cannot ship:
+
+* **dataset A** — SRR835433, Illumina MiSeq (2nd generation): 8.3 M
+  reads of exactly 250 bp, substitution-dominated errors;
+* **dataset B** — SRP091981, PacBio RS (3rd generation): 82 K reads of
+  variable length averaging ~2,000 bp, indel-dominated errors.
+
+The profiles below configure the read simulator and seeding pipeline
+to produce batches with the same downstream-relevant statistics (read
+length distribution, error structure, extension-job size spread).
+Batch sizes are scaled from the paper's full datasets to what a pure
+Python pipeline processes in seconds; the *distribution* of job sizes,
+not their count, is what drives every Fig. 8 effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..seqs.simulate import ILLUMINA_LIKE, PACBIO_LIKE, ErrorProfile
+
+__all__ = ["DatasetProfile", "DATASET_A", "DATASET_B"]
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Everything needed to synthesize one dataset batch.
+
+    Attributes
+    ----------
+    name / sra_accession / instrument:
+        Identification (the accession names the dataset we substitute).
+    read_length:
+        Fixed read length (2nd generation) or 0 for variable.
+    mean_length / sigma / max_length:
+        Log-normal parameters for variable-length (3rd-gen) reads.
+    errors:
+        Instrument error profile.
+    batch_reads:
+        Reads per simulated batch (scaled from the paper's millions).
+    gap_margin:
+        Reference-window margin the extension pipeline uses; long-read
+        mappers allow wider gap windows.
+    job_mode:
+        Extension-job extraction mode (see
+        :func:`repro.seeding.jobs.extension_jobs_for_chain`): short
+        reads anchor-extend ("bwa"); dense-seeded long reads extend
+        the chain tails ("tails").
+    genome_length:
+        Synthetic reference size the batch maps against.
+    """
+
+    name: str
+    sra_accession: str
+    instrument: str
+    read_length: int
+    mean_length: float
+    sigma: float
+    max_length: int
+    errors: ErrorProfile
+    batch_reads: int
+    gap_margin: int
+    genome_length: int
+    job_mode: str = "bwa"
+
+    @property
+    def variable_length(self) -> bool:
+        return self.read_length == 0
+
+
+DATASET_A = DatasetProfile(
+    name="dataset A",
+    sra_accession="SRR835433",
+    instrument="Illumina MiSeq",
+    read_length=250,
+    mean_length=250.0,
+    sigma=0.0,
+    max_length=250,
+    errors=ILLUMINA_LIKE,
+    batch_reads=400,
+    gap_margin=300,
+    genome_length=300_000,
+)
+
+DATASET_B = DatasetProfile(
+    name="dataset B",
+    sra_accession="SRP091981",
+    instrument="PacBio RS",
+    read_length=0,
+    mean_length=2000.0,
+    sigma=0.30,
+    max_length=8_000,
+    errors=PACBIO_LIKE,
+    batch_reads=80,
+    gap_margin=400,
+    genome_length=300_000,
+    job_mode="bwa",
+)

@@ -1,0 +1,124 @@
+"""Dataset synthesis: reads -> seeds -> extension-job batches.
+
+Produces the simulated equivalents of the paper's dataset A / B
+workloads by running the full substrate chain: synthetic genome,
+instrument-profiled read simulation, FM-index SMEM seeding, chaining,
+and extension-job extraction.  Because the Python pipeline seeds a few
+hundred reads per second, batches are generated at a modest read count
+and then *bootstrap-resampled* to paper-scale job counts — preserving
+the empirical job-size distribution, which is the property all of
+Fig. 8 depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..seeding.jobs import JobPair, SeedExtendPipeline
+from ..seqs.genome import GenomeConfig, synthetic_genome
+from ..seqs.simulate import ReadSimulator
+from .profiles import DATASET_A, DATASET_B, DatasetProfile
+
+__all__ = ["DatasetBatch", "simulate_batch", "dataset_a_batch", "dataset_b_batch"]
+
+
+@dataclass(frozen=True)
+class DatasetBatch:
+    """A batch of extension jobs with its provenance.
+
+    Attributes
+    ----------
+    profile:
+        The dataset profile that produced it.
+    jobs:
+        The raw pipeline output: ``(query, reference_window)`` pairs,
+        in read-emission order.
+    read_groups:
+        Job-index ranges per read, so resampling can preserve the
+        per-read adjacency BWA-MEM's output stream has.
+    n_reads:
+        Reads that went through seeding.
+    """
+
+    profile: DatasetProfile
+    jobs: list[JobPair]
+    read_groups: tuple[tuple[int, int], ...]
+    n_reads: int
+
+    def query_lengths(self) -> np.ndarray:
+        return np.array([q.size for q, _ in self.jobs], dtype=np.int64)
+
+    def ref_lengths(self) -> np.ndarray:
+        return np.array([r.size for _, r in self.jobs], dtype=np.int64)
+
+    def resample(self, n_jobs: int, *, seed: int = 0) -> list[JobPair]:
+        """Bootstrap the batch up (or down) to about *n_jobs* jobs.
+
+        Samples whole *reads* with replacement and concatenates their
+        job groups, preserving the emission-order correlation of a
+        real BWA-MEM job stream (a read's left and right extensions
+        arrive adjacently); stops once *n_jobs* is reached.
+        """
+        if not self.jobs:
+            raise ValueError("cannot resample an empty batch")
+        groups = [g for g in self.read_groups if g[1] > g[0]]
+        rng = np.random.default_rng(seed)
+        out: list[JobPair] = []
+        while len(out) < n_jobs:
+            lo, hi = groups[int(rng.integers(0, len(groups)))]
+            out.extend(self.jobs[lo:hi])
+        return out[:n_jobs]
+
+
+def _min_seed_len(profile: DatasetProfile) -> int:
+    # Long-read mappers drop the seed length for high-error data
+    # (bwa mem -x pacbio).
+    return 19 if not profile.variable_length else 17
+
+
+def simulate_batch(profile: DatasetProfile, *, seed: int = 0) -> DatasetBatch:
+    """Run the full substrate chain for one dataset batch."""
+    genome = synthetic_genome(GenomeConfig(length=profile.genome_length), seed=seed)
+    sim = ReadSimulator(genome, profile.errors, seed=seed + 1)
+    if profile.variable_length:
+        reads = sim.sample_reads_lognormal(
+            profile.batch_reads, profile.mean_length, sigma=profile.sigma
+        )
+        read_codes = [r.codes[: profile.max_length] for r in reads]
+    else:
+        reads = sim.sample_reads(profile.batch_reads, profile.read_length)
+        read_codes = [r.codes for r in reads]
+    pipe = SeedExtendPipeline(
+        genome,
+        min_seed_len=_min_seed_len(profile),
+        gap_margin=profile.gap_margin,
+        mode=profile.job_mode,
+    )
+    jobs: list = []
+    groups: list[tuple[int, int]] = []
+    for read in read_codes:
+        lo = len(jobs)
+        jobs.extend(pipe.jobs_for_read(read))
+        groups.append((lo, len(jobs)))
+    return DatasetBatch(
+        profile=profile, jobs=jobs, read_groups=tuple(groups), n_reads=len(read_codes)
+    )
+
+
+@lru_cache(maxsize=4)
+def _cached_batch(which: str, seed: int) -> DatasetBatch:
+    profile = {"A": DATASET_A, "B": DATASET_B}[which]
+    return simulate_batch(profile, seed=seed)
+
+
+def dataset_a_batch(*, seed: int = 0) -> DatasetBatch:
+    """The Illumina-like short-read batch (cached)."""
+    return _cached_batch("A", seed)
+
+
+def dataset_b_batch(*, seed: int = 0) -> DatasetBatch:
+    """The PacBio-like long-read batch (cached)."""
+    return _cached_batch("B", seed)

@@ -1,0 +1,40 @@
+"""GPU execution model: devices, memory, warps, scheduling, timing.
+
+This package is the hardware substitute for the CUDA devices the paper
+measures on (see DESIGN.md, "Hardware gate and substitution").  It is
+a *model*, not an emulator: kernels execute their real dataflow (and
+produce exact alignment scores), while time comes from first-principles
+accounting of warp issues, DRAM transactions, divergence, and launch
+overheads against published device characteristics.
+"""
+
+from .counters import Counters
+from .costs import DEFAULT_COSTS, CostModel
+from .device import (
+    A100,
+    GTX1650,
+    PRE_PASCAL,
+    RTX3090,
+    V100,
+    WARP_SIZE,
+    DeviceProfile,
+    known_devices,
+)
+from .kernel import LaunchTiming, assemble_launch
+from .memory import AccessPattern, MemoryModel, amplified_bytes
+from .scheduler import ScheduleResult, WarpJob, schedule_warps
+from .sharedmem import N_BANKS, SharedAllocation, bank_conflict_factor
+from .occupancy import LaunchConfig, Occupancy, occupancy
+from .timeline import SmTimeline, WarpInterval, build_timeline, render_timeline
+
+__all__ = [
+    "DeviceProfile", "GTX1650", "RTX3090", "PRE_PASCAL", "V100", "A100",
+    "WARP_SIZE", "known_devices",
+    "Counters", "CostModel", "DEFAULT_COSTS",
+    "AccessPattern", "MemoryModel", "amplified_bytes",
+    "WarpJob", "ScheduleResult", "schedule_warps",
+    "SharedAllocation", "bank_conflict_factor", "N_BANKS",
+    "LaunchTiming", "assemble_launch",
+    "SmTimeline", "WarpInterval", "build_timeline", "render_timeline",
+    "LaunchConfig", "Occupancy", "occupancy",
+]

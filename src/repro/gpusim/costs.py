@@ -1,0 +1,66 @@
+"""Instruction-cost constants shared by every modeled kernel.
+
+All kernels compute the same recurrence on the same 8x8 blocks, so
+they share one per-cell ALU budget; what differs between them — and
+what the paper's techniques change — is *memory behaviour*, *thread
+utilization*, and *synchronization*, which the kernels express through
+these unit costs.  Values are issue-slot counts per warp (SIMT lanes
+execute together, so a per-thread instruction costs one warp issue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel", "DEFAULT_COSTS"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Warp-issue costs of the primitive operations.
+
+    Attributes
+    ----------
+    ops_per_cell:
+        ALU issues per DP cell: three 2-way maxes for H, one each for
+        E and F, the substitution add, plus running-max tracking —
+        about ten issues on real kernels (GASAL2's inner loop is ~12
+        SASS instructions per cell).
+    block_overhead_ops:
+        Per-block fixed work: fetching/packing the two 32-bit sequence
+        words, pointer arithmetic, loop control.
+    shared_access_ops:
+        Issues for one warp-wide shared-memory read or write
+        (conflict-free; multiply by the bank-conflict factor).
+    sync_ops:
+        Cost of one intra-block __syncthreads()-class barrier.  Intra-
+        warp lockstep synchronization (pre-Volta implicit sync) is
+        free, per Sec. IV-A.
+    shuffle_ops:
+        Cost of one warp shuffle exchange (Disc. VII-A: comparable to
+        a conflict-free shared access).
+    spill_ops_per_word:
+        Issues per 32-bit word moved during a coalesced lazy-spill
+        flush (address math + the store itself).
+    global_access_ops:
+        Issues to set up one isolated global-memory access.
+    """
+
+    ops_per_cell: float = 10.0
+    block_overhead_ops: float = 24.0
+    shared_access_ops: float = 4.0
+    sync_ops: float = 32.0
+    shuffle_ops: float = 4.0
+    spill_ops_per_word: float = 2.0
+    global_access_ops: float = 8.0
+
+    @property
+    def block_compute_ops(self) -> float:
+        """Warp issues for one thread's 8x8 block (64 cells + overhead)."""
+        return 64.0 * self.ops_per_cell + self.block_overhead_ops
+
+
+#: The calibration used across the library (see EXPERIMENTS.md for the
+#: calibration narrative; the *relative* figures the paper reports are
+#: insensitive to modest changes of these values).
+DEFAULT_COSTS = CostModel()

@@ -1,0 +1,238 @@
+"""GPU device profiles for the execution model.
+
+The paper evaluates on two cards whose *ratio* of compute to memory
+bandwidth drives several observed effects (Sec. V-C): the GTX1650
+(Turing, 23.82 FLOPs/B) is comparatively memory-rich, the RTX3090
+(Ampere, 38.91 FLOPs/B) comparatively memory-starved.  Profiles also
+carry the global-memory minimum access granularity that TABLE I keys
+on: 128 B before Pascal, 32 B from Volta on (per Khairy et al. [32]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceProfile", "GTX1650", "RTX3090", "PRE_PASCAL", "WARP_SIZE", "known_devices"]
+
+#: CUDA warp width; constant across every generation modeled here.
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Performance-relevant characteristics of one GPU.
+
+    Attributes
+    ----------
+    name:
+        Marketing name (used in reports).
+    architecture:
+        Microarchitecture family.
+    sm_count:
+        Number of streaming multiprocessors.
+    clock_ghz:
+        Sustained SM clock.
+    cores_per_sm:
+        CUDA FP32 cores per SM (used for the peak-TFLOPs/bandwidth
+        balance diagnostics of Sec. V-C).
+    int_cores_per_sm:
+        INT32 ALU lanes per SM — what actually bounds issue rate for
+        the integer-dominated alignment recurrence.  Turing pairs 64
+        FP32 with 64 dedicated INT32 units; Ampere's 128 "cores" are
+        64 FP32 + 64 FP32/INT32-capable, so integer issue stays at 64.
+    mem_bandwidth_gbps:
+        Achievable DRAM bandwidth in GB/s.
+    access_granularity:
+        Minimum global-memory transaction size in bytes (128 pre-
+        Pascal, 32 Volta and later — the TABLE I distinction).
+    shared_mem_per_sm:
+        Shared memory per SM in bytes (bounds warp occupancy for
+        kernels with big shared footprints, e.g. ADEPT).
+    max_warps_per_sm:
+        Scheduler limit on resident warps.
+    kernel_launch_us:
+        Host-side cost of one kernel launch in microseconds (drives
+        SW#'s many-launches penalty).
+    device_mem_gb:
+        Device memory capacity (bounds NVBIO/SOAP3-dp input lengths).
+    l2_hit_redundant:
+        Fraction of *redundant* (granularity-amplified) global traffic
+        the L2 absorbs before DRAM; scales with L2 capacity (the
+        RTX3090 carries 6 MB of L2, the GTX1650 1 MB).
+    l2_bw_ratio:
+        L2 bandwidth as a multiple of DRAM bandwidth (big-DRAM cards
+        have proportionally *less* L2 headroom).
+    """
+
+    name: str
+    architecture: str
+    sm_count: int
+    clock_ghz: float
+    cores_per_sm: int
+    int_cores_per_sm: int
+    mem_bandwidth_gbps: float
+    access_granularity: int
+    shared_mem_per_sm: int
+    max_warps_per_sm: int
+    kernel_launch_us: float
+    device_mem_gb: float
+    l2_hit_redundant: float = 0.9
+    l2_bw_ratio: float = 3.0
+
+    def __post_init__(self):
+        if self.sm_count <= 0 or self.cores_per_sm <= 0:
+            raise ValueError("SM geometry must be positive")
+        if self.access_granularity not in (32, 128):
+            raise ValueError("access granularity must be 32 or 128 bytes")
+
+    @property
+    def peak_int_ops_per_s(self) -> float:
+        """Peak scalar integer op throughput (ops/s), all SMs."""
+        return self.sm_count * self.int_cores_per_sm * self.clock_ghz * 1e9
+
+    @property
+    def int_issue_rate(self) -> float:
+        """Warp-instructions per cycle per SM for integer work."""
+        return self.int_cores_per_sm / WARP_SIZE
+
+    @property
+    def mem_bandwidth_bps(self) -> float:
+        return self.mem_bandwidth_gbps * 1e9
+
+    @property
+    def peak_tflops(self) -> float:
+        """Peak FP32 TFLOPs (FMA counted as two ops), as marketed."""
+        return 2 * self.sm_count * self.cores_per_sm * self.clock_ghz * 1e9 / 1e12
+
+    @property
+    def flops_per_byte(self) -> float:
+        """Compute/memory balance; the paper's Sec. V-C diagnostic."""
+        return self.peak_tflops * 1e12 / self.mem_bandwidth_bps
+
+    @property
+    def concurrent_warps(self) -> int:
+        """Warps the whole device can keep resident."""
+        return self.sm_count * self.max_warps_per_sm
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert SM cycles to wall seconds at the profile clock."""
+        return cycles / (self.clock_ghz * 1e9)
+
+    def scaled(self, *, name: str | None = None, compute: float = 1.0,
+               bandwidth: float = 1.0, memory: float = 1.0) -> "DeviceProfile":
+        """A hypothetical derivative of this device.
+
+        ``compute`` multiplies the SM count (the clean way to scale
+        peak throughput without touching per-SM behaviour),
+        ``bandwidth`` the DRAM bandwidth, ``memory`` the capacity —
+        the knobs for what-if roofline studies ("how would the Fig. 6
+        ordering look on a card with 2x the bandwidth?").
+        """
+        from dataclasses import replace
+
+        return replace(
+            self,
+            name=name or f"{self.name}[x{compute:g}c,x{bandwidth:g}b]",
+            sm_count=max(int(round(self.sm_count * compute)), 1),
+            mem_bandwidth_gbps=self.mem_bandwidth_gbps * bandwidth,
+            device_mem_gb=self.device_mem_gb * memory,
+        )
+
+
+#: The paper's 'affordable' platform (Turing TU117).
+GTX1650 = DeviceProfile(
+    name="GTX1650",
+    architecture="Turing",
+    sm_count=14,
+    clock_ghz=1.665,
+    cores_per_sm=64,
+    int_cores_per_sm=64,
+    mem_bandwidth_gbps=128.1,
+    access_granularity=32,
+    shared_mem_per_sm=64 * 1024,
+    max_warps_per_sm=32,
+    kernel_launch_us=5.0,
+    device_mem_gb=4.0,
+    l2_hit_redundant=0.80,
+    l2_bw_ratio=4.0,
+)
+
+#: The paper's 'high-end' platform (Ampere GA102).
+RTX3090 = DeviceProfile(
+    name="RTX3090",
+    architecture="Ampere",
+    sm_count=82,
+    clock_ghz=1.695,
+    cores_per_sm=128,
+    int_cores_per_sm=64,
+    mem_bandwidth_gbps=936.2,
+    access_granularity=32,
+    shared_mem_per_sm=128 * 1024,
+    max_warps_per_sm=48,
+    kernel_launch_us=5.0,
+    device_mem_gb=24.0,
+    l2_hit_redundant=0.97,
+    l2_bw_ratio=2.2,
+)
+
+#: A pre-Pascal profile exercising the 128 B access granularity row of
+#: TABLE I (loosely a Kepler-class Tesla).
+PRE_PASCAL = DeviceProfile(
+    name="PrePascal",
+    architecture="Kepler",
+    sm_count=13,
+    clock_ghz=0.875,
+    cores_per_sm=192,
+    int_cores_per_sm=160,
+    mem_bandwidth_gbps=240.0,
+    access_granularity=128,
+    shared_mem_per_sm=48 * 1024,
+    max_warps_per_sm=64,
+    kernel_launch_us=8.0,
+    device_mem_gb=6.0,
+    l2_hit_redundant=0.80,
+    l2_bw_ratio=2.5,
+)
+
+
+#: Data-center Volta part — the generation that introduced the 32 B
+#: sector access and independent thread scheduling the paper keys on.
+V100 = DeviceProfile(
+    name="V100",
+    architecture="Volta",
+    sm_count=80,
+    clock_ghz=1.53,
+    cores_per_sm=64,
+    int_cores_per_sm=64,
+    mem_bandwidth_gbps=900.0,
+    access_granularity=32,
+    shared_mem_per_sm=96 * 1024,
+    max_warps_per_sm=64,
+    kernel_launch_us=5.0,
+    device_mem_gb=32.0,
+    l2_hit_redundant=0.97,
+    l2_bw_ratio=2.5,
+)
+
+#: Data-center Ampere part (Sec. I cites its architecture paper [17]).
+A100 = DeviceProfile(
+    name="A100",
+    architecture="Ampere",
+    sm_count=108,
+    clock_ghz=1.41,
+    cores_per_sm=64,
+    int_cores_per_sm=64,
+    mem_bandwidth_gbps=1555.0,
+    access_granularity=32,
+    shared_mem_per_sm=164 * 1024,
+    max_warps_per_sm=64,
+    kernel_launch_us=5.0,
+    device_mem_gb=40.0,
+    l2_hit_redundant=0.98,
+    l2_bw_ratio=2.0,
+)
+
+
+def known_devices() -> dict[str, DeviceProfile]:
+    """All registered device profiles by name."""
+    return {d.name: d for d in (GTX1650, RTX3090, PRE_PASCAL, V100, A100)}

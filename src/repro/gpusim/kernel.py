@@ -1,0 +1,113 @@
+"""Kernel-launch assembly: compute + memory + overheads -> modeled time.
+
+A kernel implementation (SALoBa or a baseline) produces three things:
+
+1. a bag of :class:`~repro.gpusim.scheduler.WarpJob` cycle costs,
+2. a populated :class:`~repro.gpusim.memory.MemoryModel` (traffic),
+3. event :class:`~repro.gpusim.counters.Counters`,
+
+and this module combines them with the device profile into a modeled
+wall time using a roofline composition: compute and memory streams
+overlap (GPUs hide memory behind warps), so the busy phase costs
+``max(compute, memory)``; kernel-launch and buffer-initialization
+overheads are serial and add on top — that serial add-on is exactly
+GASAL2's small-input penalty in Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .counters import Counters
+from .device import DeviceProfile
+from .memory import MemoryModel
+from .scheduler import ScheduleResult, WarpJob, schedule_warps
+from .sharedmem import SharedAllocation
+
+__all__ = ["LaunchTiming", "assemble_launch"]
+
+
+@dataclass(frozen=True)
+class LaunchTiming:
+    """Modeled timing breakdown of one kernel invocation (batch).
+
+    Attributes
+    ----------
+    total_s:
+        End-to-end modeled time.
+    compute_s / memory_s:
+        The two roofline components (they overlap; the max is paid).
+    overhead_s:
+        Serial launch + buffer-init time.
+    schedule:
+        SM-scheduling details of the compute component.
+    counters:
+        Event totals for the launch.
+    """
+
+    total_s: float
+    compute_s: float
+    memory_s: float
+    overhead_s: float
+    schedule: ScheduleResult
+    counters: Counters = field(repr=False, default_factory=Counters)
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_s * 1e3
+
+
+def assemble_launch(
+    jobs: list[WarpJob],
+    mem: MemoryModel,
+    device: DeviceProfile,
+    *,
+    counters: Counters | None = None,
+    shared: SharedAllocation | None = None,
+    n_launches: int = 1,
+    init_bytes: int = 0,
+    fixed_overhead_s: float = 0.0,
+) -> LaunchTiming:
+    """Fuse a kernel's cost components into a :class:`LaunchTiming`.
+
+    Parameters
+    ----------
+    jobs:
+        Warp jobs to schedule.
+    mem:
+        The populated memory model (its counters are merged in).
+    counters:
+        Kernel event counters (optional; memory counters merge in).
+    shared:
+        Per-warp shared footprint, limiting SM residency.
+    n_launches:
+        Device kernel launches performed (serial host overhead each).
+    init_bytes:
+        Device buffer bytes memset before the kernel (GASAL2-style
+        intermediate-buffer initialization).
+    fixed_overhead_s:
+        Any additional serial host-side overhead.
+    """
+    if n_launches < 1:
+        raise ValueError("a kernel runs at least once")
+    cnt = counters or Counters()
+    cnt.merge(mem.counters)
+    cnt.kernel_launches += n_launches
+    max_resident = shared.max_resident_warps(device) if shared is not None else None
+    sched = schedule_warps(jobs, device, max_resident_warps=max_resident)
+    compute_s = sched.compute_time_s
+    memory_s = mem.memory_time_s()
+    overhead_s = (
+        n_launches * device.kernel_launch_us * 1e-6
+        + mem.memset_time_s(init_bytes)
+        + fixed_overhead_s
+    )
+    total = max(compute_s, memory_s) + overhead_s
+    return LaunchTiming(
+        total_s=total,
+        compute_s=compute_s,
+        memory_s=memory_s,
+        overhead_s=overhead_s,
+        schedule=sched,
+        counters=cnt,
+    )

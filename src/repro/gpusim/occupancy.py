@@ -1,0 +1,111 @@
+"""CUDA occupancy calculator.
+
+The classic back-of-envelope every kernel author runs: given a launch
+configuration (threads per block, registers per thread, shared bytes
+per block), how many blocks/warps can an SM keep resident, and which
+resource is the binding constraint?  SALoBa's design choices live
+here — e.g. its 2 KB/warp shared footprint leaves occupancy
+register-bound, while ADEPT's per-query shared arrays become the
+limiter at long reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import WARP_SIZE, DeviceProfile
+
+__all__ = ["LaunchConfig", "Occupancy", "occupancy"]
+
+#: Register file size per SM (32-bit registers), constant across the
+#: modeled generations.
+REGISTERS_PER_SM = 65_536
+
+#: Register allocation granularity (per warp).
+REGISTER_ALLOC_UNIT = 256
+
+#: Hardware limit on resident threadblocks per SM.
+MAX_BLOCKS_PER_SM = 32
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """One kernel launch configuration.
+
+    Attributes
+    ----------
+    threads_per_block:
+        Block size (multiple of nothing required; warps are rounded up).
+    registers_per_thread:
+        Compiler-reported register usage.
+    shared_bytes_per_block:
+        Static + dynamic shared memory per block.
+    """
+
+    threads_per_block: int
+    registers_per_thread: int = 32
+    shared_bytes_per_block: int = 0
+
+    def __post_init__(self):
+        if not 1 <= self.threads_per_block <= 1024:
+            raise ValueError("threads_per_block must be in 1..1024")
+        if not 1 <= self.registers_per_thread <= 255:
+            raise ValueError("registers_per_thread must be in 1..255")
+        if self.shared_bytes_per_block < 0:
+            raise ValueError("shared memory must be non-negative")
+
+    @property
+    def warps_per_block(self) -> int:
+        return -(-self.threads_per_block // WARP_SIZE)
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of the occupancy computation.
+
+    Attributes
+    ----------
+    resident_blocks / resident_warps:
+        What one SM can hold concurrently.
+    occupancy:
+        Resident warps / device warp limit (the nvprof-style metric).
+    limiter:
+        Which resource binds: "warps", "registers", "shared", or
+        "blocks".
+    """
+
+    resident_blocks: int
+    resident_warps: int
+    occupancy: float
+    limiter: str
+
+
+def occupancy(config: LaunchConfig, device: DeviceProfile) -> Occupancy:
+    """Resident blocks per SM under all four hardware limits."""
+    wpb = config.warps_per_block
+    # Warp-count limit.
+    by_warps = device.max_warps_per_sm // wpb
+    # Register limit (allocated per warp, rounded to the unit).
+    regs_per_warp = config.registers_per_thread * WARP_SIZE
+    regs_per_warp = -(-regs_per_warp // REGISTER_ALLOC_UNIT) * REGISTER_ALLOC_UNIT
+    by_regs = REGISTERS_PER_SM // (regs_per_warp * wpb)
+    # Shared-memory limit.
+    if config.shared_bytes_per_block > 0:
+        by_shared = device.shared_mem_per_sm // config.shared_bytes_per_block
+    else:
+        by_shared = MAX_BLOCKS_PER_SM
+    limits = {
+        "warps": by_warps,
+        "registers": by_regs,
+        "shared": by_shared,
+        "blocks": MAX_BLOCKS_PER_SM,
+    }
+    limiter = min(limits, key=limits.get)
+    blocks = max(min(limits.values()), 0)
+    warps = blocks * wpb
+    return Occupancy(
+        resident_blocks=blocks,
+        resident_warps=warps,
+        occupancy=warps / device.max_warps_per_sm if device.max_warps_per_sm else 0.0,
+        limiter=limiter,
+    )

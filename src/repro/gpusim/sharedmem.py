@@ -1,0 +1,73 @@
+"""Shared-memory model: capacity, occupancy pressure, bank conflicts.
+
+CUDA shared memory is organized as 32 four-byte banks; a warp access
+serializes into as many passes as the most-contended bank requires.
+SALoBa's communication scheme is designed to be conflict-free
+(Sec. IV-A); the model verifies that claim instead of assuming it.
+Shared capacity also bounds how many warps can be resident per SM,
+which is how ADEPT's all-in-shared-memory strategy loses occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .device import WARP_SIZE, DeviceProfile
+
+__all__ = ["N_BANKS", "bank_conflict_factor", "SharedAllocation"]
+
+#: Shared-memory banks on every modeled architecture.
+N_BANKS = 32
+
+#: Bank word size in bytes.
+BANK_WIDTH = 4
+
+
+def bank_conflict_factor(byte_addresses: np.ndarray) -> int:
+    """Serialization passes for one warp access at *byte_addresses*.
+
+    Broadcast (all lanes hit the same word) counts as one pass, as on
+    hardware.  Inactive lanes should simply be omitted from the array.
+    """
+    addrs = np.asarray(byte_addresses, dtype=np.int64)
+    if addrs.size == 0:
+        return 1
+    if addrs.size > WARP_SIZE:
+        raise ValueError("a warp access has at most 32 lanes")
+    words = addrs // BANK_WIDTH
+    banks = words % N_BANKS
+    passes = 0
+    for b in np.unique(banks):
+        # Distinct words within one bank serialize; same word broadcasts.
+        passes = max(passes, len(np.unique(words[banks == b])))
+    return max(passes, 1)
+
+
+@dataclass(frozen=True)
+class SharedAllocation:
+    """A per-warp shared-memory footprint and its occupancy effect.
+
+    Attributes
+    ----------
+    bytes_per_warp:
+        Shared bytes each warp's working set occupies.
+    """
+
+    bytes_per_warp: int
+
+    def __post_init__(self):
+        if self.bytes_per_warp < 0:
+            raise ValueError("shared allocation must be non-negative")
+
+    def max_resident_warps(self, device: DeviceProfile) -> int:
+        """Warps per SM co-resident under this footprint."""
+        if self.bytes_per_warp == 0:
+            return device.max_warps_per_sm
+        fit = device.shared_mem_per_sm // self.bytes_per_warp
+        return int(min(fit, device.max_warps_per_sm))
+
+    def fits(self, device: DeviceProfile) -> bool:
+        """Whether even a single warp's footprint fits one SM."""
+        return self.bytes_per_warp <= device.shared_mem_per_sm

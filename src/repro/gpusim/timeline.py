@@ -1,0 +1,114 @@
+"""SM timeline introspection: where did the cycles go?
+
+Re-runs the greedy warp dispatch while recording per-SM busy
+intervals, so a kernel launch can be inspected (and rendered as an
+ASCII occupancy chart) instead of just summarized.  This is the tool
+that makes load-imbalance diagnoses like Sec. III-A concrete: one
+over-long warp shows up as a lone bar dragging past everyone else.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from .device import DeviceProfile
+from .scheduler import SINGLE_WARP_IPC, WarpJob
+
+__all__ = ["WarpInterval", "SmTimeline", "build_timeline", "render_timeline"]
+
+
+@dataclass(frozen=True)
+class WarpInterval:
+    """One warp's residency on an SM (in SM-local cycles)."""
+
+    tag: str
+    start_cycles: float
+    end_cycles: float
+
+    @property
+    def duration(self) -> float:
+        return self.end_cycles - self.start_cycles
+
+
+@dataclass(frozen=True)
+class SmTimeline:
+    """Per-SM schedules for one launch.
+
+    Attributes
+    ----------
+    per_sm:
+        ``per_sm[i]`` lists the warp intervals executed by SM ``i``.
+    makespan_cycles:
+        When the last SM finishes.
+    """
+
+    per_sm: list[list[WarpInterval]]
+    makespan_cycles: float
+
+    @property
+    def sm_busy_cycles(self) -> list[float]:
+        return [sum(iv.duration for iv in sm) for sm in self.per_sm]
+
+    @property
+    def utilization(self) -> float:
+        """Mean busy fraction relative to the makespan."""
+        if self.makespan_cycles <= 0:
+            return 1.0
+        busy = self.sm_busy_cycles
+        return sum(busy) / (len(busy) * self.makespan_cycles)
+
+    def straggler(self) -> WarpInterval | None:
+        """The warp finishing last (the critical-path suspect)."""
+        last = None
+        for sm in self.per_sm:
+            for iv in sm:
+                if last is None or iv.end_cycles > last.end_cycles:
+                    last = iv
+        return last
+
+
+def build_timeline(jobs: list[WarpJob], device: DeviceProfile) -> SmTimeline:
+    """Replay the scheduler's greedy dispatch, recording intervals.
+
+    Uses the same least-loaded policy as
+    :func:`~repro.gpusim.scheduler.schedule_warps`; each warp's wall
+    duration on its SM is its cycle count divided by the SM's
+    effective rate once residency is known (approximated at the
+    single-warp IPC for interval rendering — relative shapes, not the
+    headline time, are the point here).
+    """
+    n_sm = device.sm_count
+    heap: list[tuple[float, int]] = [(0.0, i) for i in range(n_sm)]
+    heapq.heapify(heap)
+    per_sm: list[list[WarpInterval]] = [[] for _ in range(n_sm)]
+    for job in jobs:
+        start, i = heapq.heappop(heap)
+        duration = job.cycles / SINGLE_WARP_IPC
+        per_sm[i].append(WarpInterval(tag=job.tag, start_cycles=start,
+                                      end_cycles=start + duration))
+        heapq.heappush(heap, (start + duration, i))
+    makespan = max((sm[-1].end_cycles for sm in per_sm if sm), default=0.0)
+    return SmTimeline(per_sm=per_sm, makespan_cycles=makespan)
+
+
+def render_timeline(timeline: SmTimeline, *, width: int = 60) -> str:
+    """ASCII occupancy chart: one row per SM, '#' = busy, '.' = idle."""
+    if timeline.makespan_cycles <= 0:
+        return "(empty timeline)"
+    scale = width / timeline.makespan_cycles
+    lines = []
+    for i, sm in enumerate(timeline.per_sm):
+        row = ["."] * width
+        for iv in sm:
+            a = int(iv.start_cycles * scale)
+            b = max(int(iv.end_cycles * scale), a + 1)
+            for k in range(a, min(b, width)):
+                row[k] = "#"
+        lines.append(f"SM{i:3d} |{''.join(row)}|")
+    lines.append(f"utilization: {timeline.utilization:.1%}  "
+                 f"makespan: {timeline.makespan_cycles:.0f} cycles")
+    straggler = timeline.straggler()
+    if straggler is not None:
+        lines.append(f"straggler: {straggler.tag} ({straggler.duration:.0f} cycles)")
+    return "\n".join(lines)

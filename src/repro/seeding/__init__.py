@@ -1,0 +1,19 @@
+"""Seeding substrate: suffix array, BWT, FM-index, SMEM, chaining, jobs."""
+
+from .bwt import bwt, bwt_from_sa, inverse_bwt
+from .chaining import Chain, chain_seeds
+from .fm_index import FMIndex, SARange
+from .jobs import JobPair, SeedExtendPipeline, extension_jobs_for_chain
+from .kmer_index import KmerIndex
+from .smem import Seed, SmemSeeder
+from .suffix_array import SENTINEL, suffix_array
+
+__all__ = [
+    "suffix_array", "SENTINEL",
+    "bwt", "bwt_from_sa", "inverse_bwt",
+    "FMIndex", "SARange",
+    "KmerIndex",
+    "Seed", "SmemSeeder",
+    "Chain", "chain_seeds",
+    "JobPair", "extension_jobs_for_chain", "SeedExtendPipeline",
+]

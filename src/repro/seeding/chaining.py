@@ -1,0 +1,102 @@
+"""Colinear seed chaining.
+
+BWA-MEM groups seeds into chains before extension; the chain decides
+which reference window each extension job sees.  We implement the
+standard O(n^2) weighted colinear chaining DP (n is tens of seeds per
+read, so quadratic is immaterial): a seed may follow another when both
+its query and reference intervals advance, with a penalty for the
+diagonal drift between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .smem import Seed
+
+__all__ = ["Chain", "chain_seeds"]
+
+
+@dataclass(frozen=True)
+class Chain:
+    """An ordered, colinear group of seeds."""
+
+    seeds: tuple[Seed, ...]
+    score: float
+
+    @property
+    def qstart(self) -> int:
+        return self.seeds[0].qpos
+
+    @property
+    def qend(self) -> int:
+        return self.seeds[-1].qend
+
+    @property
+    def rstart(self) -> int:
+        return self.seeds[0].rpos
+
+    @property
+    def rend(self) -> int:
+        return self.seeds[-1].rend
+
+    def __len__(self) -> int:
+        return len(self.seeds)
+
+
+def _gap_cost(a: Seed, b: Seed) -> float:
+    """Penalty for following *a* with *b*: drift plus gap length."""
+    qgap = b.qpos - a.qend
+    rgap = b.rpos - a.rend
+    drift = abs((b.rpos - b.qpos) - (a.rpos - a.qpos))
+    return 0.01 * max(qgap, rgap, 0) + 0.5 * drift
+
+
+def chain_seeds(
+    seeds: list[Seed],
+    *,
+    max_gap: int = 500,
+    max_drift: int = 100,
+) -> list[Chain]:
+    """Chain *seeds* and return chains by descending score.
+
+    ``max_gap`` bounds the query/reference distance bridged between
+    consecutive seeds; ``max_drift`` bounds their diagonal difference
+    (both BWA-MEM-style chaining cutoffs).
+    """
+    if not seeds:
+        return []
+    order = sorted(range(len(seeds)), key=lambda i: (seeds[i].qpos, seeds[i].rpos))
+    s = [seeds[i] for i in order]
+    n = len(s)
+    score = [float(x.length) for x in s]
+    back = [-1] * n
+    for j in range(n):
+        for i in range(j):
+            a, b = s[i], s[j]
+            if b.qpos < a.qend or b.rpos < a.rend:
+                continue  # overlaps: not colinear succession
+            if b.qpos - a.qend > max_gap or b.rpos - a.rend > max_gap:
+                continue
+            if abs(b.diagonal - a.diagonal) > max_drift:
+                continue
+            cand = score[i] + b.length - _gap_cost(a, b)
+            if cand > score[j]:
+                score[j] = cand
+                back[j] = i
+    # Extract chains greedily by best terminal seed, consuming members.
+    used = [False] * n
+    chains: list[Chain] = []
+    for j in sorted(range(n), key=lambda x: -score[x]):
+        if used[j]:
+            continue
+        members = []
+        k = j
+        while k != -1 and not used[k]:
+            members.append(s[k])
+            used[k] = True
+            k = back[k]
+        members.reverse()
+        chains.append(Chain(seeds=tuple(members), score=score[j]))
+    chains.sort(key=lambda c: -c.score)
+    return chains

@@ -1,0 +1,82 @@
+"""K-mer hash index: the simpler, faster seeding alternative.
+
+Early GPU mappers (SARUMAN, GPU-RMAP — Sec. VI-B) seeded with
+hashtable lookups before BWT indexes took over.  We keep a k-mer index
+both as a fast seeder for large workloads and as an independent oracle
+the FM-index seeder is cross-checked against in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KmerIndex"]
+
+
+class KmerIndex:
+    """Exact k-mer position index over a reference.
+
+    K-mers containing ``N`` are not indexed (they cannot anchor exact
+    seeds), matching mapper behaviour.
+    """
+
+    def __init__(self, reference: np.ndarray, k: int = 16):
+        if not 4 <= k <= 31:
+            raise ValueError("k must be in 4..31")
+        self.reference = np.asarray(reference, dtype=np.uint8)
+        self.k = k
+        self._index: dict[int, np.ndarray] = {}
+        n = self.reference.size - k + 1
+        if n <= 0:
+            return
+        keys = self._roll(self.reference)
+        valid = self._valid_mask(self.reference)
+        order = np.argsort(keys[valid], kind="stable")
+        pos = np.flatnonzero(valid)[order]
+        sorted_keys = keys[pos]
+        # Split positions into per-key groups in one pass.
+        boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+        groups = np.split(pos, boundaries)
+        starts = np.concatenate([[0], boundaries])
+        for s, grp in zip(starts, groups):
+            self._index[int(sorted_keys[s])] = grp
+
+    def _roll(self, codes: np.ndarray) -> np.ndarray:
+        """2-bit rolling keys for every window (N handled by mask)."""
+        n = codes.size - self.k + 1
+        keys = np.zeros(n, dtype=np.int64)
+        safe = np.where(codes >= 4, 0, codes).astype(np.int64)
+        for off in range(self.k):
+            keys = (keys << 2) | safe[off : off + n]
+        return keys
+
+    def _valid_mask(self, codes: np.ndarray) -> np.ndarray:
+        n = codes.size - self.k + 1
+        has_n = codes >= 4
+        window_bad = np.convolve(has_n.astype(np.int64), np.ones(self.k, dtype=np.int64))[
+            self.k - 1 : self.k - 1 + n
+        ]
+        return window_bad == 0
+
+    def lookup(self, kmer: np.ndarray) -> np.ndarray:
+        """Reference positions of one exact k-mer (empty if none/N)."""
+        kmer = np.asarray(kmer, dtype=np.uint8)
+        if kmer.size != self.k:
+            raise ValueError(f"expected a {self.k}-mer, got length {kmer.size}")
+        if (kmer >= 4).any():
+            return np.empty(0, dtype=np.int64)
+        key = 0
+        for c in kmer:
+            key = (key << 2) | int(c)
+        return self._index.get(key, np.empty(0, dtype=np.int64))
+
+    def query_hits(self, query: np.ndarray, *, stride: int = 1, max_hits_per_kmer: int = 64
+                   ) -> list[tuple[int, np.ndarray]]:
+        """All ``(query_pos, ref_positions)`` hits along *query*."""
+        query = np.asarray(query, dtype=np.uint8)
+        hits = []
+        for qpos in range(0, max(query.size - self.k + 1, 0), stride):
+            pos = self.lookup(query[qpos : qpos + self.k])
+            if pos.size and pos.size <= max_hits_per_kmer:
+                hits.append((qpos, pos))
+        return hits

@@ -1,0 +1,56 @@
+"""Sequence substrate: alphabet, packing, I/O, genomes, read simulation."""
+
+from .alphabet import (
+    ALPHABET,
+    BASES,
+    A,
+    C,
+    G,
+    N,
+    T,
+    complement,
+    decode,
+    encode,
+    reverse_complement,
+)
+from .fasta import iter_fasta, read_fasta, write_fasta
+from .fastq import FastqRecord, constant_quality, iter_fastq, read_fastq, write_fastq
+from .genome import GenomeConfig, mutate, synthetic_genome
+from .packing import (
+    PackedBatch,
+    PackingKernelModel,
+    pack,
+    pack_batch,
+    packed_words,
+    unpack,
+)
+from .quality import QualityModel, QualityReadSimulator, phred_to_error_prob
+from .stats import (
+    LengthStats,
+    aun,
+    base_composition,
+    gc_content,
+    length_stats,
+    n50,
+)
+from .simulate import (
+    ILLUMINA_LIKE,
+    PACBIO_LIKE,
+    ErrorProfile,
+    ReadSimulator,
+    SimulatedRead,
+    simulate_equal_length_pairs,
+)
+
+__all__ = [
+    "A", "C", "G", "T", "N", "ALPHABET", "BASES",
+    "encode", "decode", "complement", "reverse_complement",
+    "pack", "unpack", "packed_words", "PackedBatch", "pack_batch", "PackingKernelModel",
+    "GenomeConfig", "synthetic_genome", "mutate",
+    "ErrorProfile", "ILLUMINA_LIKE", "PACBIO_LIKE", "ReadSimulator", "SimulatedRead",
+    "simulate_equal_length_pairs",
+    "read_fasta", "write_fasta", "iter_fasta",
+    "FastqRecord", "read_fastq", "write_fastq", "iter_fastq", "constant_quality",
+    "base_composition", "gc_content", "n50", "aun", "LengthStats", "length_stats",
+    "QualityModel", "QualityReadSimulator", "phred_to_error_prob",
+]

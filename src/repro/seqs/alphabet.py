@@ -1,0 +1,98 @@
+"""Nucleotide alphabet and base-level encodings.
+
+Sequence reads contain exactly five literals: ``A``, ``C``, ``G``,
+``T`` (DNA) / ``U`` (RNA), and ``N`` (unknown base).  Three bits would
+suffice, but — as the paper notes (Sec. II-B) — three-bit fields are
+awkward on real architectures, so aligners use 2-, 4-, or 8-bit codes.
+This module defines the canonical integer codes shared by every other
+subsystem, plus vectorized conversions between ASCII and code space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "A",
+    "C",
+    "G",
+    "T",
+    "N",
+    "ALPHABET",
+    "BASES",
+    "CODE_BITS",
+    "encode",
+    "decode",
+    "complement",
+    "reverse_complement",
+    "is_valid_codes",
+]
+
+#: Canonical integer codes.  ``T`` doubles as ``U`` for RNA input.
+A, C, G, T, N = 0, 1, 2, 3, 4
+
+#: All literals, indexed by code.
+ALPHABET = "ACGTN"
+
+#: The four unambiguous bases (no ``N``).
+BASES = "ACGT"
+
+#: Bits needed for a full five-literal code.
+CODE_BITS = 3
+
+# ASCII -> code lookup, tolerant of lowercase and of U/u as T.
+_ENCODE_LUT = np.full(256, N, dtype=np.uint8)
+for _i, _ch in enumerate(ALPHABET):
+    _ENCODE_LUT[ord(_ch)] = _i
+    _ENCODE_LUT[ord(_ch.lower())] = _i
+_ENCODE_LUT[ord("U")] = T
+_ENCODE_LUT[ord("u")] = T
+
+# code -> ASCII lookup.
+_DECODE_LUT = np.frombuffer(ALPHABET.encode(), dtype=np.uint8)
+
+# Watson-Crick complement in code space; N complements to N.
+_COMPLEMENT = np.array([T, G, C, A, N], dtype=np.uint8)
+
+
+def encode(seq: str | bytes | np.ndarray) -> np.ndarray:
+    """Convert a sequence to a ``uint8`` code array.
+
+    Accepts a ``str``/``bytes`` of literals (case-insensitive, ``U``
+    treated as ``T``, anything else mapped to ``N``) or an existing
+    code array, which is validated and passed through.
+    """
+    if isinstance(seq, np.ndarray):
+        if seq.dtype != np.uint8:
+            seq = seq.astype(np.uint8)
+        if seq.size and int(seq.max(initial=0)) > N:
+            raise ValueError("code array contains values outside 0..4")
+        return seq
+    if isinstance(seq, str):
+        seq = seq.encode("ascii")
+    raw = np.frombuffer(seq, dtype=np.uint8)
+    return _ENCODE_LUT[raw]
+
+
+def decode(codes: np.ndarray) -> str:
+    """Convert a code array back to an upper-case literal string."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.size and int(codes.max(initial=0)) > N:
+        raise ValueError("code array contains values outside 0..4")
+    return _DECODE_LUT[codes].tobytes().decode("ascii")
+
+
+def complement(codes: np.ndarray) -> np.ndarray:
+    """Watson-Crick complement in code space (``N`` maps to ``N``)."""
+    return _COMPLEMENT[encode(codes)]
+
+
+def reverse_complement(codes: np.ndarray | str) -> np.ndarray:
+    """Reverse complement in code space."""
+    return complement(encode(codes))[::-1]
+
+
+def is_valid_codes(codes: np.ndarray) -> bool:
+    """True when *codes* is a uint8 array with every value in 0..4."""
+    codes = np.asarray(codes)
+    return codes.dtype == np.uint8 and (codes.size == 0 or int(codes.max()) <= N)

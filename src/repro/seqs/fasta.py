@@ -1,0 +1,83 @@
+"""Minimal FASTA reader/writer operating in code space.
+
+Only what the pipeline needs: multi-record FASTA with arbitrary line
+wrapping, tolerant of blank lines and ``;`` comment lines (an old but
+still-encountered FASTA dialect).
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+import numpy as np
+
+from .alphabet import decode, encode
+
+__all__ = ["read_fasta", "write_fasta", "iter_fasta"]
+
+
+def iter_fasta(source: str | Path | io.TextIOBase) -> Iterator[tuple[str, np.ndarray]]:
+    """Yield ``(name, codes)`` records from a FASTA path, text, or handle."""
+    if isinstance(source, str) and (not source or source.lstrip()[:1] in (">", ";")
+                                    or "\n" in source):
+        handle: io.TextIOBase = io.StringIO(source)
+        own = True
+    elif isinstance(source, (str, Path)):
+        handle = open(source)  # noqa: SIM115 - closed below
+        own = True
+    else:
+        handle = source
+        own = False
+    try:
+        name: str | None = None
+        chunks: list[str] = []
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(";"):
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    yield name, encode("".join(chunks))
+                name = line[1:].split()[0] if len(line) > 1 else ""
+                chunks = []
+            else:
+                if name is None:
+                    raise ValueError("FASTA sequence data before any '>' header")
+                chunks.append(line)
+        if name is not None:
+            yield name, encode("".join(chunks))
+    finally:
+        if own:
+            handle.close()
+
+
+def read_fasta(source: str | Path | io.TextIOBase) -> dict[str, np.ndarray]:
+    """Read all FASTA records into an ordered ``{name: codes}`` dict."""
+    records: dict[str, np.ndarray] = {}
+    for name, codes in iter_fasta(source):
+        if name in records:
+            raise ValueError(f"duplicate FASTA record name: {name!r}")
+        records[name] = codes
+    return records
+
+
+def write_fasta(
+    records: Iterable[tuple[str, np.ndarray]],
+    path: str | Path | None = None,
+    *,
+    width: int = 70,
+) -> str:
+    """Write records as FASTA; returns the text (and writes *path* if given)."""
+    if width <= 0:
+        raise ValueError("line width must be positive")
+    out: list[str] = []
+    for name, codes in records:
+        out.append(f">{name}")
+        s = decode(np.asarray(codes, dtype=np.uint8))
+        out.extend(s[i : i + width] for i in range(0, len(s), width))
+    text = "\n".join(out) + ("\n" if out else "")
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,102 @@
+"""Minimal FASTQ reader/writer operating in code space.
+
+FASTQ is the native format of the SRA read datasets the paper uses
+(SRR835433, SRP091981); our simulated equivalents round-trip through
+it so the dataset pipeline exercises the same I/O path.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .alphabet import decode, encode
+
+__all__ = ["FastqRecord", "iter_fastq", "read_fastq", "write_fastq", "constant_quality"]
+
+
+@dataclass(frozen=True)
+class FastqRecord:
+    """One FASTQ record: name, bases (code space), Phred+33 qualities."""
+
+    name: str
+    codes: np.ndarray
+    quality: np.ndarray  # uint8 Phred scores (not ASCII)
+
+    def __post_init__(self):
+        if self.codes.size != self.quality.size:
+            raise ValueError(
+                f"record {self.name!r}: {self.codes.size} bases vs {self.quality.size} qualities"
+            )
+
+    def __len__(self) -> int:
+        return int(self.codes.size)
+
+
+def constant_quality(n: int, phred: int = 30) -> np.ndarray:
+    """A flat quality vector (simulated data has no real qualities)."""
+    if not 0 <= phred <= 93:
+        raise ValueError("Phred score must be in 0..93")
+    return np.full(n, phred, dtype=np.uint8)
+
+
+def iter_fastq(source: str | Path | io.TextIOBase) -> Iterator[FastqRecord]:
+    """Yield records from a FASTQ path, text, or handle."""
+    if isinstance(source, str) and (not source or source.lstrip()[:1] == "@"
+                                    or "\n" in source):
+        handle: io.TextIOBase = io.StringIO(source)
+        own = True
+    elif isinstance(source, (str, Path)):
+        handle = open(source)  # noqa: SIM115 - closed below
+        own = True
+    else:
+        handle = source
+        own = False
+    try:
+        while True:
+            header = handle.readline()
+            if not header:
+                return
+            header = header.strip()
+            if not header:
+                continue
+            if not header.startswith("@"):
+                raise ValueError(f"malformed FASTQ header: {header!r}")
+            seq = handle.readline().strip()
+            plus = handle.readline().strip()
+            qual = handle.readline().strip()
+            if not plus.startswith("+"):
+                raise ValueError(f"malformed FASTQ separator for {header!r}")
+            if len(qual) != len(seq):
+                raise ValueError(f"quality/sequence length mismatch for {header!r}")
+            phred = np.frombuffer(qual.encode("ascii"), dtype=np.uint8) - 33
+            yield FastqRecord(name=header[1:].split()[0], codes=encode(seq), quality=phred)
+    finally:
+        if own:
+            handle.close()
+
+
+def read_fastq(source: str | Path | io.TextIOBase) -> list[FastqRecord]:
+    """Read all records into a list."""
+    return list(iter_fastq(source))
+
+
+def write_fastq(
+    records: Iterable[FastqRecord],
+    path: str | Path | None = None,
+) -> str:
+    """Write records as FASTQ text (and to *path* if given)."""
+    out: list[str] = []
+    for rec in records:
+        out.append(f"@{rec.name}")
+        out.append(decode(rec.codes))
+        out.append("+")
+        out.append((rec.quality + 33).astype(np.uint8).tobytes().decode("ascii"))
+    text = "\n".join(out) + ("\n" if out else "")
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,165 @@
+"""Synthetic reference genome generation.
+
+The paper seeds its extension workloads from GRCh38.p13 (3.1 Gbp).  We
+cannot ship the human genome, so this module generates references that
+preserve the two properties the downstream pipeline actually depends
+on:
+
+* **local base composition structure** — generated with a first-order
+  Markov chain over ``ACGT`` (real genomes are far from i.i.d.; CpG
+  suppression etc. make exact-match seed lengths non-geometric);
+* **repeats** — segmental duplications and interspersed repeats are
+  what make seeding output multi-hit and what widens the extension-job
+  length distribution; we explicitly copy mutated repeat units across
+  the sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .alphabet import BASES, decode
+
+__all__ = ["GenomeConfig", "synthetic_genome", "mutate"]
+
+# Mild CpG-suppression-like transition bias over A,C,G,T.
+_DEFAULT_TRANSITIONS = np.array(
+    [
+        [0.33, 0.19, 0.27, 0.21],  # from A
+        [0.31, 0.27, 0.06, 0.36],  # from C  (low C->G: CpG suppression)
+        [0.27, 0.24, 0.26, 0.23],  # from G
+        [0.21, 0.25, 0.28, 0.26],  # from T
+    ]
+)
+
+
+@dataclass(frozen=True)
+class GenomeConfig:
+    """Parameters of the synthetic reference.
+
+    Attributes
+    ----------
+    length:
+        Total genome length in bases.
+    repeat_fraction:
+        Fraction of the genome covered by copies of repeat units.
+    repeat_unit_len:
+        Mean length of one repeat unit.
+    repeat_divergence:
+        Per-base substitution rate applied to each repeat copy, so
+        copies are near- but not exact duplicates (like real repeats).
+    n_fraction:
+        Fraction of positions masked to ``N`` (assembly gaps).
+    transitions:
+        4x4 Markov transition matrix over ``ACGT`` (rows sum to 1).
+    """
+
+    length: int = 1_000_000
+    repeat_fraction: float = 0.15
+    repeat_unit_len: int = 300
+    repeat_divergence: float = 0.02
+    n_fraction: float = 0.0005
+    transitions: np.ndarray = field(default_factory=lambda: _DEFAULT_TRANSITIONS.copy())
+
+    def __post_init__(self):
+        if self.length <= 0:
+            raise ValueError("genome length must be positive")
+        if not 0.0 <= self.repeat_fraction < 1.0:
+            raise ValueError("repeat_fraction must be in [0, 1)")
+        t = np.asarray(self.transitions, dtype=float)
+        if t.shape != (4, 4) or not np.allclose(t.sum(axis=1), 1.0):
+            raise ValueError("transitions must be a 4x4 row-stochastic matrix")
+
+
+def _markov_sequence(n: int, transitions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Vectorized first-order Markov chain sampling via inverse CDF.
+
+    Draw all uniforms up front, then walk the chain with a per-state
+    cumulative-probability lookup — O(n) Python-loop-free except for
+    the unavoidable sequential dependence, handled in manageable
+    chunks with a small compiled-friendly loop.
+    """
+    cdf = np.cumsum(transitions, axis=1)
+    u = rng.random(n)
+    out = np.empty(n, dtype=np.uint8)
+    state = rng.integers(0, 4)
+    # Sequential dependence is inherent to a Markov chain; keep the
+    # loop tight (pure indexing, no allocation).
+    for i in range(n):
+        state = int(np.searchsorted(cdf[state], u[i], side="right"))
+        if state > 3:  # numerical edge when u ~ 1.0
+            state = 3
+        out[i] = state
+    return out
+
+
+def mutate(
+    codes: np.ndarray,
+    rate: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Apply i.i.d. substitutions at *rate* to a code sequence (copy)."""
+    codes = codes.copy()
+    if rate <= 0 or codes.size == 0:
+        return codes
+    hits = rng.random(codes.size) < rate
+    n_hits = int(hits.sum())
+    if n_hits:
+        # Substitute with one of the three *other* bases.
+        shift = rng.integers(1, 4, size=n_hits).astype(np.uint8)
+        codes[hits] = (codes[hits] + shift) % 4
+    return codes
+
+
+def synthetic_genome(
+    config: GenomeConfig | None = None,
+    *,
+    seed: int = 0,
+) -> np.ndarray:
+    """Generate a synthetic reference genome as a ``uint8`` code array.
+
+    The backbone is Markov-sampled; repeat units are then copied (with
+    divergence) to random positions until ``repeat_fraction`` of the
+    genome is repeat-covered, and a sprinkling of ``N`` gaps is added.
+    """
+    config = config or GenomeConfig()
+    rng = np.random.default_rng(seed)
+    genome = _markov_sequence(config.length, np.asarray(config.transitions), rng)
+
+    # Plant divergent repeat copies.
+    repeat_target = int(config.repeat_fraction * config.length)
+    planted = 0
+    units: list[np.ndarray] = []
+    while planted < repeat_target:
+        if not units or rng.random() < 0.3:
+            # Mint a new repeat family from a random backbone window.
+            ulen = max(50, int(rng.normal(config.repeat_unit_len, config.repeat_unit_len / 4)))
+            ulen = min(ulen, config.length // 2)
+            start = int(rng.integers(0, config.length - ulen))
+            units.append(genome[start : start + ulen].copy())
+        unit = units[int(rng.integers(0, len(units)))]
+        copy = mutate(unit, config.repeat_divergence, rng)
+        pos = int(rng.integers(0, config.length - copy.size))
+        genome[pos : pos + copy.size] = copy
+        planted += copy.size
+
+    # Assembly gaps.
+    n_gaps = int(config.n_fraction * config.length)
+    if n_gaps:
+        gap_pos = rng.integers(0, config.length, size=n_gaps)
+        genome[gap_pos] = 4  # N
+    return genome
+
+
+def genome_to_fasta_str(genome: np.ndarray, name: str = "synthetic", width: int = 70) -> str:
+    """Render a genome code array as FASTA text (for the I/O layer)."""
+    s = decode(genome)
+    lines = [f">{name}"]
+    lines += [s[i : i + width] for i in range(0, len(s), width)]
+    return "\n".join(lines) + "\n"
+
+
+# Re-export for convenience in tests.
+_BASES = BASES

@@ -1,0 +1,230 @@
+"""Wgsim-like sequence-read simulator.
+
+The paper evaluates with (a) an *in-house read simulator similar to
+Wgsim* producing equal-length synthetic reads for the kernel sweep
+(Fig. 6), and (b) real SRA datasets.  This module is the in-house
+simulator: it samples read positions from a reference, applies an
+error profile (substitutions plus insertion/deletion events), and
+optionally reverse-complements — everything Wgsim does that matters
+for seed-extension workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .alphabet import reverse_complement
+from .genome import mutate
+
+__all__ = ["ErrorProfile", "SimulatedRead", "ReadSimulator", "simulate_equal_length_pairs"]
+
+
+@dataclass(frozen=True)
+class ErrorProfile:
+    """Per-base error characteristics of a sequencing instrument.
+
+    Attributes
+    ----------
+    substitution_rate:
+        Probability of a substitution at each base.
+    insertion_rate / deletion_rate:
+        Probability of opening an insertion/deletion at each base.
+    indel_extend_prob:
+        Geometric continuation probability of an open indel (long
+        indels dominate in third-generation instruments).
+    """
+
+    substitution_rate: float = 0.005
+    insertion_rate: float = 0.0005
+    deletion_rate: float = 0.0005
+    indel_extend_prob: float = 0.3
+
+    def __post_init__(self):
+        for name in ("substitution_rate", "insertion_rate", "deletion_rate", "indel_extend_prob"):
+            v = getattr(self, name)
+            if not 0.0 <= v < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {v}")
+
+
+#: Second-generation (Illumina-like): substitution-dominated, low rate.
+ILLUMINA_LIKE = ErrorProfile(
+    substitution_rate=0.004, insertion_rate=0.0001, deletion_rate=0.0001, indel_extend_prob=0.2
+)
+
+#: Third-generation (PacBio RS-like): high, indel-dominated error.
+PACBIO_LIKE = ErrorProfile(
+    substitution_rate=0.02, insertion_rate=0.06, deletion_rate=0.04, indel_extend_prob=0.4
+)
+
+
+@dataclass(frozen=True)
+class SimulatedRead:
+    """One simulated read with its ground-truth origin.
+
+    Attributes
+    ----------
+    codes:
+        Read bases in code space.
+    ref_start / ref_end:
+        Half-open interval of the originating reference window.
+    reverse:
+        True when the read is the reverse complement of the window.
+    """
+
+    codes: np.ndarray
+    ref_start: int
+    ref_end: int
+    reverse: bool
+
+    def __len__(self) -> int:
+        return int(self.codes.size)
+
+
+class ReadSimulator:
+    """Sample error-bearing reads from a reference genome."""
+
+    def __init__(
+        self,
+        reference: np.ndarray,
+        profile: ErrorProfile = ILLUMINA_LIKE,
+        *,
+        seed: int = 0,
+    ):
+        self.reference = np.asarray(reference, dtype=np.uint8)
+        if self.reference.size == 0:
+            raise ValueError("reference must be non-empty")
+        self.profile = profile
+        self.rng = np.random.default_rng(seed)
+
+    def _apply_errors(self, window: np.ndarray) -> np.ndarray:
+        """Apply the error profile to one reference window."""
+        p = self.profile
+        codes = mutate(window, p.substitution_rate, self.rng)
+        if p.insertion_rate == 0.0 and p.deletion_rate == 0.0:
+            return codes
+        # Event-based indels: decide per-position whether an indel
+        # opens, then extend it geometrically.  Rebuild via segments to
+        # stay vectorized between events.
+        u = self.rng.random(codes.size)
+        ins_pos = np.flatnonzero(u < p.insertion_rate)
+        del_pos = np.flatnonzero((u >= p.insertion_rate) & (u < p.insertion_rate + p.deletion_rate))
+        if ins_pos.size == 0 and del_pos.size == 0:
+            return codes
+        events = sorted(
+            [(int(i), "I") for i in ins_pos] + [(int(i), "D") for i in del_pos]
+        )
+        pieces: list[np.ndarray] = []
+        cursor = 0
+        for pos, kind in events:
+            if pos < cursor:
+                continue  # swallowed by a previous deletion
+            length = 1 + self.rng.geometric(1.0 - p.indel_extend_prob) - 1
+            pieces.append(codes[cursor:pos])
+            if kind == "I":
+                pieces.append(self.rng.integers(0, 4, size=length).astype(np.uint8))
+                cursor = pos
+            else:
+                cursor = min(pos + length, codes.size)
+        pieces.append(codes[cursor:])
+        return np.concatenate(pieces)
+
+    def sample_read(self, length: int) -> SimulatedRead:
+        """Sample a single read of (approximately) *length* bases.
+
+        Indel errors may make the final read a few bases longer or
+        shorter than requested, exactly like Wgsim output.
+        """
+        if length <= 0:
+            raise ValueError("read length must be positive")
+        if length > self.reference.size:
+            raise ValueError("read longer than the reference")
+        start = int(self.rng.integers(0, self.reference.size - length + 1))
+        window = self.reference[start : start + length]
+        codes = self._apply_errors(window)
+        reverse = bool(self.rng.random() < 0.5)
+        if reverse:
+            codes = reverse_complement(codes)
+        return SimulatedRead(codes=codes, ref_start=start, ref_end=start + length, reverse=reverse)
+
+    def sample_reads(self, n: int, length: int) -> list[SimulatedRead]:
+        """Sample *n* reads of equal nominal length."""
+        return [self.sample_read(length) for _ in range(n)]
+
+    def sample_read_pair(
+        self,
+        read_length: int,
+        *,
+        insert_mean: float = 400.0,
+        insert_sd: float = 40.0,
+    ) -> tuple[SimulatedRead, SimulatedRead]:
+        """Sample an FR-oriented mate pair (Illumina paired-end).
+
+        R1 reads the fragment's 5' end forward; R2 reads the 3' end
+        reverse-complemented.  Both records keep the fragment's true
+        coordinates for ground-truth validation.
+        """
+        if read_length <= 0:
+            raise ValueError("read length must be positive")
+        insert = int(max(self.rng.normal(insert_mean, insert_sd), read_length))
+        insert = min(insert, self.reference.size)
+        start = int(self.rng.integers(0, self.reference.size - insert + 1))
+        w1 = self.reference[start : start + read_length]
+        w2 = self.reference[start + insert - read_length : start + insert]
+        r1 = SimulatedRead(
+            codes=self._apply_errors(w1),
+            ref_start=start,
+            ref_end=start + read_length,
+            reverse=False,
+        )
+        r2 = SimulatedRead(
+            codes=reverse_complement(self._apply_errors(w2)),
+            ref_start=start + insert - read_length,
+            ref_end=start + insert,
+            reverse=True,
+        )
+        return r1, r2
+
+    def sample_reads_lognormal(
+        self, n: int, mean_length: float, sigma: float = 0.45, min_length: int = 100
+    ) -> list[SimulatedRead]:
+        """Sample *n* reads with log-normally distributed lengths.
+
+        Third-generation read-length distributions are well described
+        by a log-normal; *mean_length* is the arithmetic mean.
+        """
+        mu = np.log(mean_length) - sigma**2 / 2.0
+        lengths = np.exp(self.rng.normal(mu, sigma, size=n))
+        lengths = np.clip(lengths, min_length, self.reference.size).astype(int)
+        return [self.sample_read(int(ell)) for ell in lengths]
+
+
+def simulate_equal_length_pairs(
+    n_pairs: int,
+    length: int,
+    *,
+    reference: np.ndarray,
+    profile: ErrorProfile = ILLUMINA_LIKE,
+    ref_margin: float = 0.1,
+    seed: int = 0,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Generate (query, reference-window) pairs for the Fig. 6 sweep.
+
+    Each pair is a read of *length* bases plus the genuine reference
+    window it came from, widened by ``ref_margin`` on each side the way
+    an extension job would see it.  All pairs have (nominally) equal
+    length, i.e. zero workload imbalance — isolating raw kernel speed
+    as in the paper's Sec. V-B.
+    """
+    sim = ReadSimulator(reference, profile, seed=seed)
+    margin = int(length * ref_margin)
+    pairs: list[tuple[np.ndarray, np.ndarray]] = []
+    for _ in range(n_pairs):
+        read = sim.sample_read(length)
+        lo = max(0, read.ref_start - margin)
+        hi = min(reference.size, read.ref_end + margin)
+        window = np.asarray(reference[lo:hi], dtype=np.uint8)
+        query = read.codes if not read.reverse else reverse_complement(read.codes)
+        pairs.append((query, window))
+    return pairs

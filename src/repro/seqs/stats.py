@@ -1,0 +1,87 @@
+"""Sequence and read-set statistics.
+
+The small vocabulary genomics tooling speaks: base composition, GC
+content, N50/auN for read-length distributions, error-rate estimation
+from alignments.  Used by the dataset validation tests and the
+examples' summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .alphabet import encode
+
+__all__ = ["base_composition", "gc_content", "n50", "aun", "LengthStats", "length_stats"]
+
+
+def base_composition(codes) -> dict[str, float]:
+    """Fraction of each literal (A, C, G, T, N) in a sequence."""
+    codes = encode(codes)
+    if codes.size == 0:
+        return {b: 0.0 for b in "ACGTN"}
+    counts = np.bincount(codes, minlength=5)
+    return {b: float(counts[i] / codes.size) for i, b in enumerate("ACGTN")}
+
+
+def gc_content(codes) -> float:
+    """GC fraction over unambiguous bases (N excluded from both sides)."""
+    codes = encode(codes)
+    unambiguous = codes[codes < 4]
+    if unambiguous.size == 0:
+        return 0.0
+    gc = np.count_nonzero((unambiguous == 1) | (unambiguous == 2))
+    return float(gc / unambiguous.size)
+
+
+def n50(lengths) -> int:
+    """N50: the length L such that reads >= L cover half the bases."""
+    lengths = np.sort(np.asarray(lengths, dtype=np.int64))[::-1]
+    if lengths.size == 0:
+        return 0
+    half = lengths.sum() / 2
+    covered = np.cumsum(lengths)
+    return int(lengths[np.searchsorted(covered, half)])
+
+
+def aun(lengths) -> float:
+    """Area-under-Nx ("auN"): length-weighted mean read length — a
+    smoother alternative to N50."""
+    lengths = np.asarray(lengths, dtype=np.float64)
+    total = lengths.sum()
+    if total == 0:
+        return 0.0
+    return float((lengths * lengths).sum() / total)
+
+
+@dataclass(frozen=True)
+class LengthStats:
+    """Summary of a read/job length distribution."""
+
+    count: int
+    total: int
+    minimum: int
+    median: int
+    mean: float
+    maximum: int
+    n50: int
+    aun: float
+
+
+def length_stats(lengths) -> LengthStats:
+    """Compute the standard length summary for a read set."""
+    arr = np.asarray(lengths, dtype=np.int64)
+    if arr.size == 0:
+        return LengthStats(0, 0, 0, 0, 0.0, 0, 0, 0.0)
+    return LengthStats(
+        count=int(arr.size),
+        total=int(arr.sum()),
+        minimum=int(arr.min()),
+        median=int(np.median(arr)),
+        mean=float(arr.mean()),
+        maximum=int(arr.max()),
+        n50=n50(arr),
+        aun=aun(arr),
+    )

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.align import ScoringScheme
+from repro.seqs import GenomeConfig, synthetic_genome
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xA11CE)
+
+
+@pytest.fixture(scope="session")
+def small_genome() -> np.ndarray:
+    """A 30 kb synthetic genome shared across the session."""
+    return synthetic_genome(GenomeConfig(length=30_000), seed=7)
+
+
+@pytest.fixture
+def scoring() -> ScoringScheme:
+    return ScoringScheme()
+
+
+def random_codes(rng: np.random.Generator, n: int, *, with_n: bool = True) -> np.ndarray:
+    """Random sequence codes, optionally including N."""
+    hi = 5 if with_n else 4
+    return rng.integers(0, hi, n).astype(np.uint8)

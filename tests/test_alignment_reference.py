@@ -1,0 +1,165 @@
+"""Tests for the reference DP implementations (matrix, anti-diagonal,
+banded) and their mutual agreement."""
+
+import numpy as np
+import pytest
+
+from repro.align import (
+    AlignmentResult,
+    ScoringScheme,
+    band_for_error_rate,
+    banded_sw_align,
+    full_matrices,
+    nw_score,
+    nw_score_slow,
+    sw_align,
+    sw_align_slow,
+    sw_score,
+)
+from repro.seqs import encode
+
+
+class TestSmithWatermanKnownCases:
+    def test_identical_sequences(self, scoring):
+        assert sw_score("ACGTACGT", "ACGTACGT", scoring) == 8 * scoring.match
+
+    def test_empty_inputs(self, scoring):
+        assert sw_align("", "ACGT", scoring) == AlignmentResult(0, 0, 0)
+        assert sw_align("ACGT", "", scoring) == AlignmentResult(0, 0, 0)
+
+    def test_no_similarity(self, scoring):
+        # All-mismatch pair: best local alignment is empty (score 0).
+        assert sw_score("AAAA", "GGGG", scoring) == 0
+
+    def test_single_mismatch_interior(self):
+        s = ScoringScheme(match=2, mismatch=-1, alpha=3, beta=1)
+        # ACGTA vs ACCTA: 4 matches + 1 mismatch through the middle.
+        assert sw_score("ACGTA", "ACCTA", s) == 4 * 2 - 1
+
+    def test_gap_vs_mismatch_choice(self):
+        s = ScoringScheme(match=3, mismatch=-4, alpha=2, beta=1)
+        # Deleting one base (cost 2) beats both the mismatch path
+        # (9 - 4 = 5) and stopping at the exact prefix (9):
+        # R=ACGGT, Q=ACGT -> 4 matches - gap(1) = 12 - 2 = 10.
+        assert sw_score("ACGGT", "ACGT", s) == 10
+
+    def test_affine_gap_prefers_one_long_gap(self):
+        s = ScoringScheme(match=2, mismatch=-4, alpha=3, beta=1)
+        # R has two extra bases together: one gap of 2 costs 3+1=4;
+        # 6 matches - 4 = 8 (beats the exact prefix "ACG" = 6).
+        assert sw_score("ACGGGTAC", "ACGTAC", s) == 8
+
+    def test_local_alignment_ignores_bad_prefix(self, scoring):
+        # A poisoned prefix must not drag the local score down.
+        good = "ACGTACGTACGT"
+        assert sw_score("GGGGG" + good, good, scoring) == len(good) * scoring.match
+
+    def test_n_counts_as_mismatch(self):
+        s = ScoringScheme(n_score=-4)
+        # The N column can neither match nor be cheaply gapped around
+        # (alpha=6), so the best local alignment is the "AC" prefix.
+        assert sw_score("ACGT", "ACNT", s) == 2 * s.match
+
+    def test_endpoint_is_maximal_cell(self, scoring):
+        res = sw_align("ACGT", "ACGT", scoring)
+        assert (res.ref_end, res.query_end) == (4, 4)
+
+
+class TestCrossValidation:
+    """The three SW implementations must agree on random inputs."""
+
+    @pytest.mark.parametrize("trial", range(12))
+    def test_fast_equals_slow(self, rng, trial, scoring):
+        m, n = rng.integers(1, 60, 2)
+        r = rng.integers(0, 5, m).astype(np.uint8)
+        q = rng.integers(0, 5, n).astype(np.uint8)
+        fast = sw_align(r, q, scoring)
+        slow = sw_align_slow(r, q, scoring)
+        assert fast.score == slow.score
+
+    @pytest.mark.parametrize("trial", range(8))
+    def test_wide_band_equals_full(self, rng, trial, scoring):
+        m, n = rng.integers(1, 50, 2)
+        r = rng.integers(0, 5, m).astype(np.uint8)
+        q = rng.integers(0, 5, n).astype(np.uint8)
+        assert banded_sw_align(r, q, band=60, scoring=scoring).score == \
+            sw_align_slow(r, q, scoring).score
+
+    @pytest.mark.parametrize("trial", range(8))
+    def test_nw_fast_equals_slow(self, rng, trial, scoring):
+        m, n = rng.integers(1, 40, 2)
+        r = rng.integers(0, 5, m).astype(np.uint8)
+        q = rng.integers(0, 5, n).astype(np.uint8)
+        assert nw_score(r, q, scoring) == nw_score_slow(r, q, scoring)
+
+    def test_alternate_scoring_scheme(self, rng):
+        s = ScoringScheme(match=3, mismatch=-2, alpha=5, beta=2)
+        r = rng.integers(0, 5, 45).astype(np.uint8)
+        q = rng.integers(0, 5, 37).astype(np.uint8)
+        assert sw_align(r, q, s).score == sw_align_slow(r, q, s).score
+
+
+class TestNeedlemanWunsch:
+    def test_identical(self, scoring):
+        assert nw_score("ACGT", "ACGT", scoring) == 4 * scoring.match
+
+    def test_empty_vs_sequence_pays_gap(self, scoring):
+        assert nw_score("ACG", "", scoring) == -scoring.gap_cost(3)
+        assert nw_score("", "ACG", scoring) == -scoring.gap_cost(3)
+
+    def test_both_empty(self, scoring):
+        assert nw_score("", "", scoring) == 0
+
+    def test_global_can_be_negative(self, scoring):
+        assert nw_score("AAAA", "GGGG", scoring) < 0
+
+    def test_length_one(self, scoring):
+        assert nw_score("A", "A", scoring) == scoring.match
+        assert nw_score("A", "G", scoring) == max(
+            scoring.mismatch, -2 * scoring.gap_cost(1)
+        )
+
+
+class TestBanded:
+    def test_band_zero_is_diagonal_only(self):
+        s = ScoringScheme()
+        assert banded_sw_align("ACGT", "ACGT", band=0, scoring=s).score == 4
+
+    def test_narrow_band_misses_offdiagonal_optimum(self):
+        s = ScoringScheme(match=1, mismatch=-4, alpha=2, beta=1)
+        # Optimal path requires drifting 3 cells off-diagonal.
+        r = encode("AAATTTT")
+        q = encode("TTTT")
+        full = sw_align_slow(r, q, s).score
+        narrow = banded_sw_align(r, q, band=0, scoring=s).score
+        assert narrow < full
+
+    def test_band_heuristic(self):
+        b = band_for_error_rate(1000, 0.1)
+        assert b > band_for_error_rate(1000, 0.01)
+        with pytest.raises(ValueError):
+            band_for_error_rate(0, 0.1)
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValueError):
+            banded_sw_align("AC", "AC", band=-1)
+
+
+class TestFullMatrices:
+    def test_h_nonnegative_local(self, rng, scoring):
+        r = rng.integers(0, 5, 20).astype(np.uint8)
+        q = rng.integers(0, 5, 20).astype(np.uint8)
+        mats = full_matrices(r, q, scoring, local=True)
+        assert (mats.H >= 0).all()
+
+    def test_best_consistent_with_argmax(self, rng, scoring):
+        r = rng.integers(0, 5, 15).astype(np.uint8)
+        q = rng.integers(0, 5, 25).astype(np.uint8)
+        mats = full_matrices(r, q, scoring)
+        score, i, j = mats.best
+        assert mats.H[i, j] == score == mats.H.max()
+
+    def test_global_boundary(self, scoring):
+        mats = full_matrices("ACG", "AC", scoring, local=False)
+        assert mats.H[0, 2] == -scoring.gap_cost(2)
+        assert mats.H[3, 0] == -scoring.gap_cost(3)

@@ -1,0 +1,87 @@
+"""Unit tests for repro.seqs.alphabet."""
+
+import numpy as np
+import pytest
+
+from repro.seqs import (
+    ALPHABET,
+    A,
+    C,
+    G,
+    N,
+    T,
+    complement,
+    decode,
+    encode,
+    reverse_complement,
+)
+from repro.seqs.alphabet import is_valid_codes
+
+
+class TestEncode:
+    def test_basic_roundtrip(self):
+        assert decode(encode("ACGTN")) == "ACGTN"
+
+    def test_codes_are_canonical(self):
+        assert list(encode("ACGTN")) == [A, C, G, T, N]
+
+    def test_lowercase(self):
+        assert decode(encode("acgtn")) == "ACGTN"
+
+    def test_rna_u_maps_to_t(self):
+        assert list(encode("UuU")) == [T, T, T]
+
+    def test_unknown_chars_become_n(self):
+        assert list(encode("XYZ-.")) == [N] * 5
+
+    def test_bytes_input(self):
+        assert decode(encode(b"ACGT")) == "ACGT"
+
+    def test_empty(self):
+        assert encode("").size == 0
+        assert decode(np.zeros(0, np.uint8)) == ""
+
+    def test_array_passthrough(self):
+        arr = np.array([0, 1, 2], dtype=np.uint8)
+        out = encode(arr)
+        assert (out == arr).all()
+
+    def test_array_validation(self):
+        with pytest.raises(ValueError):
+            encode(np.array([7], dtype=np.uint8))
+
+    def test_decode_validation(self):
+        with pytest.raises(ValueError):
+            decode(np.array([9], dtype=np.uint8))
+
+
+class TestComplement:
+    def test_watson_crick(self):
+        assert decode(complement(encode("ACGT"))) == "TGCA"
+
+    def test_n_self_complement(self):
+        assert decode(complement(encode("N"))) == "N"
+
+    def test_reverse_complement(self):
+        assert decode(reverse_complement("AACGT")) == "ACGTT"
+
+    def test_double_reverse_complement_is_identity(self, rng):
+        codes = rng.integers(0, 5, 100).astype(np.uint8)
+        assert (reverse_complement(reverse_complement(codes)) == codes).all()
+
+    def test_string_input(self):
+        assert decode(reverse_complement("ACG")) == "CGT"
+
+
+class TestValidity:
+    def test_valid(self):
+        assert is_valid_codes(np.array([0, 4], dtype=np.uint8))
+
+    def test_wrong_dtype(self):
+        assert not is_valid_codes(np.array([0, 1], dtype=np.int32))
+
+    def test_out_of_range(self):
+        assert not is_valid_codes(np.array([6], dtype=np.uint8))
+
+    def test_alphabet_order(self):
+        assert ALPHABET == "ACGTN"

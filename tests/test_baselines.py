@@ -1,0 +1,156 @@
+"""Tests of the baseline kernels' modeled behaviour and limitations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AdeptKernel,
+    Cushaw2Kernel,
+    ExtensionJob,
+    Gasal2Kernel,
+    NvbioKernel,
+    Soap3dpKernel,
+    SwSharpKernel,
+    all_baselines,
+    make_jobs,
+)
+from repro.gpusim import GTX1650, PRE_PASCAL, RTX3090
+
+
+def _uniform_jobs(rng, n, length):
+    return make_jobs(
+        [
+            (rng.integers(0, 4, length).astype(np.uint8),
+             rng.integers(0, 4, length).astype(np.uint8))
+            for _ in range(n)
+        ]
+    )
+
+
+class TestCommonContract:
+    def test_all_baselines_present_in_table2_order(self):
+        names = [k.name for k in all_baselines()]
+        assert names == ["SOAP3-dp", "CUSHAW2-GPU", "NVBIO", "GASAL2", "SW#", "ADEPT"]
+
+    @pytest.mark.parametrize("kernel", all_baselines())
+    def test_describe_fields(self, kernel):
+        d = kernel.describe()
+        assert set(d) == {"kernel", "parallelism", "bitwidth", "mapping"}
+        assert d["parallelism"] in ("inter-query", "intra-query")
+
+    @pytest.mark.parametrize("kernel", all_baselines())
+    def test_model_run_reports_timing(self, kernel, rng):
+        jobs = _uniform_jobs(rng, 64, 128)
+        res = kernel.run(jobs, GTX1650)
+        assert res.ok
+        assert res.total_ms > 0
+        assert res.results is None  # model mode returns no scores
+
+    def test_skipped_result_raises_on_time_access(self, rng):
+        jobs = _uniform_jobs(rng, 64, 2048)
+        res = AdeptKernel().run(jobs, GTX1650)
+        assert not res.ok
+        with pytest.raises(ValueError):
+            _ = res.total_ms
+
+    @pytest.mark.parametrize("kernel", all_baselines())
+    def test_more_work_takes_longer(self, kernel, rng):
+        a = kernel.run(_uniform_jobs(rng, 32, 128), GTX1650)
+        b = kernel.run(_uniform_jobs(rng, 32, 512), GTX1650)
+        if a.ok and b.ok:
+            assert b.total_ms > a.total_ms
+
+
+class TestDivergenceModel:
+    def test_interquery_warp_pays_for_longest_thread(self, rng):
+        k = Gasal2Kernel()
+        short = _uniform_jobs(rng, 32, 64)
+        # One long job dragging a warp of short ones.
+        mixed = short[:31] + _uniform_jobs(rng, 1, 1024)
+        t_short = k.run(short, GTX1650).timing
+        t_mixed = k.run(mixed, GTX1650).timing
+        assert t_mixed.compute_s > 3 * t_short.compute_s
+        assert t_mixed.counters.thread_utilization < 0.3
+
+    def test_equal_lengths_fully_utilized(self, rng):
+        k = Gasal2Kernel()
+        t = k.run(_uniform_jobs(rng, 64, 256), GTX1650).timing
+        assert t.counters.thread_utilization == pytest.approx(1.0)
+
+
+class TestMemoryBehaviour:
+    def test_gasal2_quadratic_intermediate_traffic(self, rng):
+        k = Gasal2Kernel()
+        t1 = k.run(_uniform_jobs(rng, 16, 256), GTX1650).timing
+        t2 = k.run(_uniform_jobs(rng, 16, 512), GTX1650).timing
+        # Doubling N quadruples the N^2 term (TABLE I).
+        ratio = t2.counters.global_transferred_bytes / t1.counters.global_transferred_bytes
+        assert 3.2 < ratio < 4.5
+
+    def test_pre_pascal_amplification_4x(self, rng):
+        k = Gasal2Kernel()
+        jobs = _uniform_jobs(rng, 8, 256)
+        volta = k.run(jobs, GTX1650).timing.counters
+        old = k.run(jobs, PRE_PASCAL).timing.counters
+        assert old.global_transferred_bytes == pytest.approx(
+            4 * volta.global_transferred_bytes, rel=0.05
+        )
+
+    def test_adept_has_no_intermediate_global_traffic(self, rng):
+        jobs = _uniform_jobs(rng, 16, 512)
+        adept = AdeptKernel().run(jobs, GTX1650).timing.counters
+        gasal = Gasal2Kernel().run(jobs, GTX1650).timing.counters
+        assert adept.global_useful_bytes < gasal.global_useful_bytes / 10
+
+    def test_cushaw2_less_amplified_than_gasal2(self, rng):
+        jobs = _uniform_jobs(rng, 16, 512)
+        cu = Cushaw2Kernel().run(jobs, GTX1650).timing.counters
+        ga = Gasal2Kernel().run(jobs, GTX1650).timing.counters
+        assert cu.memory_amplification < ga.memory_amplification
+
+
+class TestCapacityLimits:
+    def test_adept_structural_1024(self, rng):
+        ok = AdeptKernel().run(_uniform_jobs(rng, 4, 1024), GTX1650)
+        bad = AdeptKernel().run(_uniform_jobs(rng, 4, 1025), GTX1650)
+        assert ok.ok and not bad.ok
+        assert "1024" in bad.skipped
+
+    def test_nvbio_fails_long_batches_on_small_card(self, rng):
+        jobs = _uniform_jobs(rng, 5000, 1024)
+        assert not NvbioKernel().run(jobs, GTX1650).ok
+        assert NvbioKernel().run(jobs, RTX3090).ok
+
+    def test_soap3dp_length_cap_scales_with_memory(self, rng):
+        jobs = _uniform_jobs(rng, 5000, 1024)
+        assert not Soap3dpKernel().run(jobs, GTX1650).ok
+        assert Soap3dpKernel().run(jobs, RTX3090).ok
+
+    def test_gasal2_runs_everywhere_in_sweep(self, rng):
+        for length in (64, 512, 4096):
+            jobs = _uniform_jobs(rng, 16, length)
+            assert Gasal2Kernel().run(jobs, GTX1650).ok
+
+    def test_saloba_capacity_unbounded_in_practice(self, rng):
+        from repro.core import SalobaKernel
+
+        jobs = _uniform_jobs(rng, 64, 4096)
+        assert SalobaKernel().run(jobs, GTX1650).ok
+
+
+class TestSwSharp:
+    def test_launch_count_grows_with_length(self, rng):
+        k = SwSharpKernel()
+        short = k.run(_uniform_jobs(rng, 4, 128), GTX1650).timing
+        long = k.run(_uniform_jobs(rng, 4, 1024), GTX1650).timing
+        assert long.counters.kernel_launches > short.counters.kernel_launches
+
+    def test_much_slower_than_interquery(self, rng):
+        jobs = _uniform_jobs(rng, 256, 512)
+        sw = SwSharpKernel().run(jobs, GTX1650).total_ms
+        ga = Gasal2Kernel().run(jobs, GTX1650).total_ms
+        assert sw > 5 * ga
+
+    def test_overhead_dominated(self, rng):
+        t = SwSharpKernel().run(_uniform_jobs(rng, 16, 256), GTX1650).timing
+        assert t.overhead_s > t.memory_s

@@ -1,0 +1,73 @@
+"""Tests for the stream batching runner."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AdeptKernel, Gasal2Kernel, make_jobs
+from repro.core import BatchRunner, SalobaConfig, SalobaKernel
+from repro.gpusim import GTX1650
+
+
+def _jobs(rng, n, length):
+    return make_jobs(
+        [
+            (rng.integers(0, 4, length).astype(np.uint8),
+             rng.integers(0, 4, length).astype(np.uint8))
+            for _ in range(n)
+        ]
+    )
+
+
+class TestBatchRunner:
+    def test_plan(self, rng):
+        runner = BatchRunner(Gasal2Kernel(), GTX1650, batch_size=100)
+        assert runner.plan(250).n_batches == 3
+        assert runner.plan(0).n_batches == 0
+
+    def test_stream_aggregates_time(self, rng):
+        jobs = _jobs(rng, 300, 128)
+        runner = BatchRunner(Gasal2Kernel(), GTX1650, batch_size=100)
+        res = runner.run(jobs)
+        assert res.completed
+        assert len(res.per_batch_ms) == 3
+        assert res.total_ms == pytest.approx(sum(res.per_batch_ms))
+
+    def test_scores_collected_across_batches(self, rng, scoring):
+        from repro.align import sw_align
+
+        jobs = _jobs(rng, 12, 60)
+        runner = BatchRunner(SalobaKernel(scoring), GTX1650, batch_size=5)
+        res = runner.run(jobs, compute_scores=True)
+        assert len(res.results) == 12
+        for job, got in zip(jobs, res.results):
+            assert got.score == sw_align(job.ref, job.query, scoring).score
+
+    def test_small_batches_pay_more_overhead(self, rng):
+        jobs = _jobs(rng, 2000, 128)
+        small = BatchRunner(Gasal2Kernel(), GTX1650, batch_size=100).run(jobs)
+        big = BatchRunner(Gasal2Kernel(), GTX1650, batch_size=2000).run(jobs)
+        # GASAL2's per-call init overhead multiplies with call count.
+        assert small.total_ms > big.total_ms
+
+    def test_capacity_skips_recorded(self, rng):
+        jobs = _jobs(rng, 10, 2048)  # over ADEPT's 1024 bp limit
+        runner = BatchRunner(AdeptKernel(), GTX1650, batch_size=5)
+        res = runner.run(jobs, compute_scores=True)
+        assert not res.completed
+        assert len(res.skipped_batches) == 2
+        assert len(res.results) == 10  # placeholders keep alignment
+
+    def test_tune_batch_size(self, rng):
+        sample = _jobs(rng, 50, 128)
+        runner = BatchRunner(Gasal2Kernel(), GTX1650, batch_size=1000)
+        best = runner.tune_batch_size(sample, candidates=(500, 5000, 20_000))
+        assert best in (500, 5000, 20_000)
+        assert runner.batch_size == best
+        # Bigger batches amortize GASAL2's init: the tiny one never wins.
+        assert best != 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchRunner(Gasal2Kernel(), GTX1650, batch_size=0)
+        with pytest.raises(ValueError):
+            BatchRunner(Gasal2Kernel(), GTX1650).tune_batch_size([])

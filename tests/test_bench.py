@@ -1,0 +1,104 @@
+"""Tests for the benchmark harness (small-scale experiment runs)."""
+
+import pytest
+
+from repro.bench import (
+    EXPERIMENTS,
+    PAPER_LENGTHS,
+    equal_length_jobs,
+    fig6,
+    fig7,
+    render_series,
+    render_table,
+    run_experiment,
+    table1,
+    table2,
+)
+from repro.gpusim import GTX1650, RTX3090
+
+SMALL = dict(lengths=(64, 256), n_pairs=200)
+
+
+class TestFormatting:
+    def test_render_table(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [None, "x"]], title="T")
+        assert "T" in out and "skip" in out and "2.500" in out
+
+    def test_render_series(self):
+        out = render_series("k", [64, 128], [1.0, None])
+        assert "64=1ms" in out and "128=skip" in out
+
+
+class TestWorkloads:
+    def test_equal_length_jobs_cached_and_sized(self):
+        jobs = equal_length_jobs(64, 50)
+        assert len(jobs) == 50
+        assert equal_length_jobs(64, 50) is jobs
+        for j in jobs:
+            # Nominal length with wgsim-style indel jitter + ref margin.
+            assert 50 <= j.query_len <= 80
+            assert j.ref_len >= j.query_len
+
+    def test_paper_lengths(self):
+        assert PAPER_LENGTHS == (64, 128, 256, 512, 1024, 2048, 4096)
+
+
+class TestTable1:
+    def test_counts_close_to_paper_formulas(self):
+        res = table1(lengths=(256, 1024))
+        for n, row in res.data.items():
+            paper = row["paper"]["accessed_volta"]
+            counted = row["counted"]["volta"]["transferred"]
+            assert counted == pytest.approx(paper, rel=0.15)
+
+    def test_pre_pascal_4x_volta(self):
+        res = table1(lengths=(512,))
+        row = res.data[512]
+        assert row["counted"]["pre_pascal"]["transferred"] == pytest.approx(
+            4 * row["counted"]["volta"]["transferred"], rel=0.05
+        )
+
+
+class TestTable2:
+    def test_seven_kernels(self):
+        res = table2()
+        assert len(res.data["kernels"]) == 7
+        assert "SALoBa" in res.text and "GASAL2" in res.text
+
+
+class TestFig6:
+    def test_series_and_speedups(self):
+        res = fig6(GTX1650, **SMALL)
+        assert set(res.data["series"]) >= {"GASAL2", "SW#", "ADEPT"}
+        assert len(res.data["lengths"]) == 2
+        for ys in res.data["series"].values():
+            assert len(ys) == 2
+
+    def test_saloba_wins_at_256_on_rtx(self):
+        res = fig6(RTX3090, lengths=(256,), n_pairs=2000)
+        sp = res.data["speedup_vs_gasal2"][0]
+        assert sp is not None and sp > 1.0
+
+
+class TestFig7:
+    def test_variants_present(self):
+        res = fig7(GTX1650, **SMALL)
+        assert set(res.data["series"]) == {"+intra", "+lazy-spill", "+subwarp"}
+
+    def test_subwarp_recovers_short_lengths(self):
+        res = fig7(GTX1650, lengths=(64,), n_pairs=2000)
+        s = res.data["series"]
+        assert s["+subwarp"][0] > s["+lazy-spill"][0]
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert {"table1", "table2", "fig2", "fig6_gtx1650", "fig8"} <= set(EXPERIMENTS)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_run_by_name(self):
+        res = run_experiment("table2")
+        assert res.name == "table2"

@@ -1,0 +1,64 @@
+"""Tests for bench support modules: paper constants, workload caching."""
+
+import numpy as np
+import pytest
+
+from repro.bench.paper import PAPER
+from repro.bench.workloads import (
+    DATASET_A_BATCH,
+    DATASET_B_BATCH,
+    PAPER_BATCH,
+    dataset_a_jobs,
+    dataset_b_jobs,
+    equal_length_jobs,
+)
+
+
+class TestPaperConstants:
+    def test_structure(self):
+        assert PAPER["fig6_break_even_bp"] == 128
+        assert set(PAPER["fig6_64bp_ms"]) == {"GTX1650", "RTX3090"}
+        assert PAPER["fig8_best_subwarp"][("dataset B", "GTX1650")] == 16
+
+    def test_device_figures_match_profiles(self):
+        from repro.gpusim import GTX1650, RTX3090
+
+        for dev in (GTX1650, RTX3090):
+            spec = PAPER["devices"][dev.name]
+            assert dev.peak_tflops == pytest.approx(spec["peak_tflops"], rel=0.03)
+            assert dev.mem_bandwidth_gbps == pytest.approx(spec["bandwidth_gbps"])
+            assert dev.flops_per_byte == pytest.approx(spec["flops_per_byte"], rel=0.03)
+
+    def test_table1_formulas_recorded(self):
+        assert PAPER["table1"]["accessed_volta"] == "32N + 4N^2"
+
+
+class TestWorkloadGenerators:
+    def test_equal_length_exact_query_lengths(self):
+        jobs = equal_length_jobs(128, 40)
+        assert all(j.query_len == 128 for j in jobs)
+        assert all(j.ref_len >= 128 for j in jobs)
+
+    def test_different_seeds_differ(self):
+        a = equal_length_jobs(64, 10, seed=1)
+        b = equal_length_jobs(64, 10, seed=2)
+        assert any(
+            not np.array_equal(x.query, y.query) for x, y in zip(a, b)
+        )
+
+    def test_dataset_jobs_counts(self):
+        a = dataset_a_jobs(500)
+        b = dataset_b_jobs(400)
+        assert len(a) == 500 and len(b) == 400
+
+    def test_dataset_jobs_cached(self):
+        assert dataset_a_jobs(500) is dataset_a_jobs(500)
+
+    def test_paper_scale_constants(self):
+        assert PAPER_BATCH == 5000
+        assert DATASET_A_BATCH == 10_000 and DATASET_B_BATCH == 20_000
+
+    def test_dataset_b_has_long_tail(self):
+        jobs = dataset_b_jobs(2000)
+        longest = max(max(j.query_len, j.ref_len) for j in jobs)
+        assert longest > 1024  # what knocks ADEPT out in Fig. 8b

@@ -1,0 +1,143 @@
+"""Tests for the 8x8 block engine and the block-grid executor."""
+
+import numpy as np
+import pytest
+
+from repro.align import (
+    BLOCK,
+    BlockInputs,
+    PAD,
+    ScoringScheme,
+    compute_blocks,
+    full_matrices,
+    grid_sweep,
+    job_geometry,
+    pad_to_blocks,
+    sw_align_slow,
+)
+from repro.align.scoring import NEG_INF
+
+
+def _single_block_vs_reference(r8, q8, scoring):
+    """Compute one fresh top-left block and the matching reference tile."""
+    inputs = BlockInputs.fresh(r8[None, :], q8[None, :])
+    out = compute_blocks(inputs, scoring)
+    mats = full_matrices(r8, q8, scoring, local=True)
+    return out, mats
+
+
+class TestSingleBlock:
+    def test_matches_reference_tile(self, rng, scoring):
+        r8 = rng.integers(0, 5, BLOCK).astype(np.uint8)
+        q8 = rng.integers(0, 5, BLOCK).astype(np.uint8)
+        out, mats = _single_block_vs_reference(r8, q8, scoring)
+        assert (out.bottom_h[0] == mats.H[BLOCK, 1:]).all()
+        assert (out.right_h[0] == mats.H[1:, BLOCK]).all()
+        assert (out.right_e[0] == mats.E[1:, BLOCK]).all()
+        assert (out.bottom_f[0] == mats.F[BLOCK, 1:]).all()
+        assert int(out.block_max[0]) == int(mats.H.max())
+
+    def test_argmax_position(self, scoring):
+        short = np.array([0, 1, 2, 3], dtype=np.uint8)
+        r8, q8 = pad_to_blocks(short), pad_to_blocks(short)
+        inputs = BlockInputs.fresh(r8[None, :], q8[None, :])
+        out = compute_blocks(inputs, scoring)
+        # Reference on the unpadded sequences: PAD cells cannot win.
+        mats = full_matrices(short, short, scoring, local=True)
+        score, i, j = mats.best
+        assert int(out.block_max[0]) == score
+        assert int(out.argmax_i[0]) == i - 1
+        assert int(out.argmax_j[0]) == j - 1
+
+    def test_batched_blocks_independent(self, rng, scoring):
+        b = 5
+        r = rng.integers(0, 5, (b, BLOCK)).astype(np.uint8)
+        q = rng.integers(0, 5, (b, BLOCK)).astype(np.uint8)
+        batched = compute_blocks(BlockInputs.fresh(r, q), scoring)
+        for k in range(b):
+            single = compute_blocks(BlockInputs.fresh(r[k : k + 1], q[k : k + 1]), scoring)
+            assert (batched.bottom_h[k] == single.bottom_h[0]).all()
+            assert batched.block_max[k] == single.block_max[0]
+
+    def test_corner_out_is_top_right_boundary(self, rng, scoring):
+        r = rng.integers(0, 5, (1, BLOCK)).astype(np.uint8)
+        q = rng.integers(0, 5, (1, BLOCK)).astype(np.uint8)
+        inputs = BlockInputs.fresh(r, q)
+        inputs.top_h[0, BLOCK - 1] = 42
+        out = compute_blocks(inputs, scoring)
+        assert int(out.corner_out[0]) == 42
+
+    def test_fresh_rejects_global(self, rng):
+        r = rng.integers(0, 5, (1, BLOCK)).astype(np.uint8)
+        with pytest.raises(NotImplementedError):
+            BlockInputs.fresh(r, r, local=False)
+
+
+class TestPadToBlocks:
+    def test_multiple_untouched(self, rng):
+        codes = rng.integers(0, 5, 16).astype(np.uint8)
+        assert pad_to_blocks(codes) is codes
+
+    def test_padding_value_and_length(self):
+        out = pad_to_blocks(np.array([0, 1, 2], dtype=np.uint8))
+        assert out.size == BLOCK
+        assert (out[3:] == PAD).all()
+
+    def test_pad_cells_never_win(self, rng, scoring):
+        # A sequence ending mid-block must score identically to the
+        # unpadded reference computation.
+        r = rng.integers(0, 5, 11).astype(np.uint8)
+        q = rng.integers(0, 5, 5).astype(np.uint8)
+        res = grid_sweep([(r, q)], scoring)[0]
+        assert res.score == sw_align_slow(r, q, scoring).score
+
+
+class TestGridSweep:
+    @pytest.mark.parametrize("trial", range(10))
+    def test_exactness_random(self, rng, trial, scoring):
+        m, n = rng.integers(1, 90, 2)
+        r = rng.integers(0, 5, m).astype(np.uint8)
+        q = rng.integers(0, 5, n).astype(np.uint8)
+        assert grid_sweep([(r, q)], scoring)[0].score == sw_align_slow(r, q, scoring).score
+
+    def test_multi_job_batch_matches_individual(self, rng, scoring):
+        jobs = [
+            (rng.integers(0, 5, int(rng.integers(1, 70))).astype(np.uint8),
+             rng.integers(0, 5, int(rng.integers(1, 70))).astype(np.uint8))
+            for _ in range(12)
+        ]
+        batched = grid_sweep(jobs, scoring)
+        for job, res in zip(jobs, batched):
+            assert res.score == grid_sweep([job], scoring)[0].score
+
+    def test_empty_job(self, scoring):
+        res = grid_sweep([(np.zeros(0, np.uint8), np.array([1], np.uint8))], scoring)[0]
+        assert res.score == 0 and res.ref_end == 0
+
+    def test_endpoint_scores_back(self, rng, scoring):
+        # The reported endpoint must actually realize the score.
+        r = rng.integers(0, 4, 50).astype(np.uint8)
+        q = r.copy()  # identical -> unique maximum at the corner
+        res = grid_sweep([(r, q)], scoring)[0]
+        assert (res.ref_end, res.query_end) == (50, 50)
+
+    def test_geometry(self):
+        g = job_geometry(17, 9)
+        assert (g.r, g.q) == (3, 2)
+        assert g.blocks == 6
+        assert g.cells == 17 * 9
+
+    def test_mismatched_extreme_sizes(self, rng, scoring):
+        r = rng.integers(0, 5, 1).astype(np.uint8)
+        q = rng.integers(0, 5, 120).astype(np.uint8)
+        assert grid_sweep([(r, q)], scoring)[0].score == sw_align_slow(r, q, scoring).score
+
+
+class TestNumericalHeadroom:
+    def test_long_gap_does_not_underflow(self, scoring):
+        # E/F drains by beta every column; must stay far above int32 min.
+        r = np.zeros(256, np.uint8)
+        q = np.full(256, 2, np.uint8)
+        res = grid_sweep([(r, q)], scoring)[0]
+        assert res.score == 0
+        assert NEG_INF - 256 * scoring.beta > np.iinfo(np.int32).min

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.seqs import encode, write_fasta
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_align_args(self):
+        args = build_parser().parse_args(["align", "ACGT", "ACGT", "--traceback"])
+        assert args.command == "align" and args.traceback
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_bad_subwarp_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--subwarp", "5"])
+
+
+class TestCommands:
+    def test_align(self, capsys):
+        assert main(["align", "ACGTACGT", "ACGTACGT"]) == 0
+        out = capsys.readouterr().out
+        assert "score=8" in out
+
+    def test_align_traceback(self, capsys):
+        assert main(["align", "ACGTACGT", "TTACGTACGTAA", "--traceback"]) == 0
+        out = capsys.readouterr().out
+        assert "cigar=8M" in out and "||||||||" in out
+
+    def test_align_custom_scoring(self, capsys):
+        assert main(["align", "AC", "AC", "--match", "3"]) == 0
+        assert "score=6" in capsys.readouterr().out
+
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "GTX1650" in out and "RTX3090" in out and "128.1" in out
+
+    def test_sweep_small(self, capsys):
+        assert main(["sweep", "--length", "128", "--pairs", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "GASAL2" in out and "SALoBa" in out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "TABLE II" in capsys.readouterr().out
+
+    def test_tune_fasta(self, tmp_path, capsys, rng):
+        reads = [(f"r{i}", rng.integers(0, 4, 150).astype(np.uint8)) for i in range(40)]
+        path = tmp_path / "reads.fa"
+        write_fasta(reads, path)
+        assert main(["tune", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "best subwarp size" in out
+
+    def test_tune_empty_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.fa"
+        path.write_text("")
+        assert main(["tune", str(path)]) == 1
+
+    def test_map_command(self, tmp_path, capsys):
+        from repro.seqs import (
+            GenomeConfig,
+            ILLUMINA_LIKE,
+            ReadSimulator,
+            synthetic_genome,
+            write_fasta,
+        )
+
+        genome = synthetic_genome(GenomeConfig(length=20_000), seed=9)
+        sim = ReadSimulator(genome, ILLUMINA_LIKE, seed=10)
+        reads = [(f"r{i}", sim.sample_read(150).codes) for i in range(6)]
+        ref_path = tmp_path / "ref.fa"
+        reads_path = tmp_path / "reads.fa"
+        write_fasta([("chr1", genome)], ref_path)
+        write_fasta(reads, reads_path)
+        assert main(["map", str(ref_path), str(reads_path)]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.strip().splitlines() if not l.startswith("#")]
+        assert lines[0].startswith("read\tmapped")
+        assert len(lines) == 7  # header + 6 reads
+        assert all("\t" in l for l in lines[1:])
+
+    def test_map_empty_reference(self, tmp_path, capsys):
+        ref = tmp_path / "ref.fa"
+        ref.write_text("")
+        reads = tmp_path / "reads.fa"
+        reads.write_text(">r\nACGT\n")
+        assert main(["map", str(ref), str(reads)]) == 1
+
+    def test_report_parser(self):
+        args = build_parser().parse_args(["report", "--quick", "--out", "x.md"])
+        assert args.quick and args.out == "x.md"

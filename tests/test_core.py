@@ -1,0 +1,335 @@
+"""Tests for the SALoBa core: config, layout, subwarp, kernel model,
+aligner API, ablation, multi-GPU."""
+
+import numpy as np
+import pytest
+
+from repro.align import sw_align
+from repro.baselines import Gasal2Kernel, make_jobs
+from repro.core import (
+    SUBWARP_SIZES,
+    SalobaAligner,
+    SalobaConfig,
+    SalobaKernel,
+    ablation_variants,
+    plan_job,
+    run_ablation,
+    run_multi_gpu,
+    run_subwarp_sweep,
+    saloba_extend_exact,
+    schedule_subwarps,
+    split_jobs,
+)
+from repro.align.grid import job_geometry
+from repro.core.intra_query import slot_word_addresses
+from repro.gpusim import GTX1650, RTX3090, bank_conflict_factor
+
+
+def _jobs(rng, n, qlen, rlen=None):
+    rlen = rlen or qlen
+    return make_jobs(
+        [
+            (rng.integers(0, 4, qlen).astype(np.uint8),
+             rng.integers(0, 4, rlen).astype(np.uint8))
+            for _ in range(n)
+        ]
+    )
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = SalobaConfig()
+        assert cfg.subwarp_size in SUBWARP_SIZES and cfg.lazy_spill
+
+    @pytest.mark.parametrize("s", SUBWARP_SIZES)
+    def test_subwarps_per_warp(self, s):
+        assert SalobaConfig(subwarp_size=s).subwarps_per_warp == 32 // s
+
+    def test_invalid_subwarp(self):
+        with pytest.raises(ValueError):
+            SalobaConfig(subwarp_size=5)
+
+    def test_with_update(self):
+        cfg = SalobaConfig().with_(subwarp_size=16, band=32)
+        assert cfg.subwarp_size == 16 and cfg.band == 32
+
+    def test_negative_band(self):
+        with pytest.raises(ValueError):
+            SalobaConfig(band=-1)
+
+
+class TestLayout:
+    def test_chunk_decomposition(self):
+        plan = plan_job(job_geometry(ref_len=520, query_len=256), subwarp_size=8)
+        # 65 block rows -> 8 full chunks + 1 single-strip chunk.
+        assert len(plan.chunks) == 9
+        assert plan.chunks[0].height == 8 and plan.chunks[-1].height == 1
+        assert plan.chunks[0].width == 32
+
+    def test_steps_formula(self):
+        plan = plan_job(job_geometry(256, 256), subwarp_size=32)
+        # 32 block rows, one chunk: q + 31 steps (Fig. 3).
+        assert plan.total_steps == 32 + 31
+
+    def test_busy_plus_idle_is_total(self):
+        plan = plan_job(job_geometry(512, 256), subwarp_size=16)
+        for c in plan.chunks:
+            assert c.busy_thread_steps + c.idle_thread_steps(16) == c.steps * 16
+
+    def test_boundary_cells_count(self):
+        plan = plan_job(job_geometry(512, 256), subwarp_size=8)
+        # 8 chunks -> 7 interior boundaries of query_len cells.
+        assert plan.boundary_cells == 7 * 256
+
+    def test_single_chunk_no_boundary(self):
+        plan = plan_job(job_geometry(64, 256), subwarp_size=32)
+        assert plan.boundary_cells == 0
+        assert plan.spill_events == 0
+
+    def test_banded_width(self):
+        plan = plan_job(job_geometry(4096, 4096), subwarp_size=8, band=64)
+        assert plan.chunks[0].width == 2 * 8 + 1  # 2*ceil(64/8)+1 blocks
+
+    def test_smaller_subwarp_fewer_total_idle(self):
+        g = job_geometry(1024, 1024)
+        waste4 = sum(c.idle_thread_steps(4) for c in plan_job(g, 4).chunks)
+        waste32 = sum(c.idle_thread_steps(32) for c in plan_job(g, 32).chunks)
+        # Sec. IV-C: smaller subwarps shrink prologue/epilogue waste.
+        assert waste4 < waste32
+
+
+class TestSubwarpSchedule:
+    def test_round_robin_dealing(self):
+        sched = schedule_subwarps([1.0] * 10, subwarps_per_warp=2, max_warps=2)
+        assert sched.n_warps == 2
+        assert [len(q) for q in sched.queues] == [3, 3, 2, 2]
+
+    def test_warp_cycles_is_max_queue(self):
+        sched = schedule_subwarps([5.0, 1.0], subwarps_per_warp=2, max_warps=1)
+        assert sched.warp_cycles == [5.0]
+        assert sched.divergence_waste == 4.0
+
+    def test_balanced_loads_no_waste(self):
+        sched = schedule_subwarps([2.0] * 8, subwarps_per_warp=4, max_warps=2)
+        assert sched.divergence_waste == 0.0
+
+    def test_sorted_dealing_balances(self, rng):
+        costs = list(rng.pareto(1.5, size=200) + 0.1)
+        rr = schedule_subwarps(costs, 4, 10)
+        srt = schedule_subwarps(costs, 4, 10, sort_jobs=True)
+        assert srt.divergence_waste <= rr.divergence_waste
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            schedule_subwarps([1.0], 0, 1)
+        with pytest.raises(ValueError):
+            schedule_subwarps([1.0], 1, 0)
+
+    def test_small_batch_fewer_warps(self):
+        sched = schedule_subwarps([1.0] * 3, subwarps_per_warp=4, max_warps=100)
+        assert sched.n_warps == 1
+
+
+class TestSpillProtocol:
+    def test_audit_consistency_various_shapes(self, rng, scoring):
+        for qlen, rlen in ((5, 300), (300, 5), (100, 100), (257, 129)):
+            q = rng.integers(0, 5, qlen).astype(np.uint8)
+            r = rng.integers(0, 5, rlen).astype(np.uint8)
+            res, audit = saloba_extend_exact(r, q, scoring, SalobaConfig(subwarp_size=8))
+            assert audit.consistent
+            assert res.score == sw_align(r, q, scoring).score
+
+    def test_spill_events_match_plan(self, rng, scoring):
+        q = rng.integers(0, 4, 256).astype(np.uint8)
+        r = rng.integers(0, 4, 512).astype(np.uint8)
+        cfg = SalobaConfig(subwarp_size=8)
+        _, audit = saloba_extend_exact(r, q, scoring, cfg)
+        plan = plan_job(job_geometry(512, 256), 8)
+        assert audit.spill_events == plan.spill_events
+
+    def test_single_chunk_never_spills(self, rng, scoring):
+        q = rng.integers(0, 4, 128).astype(np.uint8)
+        r = rng.integers(0, 4, 60).astype(np.uint8)  # 8 block rows
+        _, audit = saloba_extend_exact(r, q, scoring, SalobaConfig(subwarp_size=8))
+        assert audit.spill_events == 0
+        assert audit.cells_spilled == 0
+
+    def test_empty_input(self, scoring):
+        res, audit = saloba_extend_exact(
+            np.zeros(0, np.uint8), np.zeros(5, np.uint8), scoring
+        )
+        assert res.score == 0 and audit.consistent
+
+    def test_shared_layout_conflict_free(self):
+        # Warp-wide access at any fixed cell offset touches 32
+        # consecutive words: one per bank (Sec. IV-A's claim).
+        lanes = np.arange(32)
+        for cell in range(8):
+            addrs = slot_word_addresses(np.zeros(32, dtype=int), cell, lanes)
+            assert bank_conflict_factor(addrs) == 1
+
+
+class TestSalobaModel:
+    def test_lazy_spill_removes_scattered_transactions(self, rng):
+        jobs = _jobs(rng, 64, 512, 1024)
+        on = SalobaKernel(config=SalobaConfig(subwarp_size=8, lazy_spill=True))
+        off = SalobaKernel(config=SalobaConfig(subwarp_size=8, lazy_spill=False))
+        c_on = on.run(jobs, GTX1650).timing.counters
+        c_off = off.run(jobs, GTX1650).timing.counters
+        assert c_on.scattered_transactions == 0
+        assert c_off.scattered_transactions > 0
+        assert c_on.global_useful_bytes == pytest.approx(c_off.global_useful_bytes, rel=0.01)
+        assert on.run(jobs, GTX1650).total_ms <= off.run(jobs, GTX1650).total_ms
+
+    def test_lazy_spill_reduces_amplification_pre_pascal(self, rng):
+        from repro.gpusim import PRE_PASCAL
+
+        jobs = _jobs(rng, 64, 512, 1024)
+        on = SalobaKernel(config=SalobaConfig(subwarp_size=8, lazy_spill=True))
+        off = SalobaKernel(config=SalobaConfig(subwarp_size=8, lazy_spill=False))
+        c_on = on.run(jobs, PRE_PASCAL).timing.counters
+        c_off = off.run(jobs, PRE_PASCAL).timing.counters
+        # 32 B last-thread stores move whole 128 B lines before Pascal.
+        assert c_off.memory_amplification > 2 * c_on.memory_amplification
+
+    def test_intra_query_cuts_traffic_vs_gasal2(self, rng):
+        jobs = _jobs(rng, 64, 1024)
+        sal = SalobaKernel(config=SalobaConfig(subwarp_size=32)).run(jobs, GTX1650)
+        gas = Gasal2Kernel().run(jobs, GTX1650)
+        # Sec. IV-A: boundary traffic drops to ~1/32.
+        assert sal.timing.counters.global_useful_bytes < \
+            gas.timing.counters.global_useful_bytes / 8
+
+    def test_banded_model_cheaper(self, rng):
+        jobs = _jobs(rng, 64, 2048)
+        full = SalobaKernel(config=SalobaConfig(subwarp_size=8)).run(jobs, GTX1650)
+        band = SalobaKernel(config=SalobaConfig(subwarp_size=8, band=128)).run(jobs, GTX1650)
+        assert band.total_ms < full.total_ms
+
+    def test_banded_exact_scores_reasonable(self, rng, scoring):
+        q = rng.integers(0, 4, 100).astype(np.uint8)
+        jobs = make_jobs([(q, q)])
+        k = SalobaKernel(scoring, SalobaConfig(band=50))
+        res = k.run(jobs, GTX1650, compute_scores=True)
+        assert res.results[0].score == 100 * scoring.match
+
+    def test_name_reflects_config(self):
+        assert SalobaKernel(config=SalobaConfig(subwarp_size=8)).name == "SALoBa(s=8)"
+        assert SalobaKernel(config=SalobaConfig(subwarp_size=32)).name == "SALoBa"
+        assert "band" in SalobaKernel(config=SalobaConfig(band=10)).name
+
+    def test_sorted_jobs_helps_imbalanced_batch(self, rng):
+        lengths = rng.integers(32, 2048, size=512)
+        jobs = make_jobs(
+            [
+                (rng.integers(0, 4, int(x)).astype(np.uint8),
+                 rng.integers(0, 4, int(x * 1.1)).astype(np.uint8))
+                for x in lengths
+            ]
+        )
+        plain = SalobaKernel(config=SalobaConfig(subwarp_size=8)).run(jobs, GTX1650)
+        srt = SalobaKernel(config=SalobaConfig(subwarp_size=8), sort_jobs=True).run(
+            jobs, GTX1650
+        )
+        assert srt.total_ms <= plain.total_ms * 1.01
+
+
+class TestAligner:
+    def test_align_single_pair(self):
+        a = SalobaAligner()
+        res = a.align("ACGTACGTAC", "ACGTACGTAC")
+        assert res.score == 10
+
+    def test_align_traceback(self):
+        a = SalobaAligner()
+        tb = a.align_traceback("ACGTACGT", "ACGTACGT")
+        assert str(tb.cigar) == "8M"
+
+    def test_batch_with_scores(self, rng):
+        a = SalobaAligner()
+        pairs = [
+            (rng.integers(0, 4, 50).astype(np.uint8),
+             rng.integers(0, 4, 60).astype(np.uint8))
+            for _ in range(5)
+        ]
+        report = a.align_batch(pairs)
+        assert len(report.results) == 5
+        for (q, r), res in zip(pairs, report.results):
+            assert res.score == sw_align(r, q).score
+        assert report.total_ms > 0
+
+    def test_model_only_batch(self, rng):
+        a = SalobaAligner(device=RTX3090)
+        pairs = [(rng.integers(0, 4, 256).astype(np.uint8),) * 2 for _ in range(64)]
+        run = a.model_batch(list(pairs))
+        assert run.results is None and run.timing is not None
+
+    def test_tune_subwarp_picks_a_legal_size(self, rng):
+        a = SalobaAligner()
+        pairs = [
+            (rng.integers(0, 4, 200).astype(np.uint8),
+             rng.integers(0, 4, 250).astype(np.uint8))
+            for _ in range(128)
+        ]
+        best = a.tune_subwarp(pairs)
+        assert best in SUBWARP_SIZES
+        assert a.config.subwarp_size == best
+
+
+class TestAblation:
+    def test_variant_registry(self):
+        v = ablation_variants(8)
+        assert list(v) == ["+intra", "+lazy-spill", "+subwarp"]
+        assert v["+intra"].subwarp_size == 32 and not v["+intra"].lazy_spill
+        assert v["+subwarp"].subwarp_size == 8
+
+    def test_run_ablation_produces_speedups(self, rng):
+        jobs = _jobs(rng, 256, 256)
+        points = run_ablation(jobs, GTX1650)
+        assert len(points) == 3
+        for p in points:
+            assert p.speedup > 0
+
+    def test_subwarp_sweep_keys(self, rng):
+        jobs = _jobs(rng, 128, 128)
+        sweep = run_subwarp_sweep(jobs, GTX1650)
+        assert set(sweep) == set(SUBWARP_SIZES)
+
+
+class TestMultiGpu:
+    def test_split_policies(self, rng):
+        jobs = _jobs(rng, 10, 64)
+        for policy in ("static", "round_robin", "sorted"):
+            buckets = split_jobs(jobs, 3, policy)
+            assert sum(len(b) for b in buckets) == 10
+
+    def test_invalid_policy(self, rng):
+        with pytest.raises(ValueError):
+            split_jobs(_jobs(rng, 4, 64), 2, "magic")
+
+    def test_two_gpus_faster_than_one(self, rng):
+        jobs = _jobs(rng, 512, 512)
+        k = SalobaKernel(config=SalobaConfig(subwarp_size=8))
+        one = k.run(jobs, GTX1650).total_ms
+        two = run_multi_gpu(k, jobs, [GTX1650, GTX1650])
+        assert two.makespan_ms < one
+
+    def test_sorted_policy_balances(self, rng):
+        lengths = rng.integers(32, 3000, size=256)
+        jobs = make_jobs(
+            [
+                (rng.integers(0, 4, int(x)).astype(np.uint8),) * 2
+                for x in lengths
+            ]
+        )
+        k = SalobaKernel(config=SalobaConfig(subwarp_size=8))
+        srt = run_multi_gpu(k, jobs, [GTX1650] * 4, policy="sorted")
+        stat = run_multi_gpu(k, jobs, [GTX1650] * 4, policy="static")
+        assert srt.imbalance <= stat.imbalance + 1e-9
+
+    def test_heterogeneous_devices(self, rng):
+        jobs = _jobs(rng, 128, 256)
+        k = SalobaKernel(config=SalobaConfig(subwarp_size=8))
+        res = run_multi_gpu(k, jobs, [GTX1650, RTX3090], policy="round_robin")
+        assert len(res.per_device_ms) == 2
+        assert res.makespan_ms == max(res.per_device_ms)

@@ -1,0 +1,76 @@
+"""Tests for the simulated dataset A / B batches."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_A,
+    DATASET_B,
+    DatasetBatch,
+    dataset_a_batch,
+    dataset_b_batch,
+)
+
+
+class TestProfiles:
+    def test_dataset_a_is_short_read(self):
+        assert DATASET_A.read_length == 250
+        assert not DATASET_A.variable_length
+        assert DATASET_A.sra_accession == "SRR835433"
+
+    def test_dataset_b_is_long_read(self):
+        assert DATASET_B.variable_length
+        assert DATASET_B.mean_length == 2000.0
+        assert DATASET_B.sra_accession == "SRP091981"
+
+    def test_error_profiles_differ(self):
+        # 3rd-gen error is indel-dominated, 2nd-gen substitution-dominated.
+        a, b = DATASET_A.errors, DATASET_B.errors
+        assert b.insertion_rate + b.deletion_rate > 10 * (a.insertion_rate + a.deletion_rate)
+
+
+class TestBatches:
+    def test_dataset_a_job_shapes(self):
+        batch = dataset_a_batch()
+        assert batch.n_reads == DATASET_A.batch_reads
+        assert len(batch.jobs) > batch.n_reads / 2
+        assert batch.query_lengths().max() <= DATASET_A.read_length
+        # Reference windows bounded by read + margin.
+        assert batch.ref_lengths().max() <= DATASET_A.read_length + 2 * DATASET_A.gap_margin
+
+    def test_dataset_b_longer_and_wider(self):
+        a, b = dataset_a_batch(), dataset_b_batch()
+        assert b.query_lengths().max() > 4 * a.query_lengths().max()
+
+    def test_distributions_not_clustered(self):
+        # Fig. 2's observation: lengths spread over an order of magnitude.
+        for batch in (dataset_a_batch(), dataset_b_batch()):
+            q = batch.query_lengths()
+            assert np.percentile(q, 95) > 10 * max(np.percentile(q, 5), 1)
+
+    def test_caching(self):
+        assert dataset_a_batch() is dataset_a_batch()
+
+    def test_resample_count_and_membership(self):
+        batch = dataset_a_batch()
+        sample = batch.resample(500, seed=3)
+        assert len(sample) == 500
+        lengths = {(q.size, r.size) for q, r in batch.jobs}
+        assert all((q.size, r.size) in lengths for q, r in sample)
+
+    def test_resample_deterministic(self):
+        batch = dataset_a_batch()
+        a = batch.resample(100, seed=5)
+        b = batch.resample(100, seed=5)
+        assert all((x[0] == y[0]).all() for x, y in zip(a, b))
+
+    def test_resample_empty_batch_rejected(self):
+        empty = DatasetBatch(profile=DATASET_A, jobs=[], read_groups=(), n_reads=0)
+        with pytest.raises(ValueError):
+            empty.resample(10)
+
+    def test_read_groups_cover_jobs(self):
+        batch = dataset_a_batch()
+        covered = sum(hi - lo for lo, hi in batch.read_groups)
+        assert covered == len(batch.jobs)
+        assert len(batch.read_groups) == batch.n_reads

@@ -1,0 +1,48 @@
+"""Tests for hypothetical device scaling."""
+
+import pytest
+
+from repro.gpusim import GTX1650, RTX3090
+
+
+class TestScaled:
+    def test_bandwidth_scaling(self):
+        d = GTX1650.scaled(bandwidth=2.0)
+        assert d.mem_bandwidth_gbps == pytest.approx(2 * GTX1650.mem_bandwidth_gbps)
+        assert d.sm_count == GTX1650.sm_count
+        assert d.flops_per_byte == pytest.approx(GTX1650.flops_per_byte / 2)
+
+    def test_compute_scaling(self):
+        d = GTX1650.scaled(compute=4.0)
+        assert d.sm_count == 4 * GTX1650.sm_count
+        assert d.peak_tflops == pytest.approx(4 * GTX1650.peak_tflops)
+
+    def test_memory_scaling_lifts_capacity_limits(self):
+        import numpy as np
+
+        from repro.baselines import NvbioKernel, make_jobs
+
+        rng = np.random.default_rng(0)
+        jobs = make_jobs(
+            [
+                (rng.integers(0, 4, 1024).astype(np.uint8),
+                 rng.integers(0, 4, 1126).astype(np.uint8))
+                for _ in range(5000)
+            ]
+        )
+        assert not NvbioKernel().run(jobs, GTX1650).ok
+        big = GTX1650.scaled(memory=8.0)
+        assert NvbioKernel().run(jobs, big).ok
+
+    def test_name_default_and_override(self):
+        assert "x2" in GTX1650.scaled(bandwidth=2.0).name
+        assert GTX1650.scaled(compute=2.0, name="Big1650").name == "Big1650"
+
+    def test_original_untouched(self):
+        before = GTX1650.mem_bandwidth_gbps
+        GTX1650.scaled(bandwidth=3.0)
+        assert GTX1650.mem_bandwidth_gbps == before
+
+    def test_minimum_one_sm(self):
+        d = RTX3090.scaled(compute=0.001)
+        assert d.sm_count == 1

@@ -1,0 +1,103 @@
+"""Unit tests for FASTA/FASTQ I/O."""
+
+import numpy as np
+import pytest
+
+from repro.seqs import (
+    FastqRecord,
+    constant_quality,
+    decode,
+    encode,
+    read_fasta,
+    read_fastq,
+    write_fasta,
+    write_fastq,
+)
+
+
+class TestFasta:
+    def test_roundtrip(self, rng):
+        records = [("chr1", rng.integers(0, 5, 150).astype(np.uint8)),
+                   ("chr2", rng.integers(0, 5, 7).astype(np.uint8))]
+        text = write_fasta(records, width=60)
+        back = read_fasta(text)
+        assert list(back) == ["chr1", "chr2"]
+        for name, codes in records:
+            assert (back[name] == codes).all()
+
+    def test_line_wrapping(self):
+        text = write_fasta([("x", encode("A" * 100))], width=10)
+        lines = text.strip().split("\n")
+        assert lines[0] == ">x"
+        assert all(len(line) <= 10 for line in lines[1:])
+
+    def test_header_takes_first_token(self):
+        back = read_fasta(">seq1 description here\nACGT\n")
+        assert list(back) == ["seq1"]
+
+    def test_comment_lines_ignored(self):
+        back = read_fasta(";old-style comment\n>s\nAC\nGT\n")
+        assert decode(back["s"]) == "ACGT"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            read_fasta(">a\nAC\n>a\nGT\n")
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(ValueError):
+            read_fasta("ACGT\n")
+
+    def test_file_roundtrip(self, tmp_path, rng):
+        codes = rng.integers(0, 5, 33).astype(np.uint8)
+        path = tmp_path / "ref.fa"
+        write_fasta([("r", codes)], path)
+        assert (read_fasta(path)["r"] == codes).all()
+
+    def test_empty_input(self):
+        assert read_fasta("") == {}
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            write_fasta([("a", encode("AC"))], width=0)
+
+
+class TestFastq:
+    def _rec(self, name, seq, phred=30):
+        codes = encode(seq)
+        return FastqRecord(name=name, codes=codes, quality=constant_quality(codes.size, phred))
+
+    def test_roundtrip(self):
+        recs = [self._rec("r1", "ACGTN"), self._rec("r2", "GGCC", phred=2)]
+        text = write_fastq(recs)
+        back = read_fastq(text)
+        assert [r.name for r in back] == ["r1", "r2"]
+        assert decode(back[0].codes) == "ACGTN"
+        assert (back[1].quality == 2).all()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FastqRecord(name="x", codes=encode("ACGT"), quality=constant_quality(3))
+
+    def test_malformed_header(self):
+        with pytest.raises(ValueError):
+            read_fastq("not-a-header\nACGT\n+\nIIII\n")
+
+    def test_malformed_separator(self):
+        with pytest.raises(ValueError):
+            read_fastq("@r\nACGT\nXXXX\nIIII\n")
+
+    def test_quality_length_mismatch(self):
+        with pytest.raises(ValueError):
+            read_fastq("@r\nACGT\n+\nII\n")
+
+    def test_file_roundtrip(self, tmp_path):
+        rec = self._rec("read/1", "ACGTACGT")
+        path = tmp_path / "reads.fq"
+        write_fastq([rec], path)
+        back = read_fastq(path)
+        assert back[0].name == "read/1"
+        assert len(back[0]) == 8
+
+    def test_constant_quality_bounds(self):
+        with pytest.raises(ValueError):
+            constant_quality(5, 200)

@@ -1,0 +1,40 @@
+"""Unit tests for the fidelity study helpers (small parameters)."""
+
+import pytest
+
+from repro.bench.fidelity import banded_fidelity, xdrop_savings
+
+
+class TestBandedFidelity:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return banded_fidelity(error_rates=(0.01, 0.1), n_jobs=6, length=192, seed=9)
+
+    def test_point_shape(self, points):
+        assert len(points) == 2
+        for p in points:
+            assert p.n_jobs == 6
+            assert 0.0 <= p.exact_fraction <= 1.0
+            assert p.mean_score_ratio <= 1.0 + 1e-9
+
+    def test_band_grows_with_error(self, points):
+        assert points[0].band < points[1].band
+
+    def test_matched_band_keeps_quality(self, points):
+        for p in points:
+            assert p.mean_score_ratio > 0.95
+
+
+class TestXdropSavings:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return xdrop_savings(thresholds=(15, 200), n_jobs=6, length=192, seed=10)
+
+    def test_work_monotone_in_x(self, points):
+        assert points[0].mean_cells_fraction <= points[1].mean_cells_fraction
+
+    def test_large_x_full_fidelity(self, points):
+        assert points[-1].exact_fraction == 1.0
+
+    def test_savings_exist(self, points):
+        assert points[0].mean_cells_fraction < 1.0

@@ -1,0 +1,131 @@
+"""Unit tests for genome generation and the read simulator."""
+
+import numpy as np
+import pytest
+
+from repro.seqs import (
+    GenomeConfig,
+    ILLUMINA_LIKE,
+    PACBIO_LIKE,
+    ErrorProfile,
+    ReadSimulator,
+    mutate,
+    reverse_complement,
+    synthetic_genome,
+)
+
+
+class TestGenome:
+    def test_length_and_dtype(self):
+        g = synthetic_genome(GenomeConfig(length=5000), seed=1)
+        assert g.size == 5000 and g.dtype == np.uint8
+
+    def test_reproducible(self):
+        a = synthetic_genome(GenomeConfig(length=2000), seed=3)
+        b = synthetic_genome(GenomeConfig(length=2000), seed=3)
+        assert (a == b).all()
+
+    def test_seed_changes_content(self):
+        a = synthetic_genome(GenomeConfig(length=2000), seed=3)
+        b = synthetic_genome(GenomeConfig(length=2000), seed=4)
+        assert (a != b).any()
+
+    def test_n_fraction(self):
+        g = synthetic_genome(GenomeConfig(length=50_000, n_fraction=0.01), seed=2)
+        frac = float((g == 4).mean())
+        assert 0.002 < frac < 0.03
+
+    def test_no_repeats_config(self):
+        g = synthetic_genome(GenomeConfig(length=3000, repeat_fraction=0.0), seed=5)
+        assert g.size == 3000
+
+    def test_repeats_create_duplicate_kmers(self):
+        cfg = GenomeConfig(length=30_000, repeat_fraction=0.4, repeat_divergence=0.0)
+        g = synthetic_genome(cfg, seed=6)
+        k = 30
+        windows = {}
+        dup = 0
+        for i in range(0, g.size - k, k):
+            key = g[i : i + k].tobytes()
+            dup += key in windows
+            windows[key] = i
+        assert dup > 0  # repeat copies produce recurring 30-mers
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            GenomeConfig(length=0)
+        with pytest.raises(ValueError):
+            GenomeConfig(repeat_fraction=1.5)
+        with pytest.raises(ValueError):
+            GenomeConfig(transitions=np.ones((4, 4)))
+
+    def test_base_composition_all_bases(self):
+        g = synthetic_genome(GenomeConfig(length=20_000), seed=8)
+        counts = np.bincount(g, minlength=5)
+        assert (counts[:4] > 0).all()
+
+
+class TestMutate:
+    def test_zero_rate_is_identity(self, rng):
+        codes = rng.integers(0, 4, 100).astype(np.uint8)
+        assert (mutate(codes, 0.0, rng) == codes).all()
+
+    def test_full_rate_changes_everything(self, rng):
+        codes = rng.integers(0, 4, 200).astype(np.uint8)
+        out = mutate(codes, 0.999999, rng)
+        assert (out != codes).mean() > 0.99
+
+    def test_substitutions_stay_in_alphabet(self, rng):
+        codes = rng.integers(0, 4, 500).astype(np.uint8)
+        out = mutate(codes, 0.5, rng)
+        assert out.max() < 4
+
+    def test_does_not_modify_input(self, rng):
+        codes = rng.integers(0, 4, 50).astype(np.uint8)
+        snapshot = codes.copy()
+        mutate(codes, 0.5, rng)
+        assert (codes == snapshot).all()
+
+
+class TestReadSimulator:
+    def test_read_within_reference(self, small_genome):
+        sim = ReadSimulator(small_genome, ILLUMINA_LIKE, seed=1)
+        read = sim.sample_read(100)
+        assert 0 <= read.ref_start < read.ref_end <= small_genome.size
+
+    def test_low_error_read_matches_origin(self, small_genome):
+        sim = ReadSimulator(small_genome, ErrorProfile(0.0, 0.0, 0.0, 0.0), seed=2)
+        read = sim.sample_read(80)
+        window = small_genome[read.ref_start : read.ref_end]
+        got = reverse_complement(read.codes) if read.reverse else read.codes
+        assert (got == window).all()
+
+    def test_indels_change_length_sometimes(self, small_genome):
+        sim = ReadSimulator(small_genome, PACBIO_LIKE, seed=3)
+        lengths = {len(sim.sample_read(500)) for _ in range(20)}
+        assert len(lengths) > 1  # indel-heavy profile perturbs lengths
+
+    def test_lognormal_lengths(self, small_genome):
+        sim = ReadSimulator(small_genome, PACBIO_LIKE, seed=4)
+        reads = sim.sample_reads_lognormal(50, 1000, sigma=0.4, min_length=100)
+        lens = np.array([len(r) for r in reads])
+        assert lens.min() >= 80  # indels may trim slightly below nominal
+        assert 500 < lens.mean() < 2000
+
+    def test_rejects_bad_inputs(self, small_genome):
+        sim = ReadSimulator(small_genome, ILLUMINA_LIKE)
+        with pytest.raises(ValueError):
+            sim.sample_read(0)
+        with pytest.raises(ValueError):
+            sim.sample_read(small_genome.size + 1)
+        with pytest.raises(ValueError):
+            ReadSimulator(np.zeros(0, np.uint8))
+
+    def test_error_profile_validation(self):
+        with pytest.raises(ValueError):
+            ErrorProfile(substitution_rate=1.5)
+
+    def test_both_strands_sampled(self, small_genome):
+        sim = ReadSimulator(small_genome, ILLUMINA_LIKE, seed=5)
+        strands = {sim.sample_read(50).reverse for _ in range(30)}
+        assert strands == {True, False}

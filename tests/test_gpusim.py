@@ -1,0 +1,239 @@
+"""Tests for the GPU execution model (devices, memory, scheduler, assembly)."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (
+    GTX1650,
+    PRE_PASCAL,
+    RTX3090,
+    AccessPattern,
+    Counters,
+    DeviceProfile,
+    MemoryModel,
+    SharedAllocation,
+    WarpJob,
+    amplified_bytes,
+    assemble_launch,
+    bank_conflict_factor,
+    known_devices,
+    schedule_warps,
+)
+
+
+class TestDeviceProfiles:
+    def test_paper_flops_per_byte(self):
+        # Sec. V-C quotes 23.82 and 38.91 FLOPs/B.
+        assert GTX1650.flops_per_byte == pytest.approx(23.82, rel=0.03)
+        assert RTX3090.flops_per_byte == pytest.approx(38.91, rel=0.03)
+
+    def test_paper_peak_tflops(self):
+        assert GTX1650.peak_tflops == pytest.approx(2.98, rel=0.02)
+        assert RTX3090.peak_tflops == pytest.approx(35.58, rel=0.02)
+
+    def test_granularities(self):
+        assert GTX1650.access_granularity == 32  # post-Volta
+        assert PRE_PASCAL.access_granularity == 128
+
+    def test_registry(self):
+        devs = known_devices()
+        assert {"GTX1650", "RTX3090", "PrePascal"} <= set(devs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(
+                name="bad", architecture="x", sm_count=0, clock_ghz=1.0,
+                cores_per_sm=64, int_cores_per_sm=64, mem_bandwidth_gbps=100,
+                access_granularity=32, shared_mem_per_sm=1, max_warps_per_sm=1,
+                kernel_launch_us=1, device_mem_gb=1,
+            )
+        with pytest.raises(ValueError):
+            DeviceProfile(
+                name="bad", architecture="x", sm_count=1, clock_ghz=1.0,
+                cores_per_sm=64, int_cores_per_sm=64, mem_bandwidth_gbps=100,
+                access_granularity=64, shared_mem_per_sm=1, max_warps_per_sm=1,
+                kernel_launch_us=1, device_mem_gb=1,
+            )
+
+    def test_cycles_to_seconds(self):
+        assert GTX1650.cycles_to_seconds(1.665e9) == pytest.approx(1.0)
+
+
+class TestAmplification:
+    def test_coalesced_rounds_to_granularity(self):
+        assert amplified_bytes(100, 4, AccessPattern.COALESCED, 32) == 128
+
+    def test_per_cell_amplifies(self):
+        # 100 bytes in 4 B accesses at 32 B granularity: 25 x 32 = 800.
+        assert amplified_bytes(100, 4, AccessPattern.PER_CELL, 32) == 800
+
+    def test_pre_pascal_worse(self):
+        v = amplified_bytes(1000, 4, AccessPattern.PER_CELL, 32)
+        p = amplified_bytes(1000, 4, AccessPattern.PER_CELL, 128)
+        assert p == 4 * v
+
+    def test_per_thread_32b_native(self):
+        # A 32 B per-thread access is exactly one transaction on Volta+.
+        assert amplified_bytes(320, 32, AccessPattern.PER_THREAD, 32) == 320
+
+    def test_zero(self):
+        assert amplified_bytes(0, 4, AccessPattern.PER_CELL, 32) == 0
+
+
+class TestMemoryModel:
+    def test_counters_accumulate(self):
+        m = MemoryModel(GTX1650)
+        m.access(1000, access_size=4, pattern=AccessPattern.PER_CELL)
+        m.access(1000, access_size=4, pattern=AccessPattern.COALESCED)
+        assert m.counters.global_useful_bytes == 2000
+        assert m.counters.global_transferred_bytes > 2000
+        assert m.counters.noncoalesced_transactions == 250
+
+    def test_l2_absorbs_redundancy(self):
+        m = MemoryModel(GTX1650, l2_hit_rate=1.0, l2_bandwidth_ratio=1e9)
+        m.access(1000, access_size=4, pattern=AccessPattern.PER_CELL)
+        # Perfect L2: only useful bytes reach DRAM.
+        assert m.dram_bytes() == 1000
+
+    def test_worse_pattern_is_slower(self):
+        a = MemoryModel(GTX1650)
+        a.access(10**6, access_size=4, pattern=AccessPattern.COALESCED)
+        b = MemoryModel(GTX1650)
+        b.access(10**6, access_size=4, pattern=AccessPattern.PER_CELL)
+        assert b.memory_time_s() > a.memory_time_s()
+
+    def test_device_defaults_used(self):
+        m = MemoryModel(RTX3090)
+        assert m.l2_hit_rate == RTX3090.l2_hit_redundant
+
+    def test_memset_time(self):
+        m = MemoryModel(GTX1650)
+        assert m.memset_time_s(GTX1650.mem_bandwidth_bps) == pytest.approx(1.0)
+
+
+class TestSharedMemory:
+    def test_conflict_free_unit_stride(self):
+        addrs = np.arange(32) * 4
+        assert bank_conflict_factor(addrs) == 1
+
+    def test_broadcast_is_free(self):
+        assert bank_conflict_factor(np.zeros(32, dtype=int)) == 1
+
+    def test_stride_two_conflicts(self):
+        addrs = np.arange(32) * 8  # every other bank, two words each
+        assert bank_conflict_factor(addrs) == 2
+
+    def test_stride_32_fully_serializes(self):
+        addrs = np.arange(32) * 128  # all lanes hit bank 0
+        assert bank_conflict_factor(addrs) == 32
+
+    def test_too_many_lanes(self):
+        with pytest.raises(ValueError):
+            bank_conflict_factor(np.arange(33))
+
+    def test_occupancy_from_footprint(self):
+        alloc = SharedAllocation(bytes_per_warp=16 * 1024)
+        assert alloc.max_resident_warps(GTX1650) == 4  # 64 KB / 16 KB
+        assert SharedAllocation(0).max_resident_warps(GTX1650) == GTX1650.max_warps_per_sm
+
+    def test_fits(self):
+        assert not SharedAllocation(10**9).fits(GTX1650)
+
+
+class TestScheduler:
+    def test_empty(self):
+        res = schedule_warps([], GTX1650)
+        assert res.compute_time_s == 0
+
+    def test_single_warp_critical_path(self):
+        res = schedule_warps([WarpJob(cycles=1.665e9)], GTX1650)
+        # One warp cannot beat its serial length: ~1 second at 1.665 GHz.
+        assert res.compute_time_s == pytest.approx(1.0, rel=0.01)
+
+    def test_throughput_scaling(self):
+        # Many equal warps: doubling the work doubles the time.
+        jobs = [WarpJob(cycles=1e6)] * 1000
+        t1 = schedule_warps(jobs, GTX1650).compute_time_s
+        t2 = schedule_warps(jobs * 2, GTX1650).compute_time_s
+        assert t2 == pytest.approx(2 * t1, rel=0.05)
+
+    def test_bigger_device_is_faster(self):
+        jobs = [WarpJob(cycles=1e6)] * 2000
+        assert (
+            schedule_warps(jobs, RTX3090).compute_time_s
+            < schedule_warps(jobs, GTX1650).compute_time_s
+        )
+
+    def test_imbalanced_bag_slower_than_balanced(self):
+        total = 1e9
+        balanced = [WarpJob(cycles=total / 1000)] * 1000
+        skewed = [WarpJob(cycles=total / 2)] * 2
+        assert (
+            schedule_warps(skewed, GTX1650).compute_time_s
+            > schedule_warps(balanced, GTX1650).compute_time_s
+        )
+
+    def test_utilization_reported(self):
+        jobs = [WarpJob(cycles=1e6)] * (GTX1650.sm_count * 10)
+        res = schedule_warps(jobs, GTX1650)
+        assert 0.9 < res.sm_utilization <= 1.0
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            WarpJob(cycles=-1)
+
+
+class TestAssembly:
+    def test_roofline_composition(self):
+        mem = MemoryModel(GTX1650)
+        mem.access(10**9, access_size=4, pattern=AccessPattern.COALESCED)
+        timing = assemble_launch([WarpJob(cycles=1e3)], mem, GTX1650)
+        # Memory-dominated: total ~= memory time + overhead.
+        assert timing.total_s == pytest.approx(
+            timing.memory_s + timing.overhead_s, rel=1e-6
+        )
+
+    def test_overheads_add_serially(self):
+        mem = MemoryModel(GTX1650)
+        t = assemble_launch(
+            [WarpJob(cycles=1e3)], mem, GTX1650, n_launches=10, fixed_overhead_s=1e-3
+        )
+        assert t.overhead_s >= 10 * GTX1650.kernel_launch_us * 1e-6 + 1e-3
+
+    def test_init_bytes_memset(self):
+        mem = MemoryModel(GTX1650)
+        t = assemble_launch([WarpJob(cycles=1e3)], mem, GTX1650,
+                            init_bytes=int(GTX1650.mem_bandwidth_bps))
+        assert t.overhead_s > 1.0
+
+    def test_launch_count_validated(self):
+        with pytest.raises(ValueError):
+            assemble_launch([], MemoryModel(GTX1650), GTX1650, n_launches=0)
+
+    def test_counters_merged(self):
+        mem = MemoryModel(GTX1650)
+        mem.access(100, access_size=4, pattern=AccessPattern.COALESCED)
+        cnt = Counters(cells=5)
+        t = assemble_launch([WarpJob(cycles=1.0)], mem, GTX1650, counters=cnt)
+        assert t.counters.cells == 5
+        assert t.counters.global_useful_bytes == 100
+        assert t.counters.kernel_launches == 1
+
+
+class TestCounters:
+    def test_merge(self):
+        a = Counters(cells=1, steps=2)
+        b = Counters(cells=3, steps=4)
+        a.merge(b)
+        assert (a.cells, a.steps) == (4, 6)
+
+    def test_thread_utilization(self):
+        c = Counters(busy_thread_steps=75, idle_thread_steps=25)
+        assert c.thread_utilization == 0.75
+
+    def test_amplification_defaults_to_one(self):
+        assert Counters().memory_amplification == 1.0
+
+    def test_as_dict(self):
+        d = Counters(cells=7).as_dict()
+        assert d["cells"] == 7 and "thread_utilization" in d

@@ -1,0 +1,108 @@
+"""Tests for the end-to-end ReadMapper."""
+
+import numpy as np
+import pytest
+
+from repro.core import ReadMapper, SalobaConfig
+from repro.gpusim import RTX3090
+from repro.seqs import (
+    ILLUMINA_LIKE,
+    ErrorProfile,
+    GenomeConfig,
+    ReadSimulator,
+    reverse_complement,
+    synthetic_genome,
+)
+
+
+@pytest.fixture(scope="module")
+def mapper_genome():
+    return synthetic_genome(GenomeConfig(length=40_000), seed=21)
+
+
+@pytest.fixture(scope="module")
+def mapper(mapper_genome):
+    return ReadMapper(mapper_genome)
+
+
+class TestMapping:
+    def test_clean_reads_map_to_origin(self, mapper, mapper_genome):
+        sim = ReadSimulator(mapper_genome, ErrorProfile(0, 0, 0, 0), seed=1)
+        reads = sim.sample_reads(15, 150)
+        report = mapper.map_reads([r.codes for r in reads])
+        assert report.mapped_fraction == 1.0
+        for read, m in zip(reads, report.mappings):
+            assert abs(m.ref_start - read.ref_start) <= 25
+            assert m.reverse == read.reverse
+
+    def test_noisy_reads_mostly_map(self, mapper, mapper_genome):
+        sim = ReadSimulator(mapper_genome, ILLUMINA_LIKE, seed=2)
+        reads = sim.sample_reads(20, 200)
+        report = mapper.map_reads([r.codes for r in reads])
+        assert report.mapped_fraction >= 0.8
+        correct = sum(
+            m.mapped and abs(m.ref_start - read.ref_start) <= 30
+            for read, m in zip(reads, report.mappings)
+        )
+        assert correct >= 16
+
+    def test_junk_reads_unmapped(self, mapper, rng):
+        junk = [rng.integers(0, 4, 120).astype(np.uint8) for _ in range(5)]
+        report = mapper.map_reads(junk)
+        assert report.mapped_fraction == 0.0
+        for m in report.mappings:
+            assert m.ref_start == -1 and m.total_score == 0
+
+    def test_strand_detection(self, mapper, mapper_genome):
+        window = np.asarray(mapper_genome[3000:3180], dtype=np.uint8)
+        fwd = mapper.map_reads([window]).mappings[0]
+        rev = mapper.map_reads([reverse_complement(window)]).mappings[0]
+        assert not fwd.reverse and rev.reverse
+        assert abs(fwd.ref_start - 3000) <= 10
+        assert abs(rev.ref_start - 3000) <= 10
+
+    def test_extension_scores_accumulate(self, mapper, mapper_genome):
+        # A read whose seed sits mid-read must gain extension score.
+        read = np.asarray(mapper_genome[8000:8200], dtype=np.uint8)
+        report = mapper.map_reads([read])
+        m = report.mappings[0]
+        assert m.mapped
+        assert m.total_score >= 150  # near-perfect 200 bp identity
+
+    def test_timing_reported(self, mapper, mapper_genome):
+        # Perfect reads are fully covered by one seed (no extension
+        # jobs); plant a mismatch so the anchor leaves tails to extend.
+        reads = []
+        for i in (100, 900):
+            read = np.asarray(mapper_genome[i : i + 150], dtype=np.uint8).copy()
+            read[75] = (read[75] + 1) % 4
+            reads.append(read)
+        report = mapper.map_reads(reads)
+        assert report.n_jobs >= 1
+        assert report.extension_ms > 0
+
+    def test_fully_seeded_read_needs_no_extension(self, mapper, mapper_genome):
+        read = np.asarray(mapper_genome[100:250], dtype=np.uint8)
+        report = mapper.map_reads([read])
+        assert report.mappings[0].mapped
+        assert report.n_jobs == 0  # one seed covers the read end-to-end
+
+    def test_model_only_mode(self, mapper, mapper_genome):
+        reads = [np.asarray(mapper_genome[500:650], dtype=np.uint8)]
+        report = mapper.map_reads(reads, compute_scores=False)
+        assert report.mappings[0].extension_score == 0
+        assert report.mappings[0].mapped
+
+    def test_custom_device_and_config(self, mapper_genome):
+        m = ReadMapper(
+            mapper_genome,
+            device=RTX3090,
+            config=SalobaConfig(subwarp_size=16),
+        )
+        read = np.asarray(mapper_genome[100:260], dtype=np.uint8)
+        report = m.map_reads([read])
+        assert report.mappings[0].mapped
+
+    def test_empty_batch(self, mapper):
+        report = mapper.map_reads([])
+        assert report.mappings == [] and report.timing is None

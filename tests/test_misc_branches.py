@@ -1,0 +1,91 @@
+"""Branch-coverage sweep for paths no other suite exercises."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AdeptKernel, Gasal2Kernel, make_jobs
+from repro.bench.experiments import ExperimentResult, table2
+from repro.core import SalobaAligner, SalobaConfig, SalobaKernel, run_multi_gpu
+from repro.gpusim import GTX1650
+
+
+class TestMultiGpuErrors:
+    def test_incapable_kernel_raises(self, rng):
+        jobs = make_jobs(
+            [
+                (rng.integers(0, 4, 2048).astype(np.uint8),
+                 rng.integers(0, 4, 2048).astype(np.uint8))
+                for _ in range(8)
+            ]
+        )
+        with pytest.raises(RuntimeError, match="cannot run"):
+            run_multi_gpu(AdeptKernel(), jobs, [GTX1650, GTX1650])
+
+    def test_more_devices_than_jobs(self, rng):
+        jobs = make_jobs([(rng.integers(0, 4, 64).astype(np.uint8),) * 2 for _ in range(2)])
+        res = run_multi_gpu(
+            SalobaKernel(), jobs, [GTX1650] * 4, policy="round_robin"
+        )
+        assert len(res.per_device_ms) == 4
+        assert res.per_device_ms.count(0.0) == 2  # two devices idle
+
+
+class TestExperimentResult:
+    def test_str_is_text(self):
+        res = ExperimentResult(name="x", data={}, text="hello")
+        assert str(res) == "hello"
+
+    def test_json_flattens_tuple_keys(self):
+        import json
+
+        res = ExperimentResult(name="x", data={("a", "b"): [np.int64(3), np.float64(1.5)]})
+        parsed = json.loads(res.to_json())
+        assert parsed["data"]["a|b"] == [3, 1.5]
+
+    def test_table2_idempotent(self):
+        assert table2().text == table2().text
+
+
+class TestAlignerMisc:
+    def test_docstring_example(self):
+        a = SalobaAligner()
+        assert a.align("ACGTACGTAC", "ACGTACGTAC").score == 10
+
+    def test_string_and_array_inputs_agree(self, rng):
+        a = SalobaAligner()
+        codes = rng.integers(0, 4, 30).astype(np.uint8)
+        from repro.seqs import decode
+
+        assert a.align(decode(codes), decode(codes)).score == a.align(codes, codes).score
+
+    def test_config_immutable_after_construction(self):
+        a = SalobaAligner(config=SalobaConfig(subwarp_size=16))
+        with pytest.raises(Exception):
+            a.config.subwarp_size = 8  # frozen dataclass
+
+    def test_min_traceback_score_zero_still_skips_empty(self, rng):
+        # Score-0 results never produce a traceback object.
+        a = SalobaAligner()
+        q = np.zeros(10, np.uint8)
+        r = np.full(10, 2, np.uint8)  # all mismatches -> score 0
+        rep = a.align_batch([(q, r)], traceback=True, min_traceback_score=0)
+        assert rep.tracebacks == [None]
+
+
+class TestKernelRunResult:
+    def test_ok_and_describe(self, rng):
+        jobs = make_jobs([(rng.integers(0, 4, 64).astype(np.uint8),) * 2])
+        res = Gasal2Kernel().run(jobs, GTX1650)
+        assert res.ok and res.device == "GTX1650"
+        d = SalobaKernel(config=SalobaConfig(subwarp_size=8)).describe()
+        assert d["kernel"] == "SALoBa(s=8)"
+        assert d["parallelism"] == "intra-query"
+
+    def test_empty_batch_runs(self):
+        res = Gasal2Kernel().run([], GTX1650)
+        assert res.ok
+        assert res.total_ms >= 0.0
+
+    def test_saloba_empty_batch(self):
+        res = SalobaKernel().run([], GTX1650, compute_scores=True)
+        assert res.ok and res.results == []

@@ -1,0 +1,96 @@
+"""Tests for the occupancy calculator and block pruning."""
+
+import numpy as np
+import pytest
+
+from repro.align import ScoringScheme, pruned_grid_sweep, sw_align
+from repro.gpusim import GTX1650, RTX3090, LaunchConfig, occupancy
+
+
+class TestOccupancy:
+    def test_warp_limited_baseline(self):
+        occ = occupancy(LaunchConfig(threads_per_block=256, registers_per_thread=32), GTX1650)
+        assert occ.occupancy == 1.0
+        assert occ.resident_warps == GTX1650.max_warps_per_sm
+
+    def test_register_pressure_limits(self):
+        occ = occupancy(
+            LaunchConfig(threads_per_block=256, registers_per_thread=255), GTX1650
+        )
+        assert occ.limiter == "registers"
+        assert occ.occupancy < 1.0
+
+    def test_shared_memory_limits(self):
+        occ = occupancy(
+            LaunchConfig(threads_per_block=32, registers_per_thread=32,
+                         shared_bytes_per_block=32 * 1024),
+            GTX1650,  # 64 KB shared per SM
+        )
+        assert occ.limiter in ("shared", "blocks")
+        assert occ.resident_blocks <= 2
+
+    def test_block_limit_small_blocks(self):
+        occ = occupancy(LaunchConfig(threads_per_block=32, registers_per_thread=16), GTX1650)
+        # 32 warps / 1 warp-per-block, but the 32-block cap binds first.
+        assert occ.resident_blocks == 32
+
+    def test_bigger_shared_pool_helps(self):
+        cfg = LaunchConfig(threads_per_block=128, registers_per_thread=32,
+                           shared_bytes_per_block=24 * 1024)
+        small = occupancy(cfg, GTX1650)
+        big = occupancy(cfg, RTX3090)  # 128 KB shared per SM
+        assert big.resident_blocks >= small.resident_blocks
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(threads_per_block=0)
+        with pytest.raises(ValueError):
+            LaunchConfig(threads_per_block=64, registers_per_thread=0)
+        with pytest.raises(ValueError):
+            LaunchConfig(threads_per_block=64, shared_bytes_per_block=-1)
+
+    def test_saloba_footprint_is_not_shared_limited(self):
+        # 2 KB/warp double buffer: 8 warps/block -> 16 KB/block.
+        occ = occupancy(
+            LaunchConfig(threads_per_block=256, registers_per_thread=64,
+                         shared_bytes_per_block=16 * 1024),
+            GTX1650,
+        )
+        assert occ.limiter != "shared"
+
+
+class TestBlockPruning:
+    @pytest.mark.parametrize("trial", range(8))
+    def test_exactness_random(self, rng, trial, scoring):
+        m, n = rng.integers(1, 120, 2)
+        r = rng.integers(0, 5, m).astype(np.uint8)
+        q = rng.integers(0, 5, n).astype(np.uint8)
+        res = pruned_grid_sweep(r, q, scoring)
+        assert res.result.score == sw_align(r, q, scoring).score
+        assert 0 <= res.blocks_computed <= res.blocks_total
+
+    def test_similar_pair_prunes_substantially(self, rng, scoring):
+        g = rng.integers(0, 4, 1200).astype(np.uint8)
+        q = g.copy()
+        flips = rng.random(g.size) < 0.03
+        q[flips] = (q[flips] + 1) % 4
+        res = pruned_grid_sweep(g, q, scoring)
+        assert res.result.score == sw_align(g, q, scoring).score
+        assert res.pruned_fraction > 0.25
+
+    def test_dissimilar_pair_prunes_little(self, rng, scoring):
+        a = rng.integers(0, 4, 600).astype(np.uint8)
+        b = rng.integers(0, 4, 600).astype(np.uint8)
+        res = pruned_grid_sweep(a, b, scoring)
+        assert res.result.score == sw_align(a, b, scoring).score
+        assert res.pruned_fraction < 0.3
+
+    def test_empty_inputs(self, scoring):
+        res = pruned_grid_sweep(np.zeros(0, np.uint8), np.zeros(4, np.uint8), scoring)
+        assert res.result.score == 0 and res.blocks_total == 0
+
+    def test_identical_long_pair_endpoint(self, rng, scoring):
+        g = rng.integers(0, 4, 800).astype(np.uint8)
+        res = pruned_grid_sweep(g, g.copy(), scoring)
+        assert res.result.score == 800 * scoring.match
+        assert (res.result.ref_end, res.result.query_end) == (800, 800)

@@ -1,0 +1,107 @@
+"""Tests for paired-end simulation and mapping with mate rescue."""
+
+import numpy as np
+import pytest
+
+from repro.core import PairedReadMapper
+from repro.seqs import (
+    ILLUMINA_LIKE,
+    ErrorProfile,
+    GenomeConfig,
+    ReadSimulator,
+    reverse_complement,
+    synthetic_genome,
+)
+
+
+@pytest.fixture(scope="module")
+def pe_genome():
+    return synthetic_genome(GenomeConfig(length=60_000), seed=31)
+
+
+@pytest.fixture(scope="module")
+def pe_mapper(pe_genome):
+    return PairedReadMapper(pe_genome, max_insert=900)
+
+
+class TestPairSimulation:
+    def test_fr_orientation(self, pe_genome):
+        sim = ReadSimulator(pe_genome, ILLUMINA_LIKE, seed=1)
+        r1, r2 = sim.sample_read_pair(100, insert_mean=400)
+        assert not r1.reverse and r2.reverse
+        assert r2.ref_start >= r1.ref_start
+
+    def test_insert_size_distribution(self, pe_genome):
+        sim = ReadSimulator(pe_genome, ILLUMINA_LIKE, seed=2)
+        inserts = []
+        for _ in range(40):
+            r1, r2 = sim.sample_read_pair(100, insert_mean=400, insert_sd=30)
+            inserts.append(r2.ref_end - r1.ref_start)
+        assert 320 < np.mean(inserts) < 480
+
+    def test_clean_mates_match_reference(self, pe_genome):
+        sim = ReadSimulator(pe_genome, ErrorProfile(0, 0, 0, 0), seed=3)
+        r1, r2 = sim.sample_read_pair(80)
+        assert (r1.codes == pe_genome[r1.ref_start : r1.ref_end]).all()
+        assert (
+            reverse_complement(r2.codes) == pe_genome[r2.ref_start : r2.ref_end]
+        ).all()
+
+    def test_bad_length_rejected(self, pe_genome):
+        sim = ReadSimulator(pe_genome, ILLUMINA_LIKE)
+        with pytest.raises(ValueError):
+            sim.sample_read_pair(0)
+
+
+class TestPairedMapping:
+    def test_clean_pairs_are_proper(self, pe_genome, pe_mapper):
+        sim = ReadSimulator(pe_genome, ILLUMINA_LIKE, seed=4)
+        pairs = [sim.sample_read_pair(120, insert_mean=400) for _ in range(10)]
+        res = pe_mapper.map_pairs(
+            [p[0].codes for p in pairs], [p[1].codes for p in pairs]
+        )
+        assert sum(p.proper for p in res) >= 9
+        for (r1, r2), m in zip(pairs, res):
+            if m.proper:
+                true_insert = r2.ref_end - r1.ref_start
+                assert abs(m.insert_size - true_insert) <= 40
+
+    def test_mate_rescue_recovers_unseedable_mate(self, pe_genome, pe_mapper):
+        sim = ReadSimulator(pe_genome, ErrorProfile(0, 0, 0, 0), seed=5)
+        r1, r2 = sim.sample_read_pair(120, insert_mean=400)
+        mild = r2.codes.copy()
+        mild[::12] = (mild[::12] + 1) % 4  # kills every >=19 bp seed
+        res = pe_mapper.map_pairs([r1.codes], [mild])[0]
+        assert res.rescued and res.proper
+        assert abs(res.second.ref_start - r2.ref_start) <= 5
+
+    def test_junk_mate_not_rescued(self, pe_genome, pe_mapper, rng):
+        sim = ReadSimulator(pe_genome, ILLUMINA_LIKE, seed=6)
+        r1, _ = sim.sample_read_pair(120)
+        junk = rng.integers(0, 4, 120).astype(np.uint8)
+        res = pe_mapper.map_pairs([r1.codes], [junk])[0]
+        assert not res.rescued and not res.proper
+
+    def test_distant_mates_not_proper(self, pe_genome, pe_mapper):
+        # Two reads from far-apart loci: both map, pair isn't proper.
+        a = np.asarray(pe_genome[1000:1120], dtype=np.uint8)
+        b = reverse_complement(np.asarray(pe_genome[40_000:40_120], dtype=np.uint8))
+        res = pe_mapper.map_pairs([a], [b])[0]
+        assert res.first.mapped and res.second.mapped
+        assert not res.proper
+
+    def test_same_strand_not_proper(self, pe_genome, pe_mapper):
+        a = np.asarray(pe_genome[2000:2120], dtype=np.uint8)
+        b = np.asarray(pe_genome[2300:2420], dtype=np.uint8)  # also forward
+        res = pe_mapper.map_pairs([a], [b])[0]
+        assert not res.proper
+
+    def test_length_mismatch_rejected(self, pe_mapper, rng):
+        with pytest.raises(ValueError):
+            pe_mapper.map_pairs([rng.integers(0, 4, 50).astype(np.uint8)], [])
+
+    def test_parameter_validation(self, pe_genome):
+        with pytest.raises(ValueError):
+            PairedReadMapper(pe_genome, max_insert=0)
+        with pytest.raises(ValueError):
+            PairedReadMapper(pe_genome, rescue_min_identity=1.5)

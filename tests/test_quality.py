@@ -1,0 +1,93 @@
+"""Tests for quality-aware read simulation."""
+
+import numpy as np
+import pytest
+
+from repro.seqs import read_fastq, write_fastq
+from repro.seqs.quality import QualityModel, QualityReadSimulator, phred_to_error_prob
+
+
+class TestQualityModel:
+    def test_phred_conversion(self):
+        assert phred_to_error_prob(np.array([10])) == pytest.approx(0.1)
+        assert phred_to_error_prob(np.array([30])) == pytest.approx(0.001)
+
+    def test_curve_decays(self):
+        curve = QualityModel().curve(100)
+        assert curve[0] > curve[-1]
+        assert curve[0] == pytest.approx(38.0)
+
+    def test_sample_clamped(self):
+        m = QualityModel(noise_sd=50.0, floor=5, ceil=40)
+        q = m.sample(500, np.random.default_rng(0))
+        assert q.min() >= 5 and q.max() <= 40
+
+    def test_invalid_clamps(self):
+        with pytest.raises(ValueError):
+            QualityModel(floor=10, ceil=5)
+
+
+class TestQualitySimulator:
+    @pytest.fixture(scope="class")
+    def sim(self, small_genome=None):
+        from repro.seqs import GenomeConfig, synthetic_genome
+
+        genome = synthetic_genome(GenomeConfig(length=30_000), seed=51)
+        return QualityReadSimulator(genome, seed=52), genome
+
+    def test_records_well_formed(self, sim):
+        qsim, _ = sim
+        records, origins = qsim.sample_fastq(10, 150)
+        assert len(records) == len(origins) == 10
+        for rec in records:
+            assert len(rec) == 150
+            assert rec.quality.dtype == np.uint8
+
+    def test_errors_track_quality(self, sim):
+        """Low-quality positions must actually be wrong more often."""
+        qsim, genome = sim
+        # Exaggerate the decay so the 3' end is clearly worse.
+        qsim_bad = QualityReadSimulator(
+            genome, QualityModel(start_q=40, end_q=5, noise_sd=0.5), seed=53
+        )
+        records, origins = qsim_bad.sample_fastq(200, 100)
+        first_half_err = 0
+        second_half_err = 0
+        for rec, start in zip(records, origins):
+            truth = genome[start : start + 100]
+            mism = rec.codes != truth
+            first_half_err += int(mism[:50].sum())
+            second_half_err += int(mism[50:].sum())
+        assert second_half_err > 3 * max(first_half_err, 1)
+
+    def test_error_rate_matches_expectation(self, sim):
+        qsim, genome = sim
+        length = 150
+        records, origins = qsim.sample_fastq(300, length)
+        observed = np.mean(
+            [
+                (rec.codes != genome[s : s + length]).mean()
+                for rec, s in zip(records, origins)
+            ]
+        )
+        expected = qsim.expected_error_rate(length)
+        assert observed == pytest.approx(expected, rel=0.4)
+
+    def test_fastq_roundtrip_preserves_quality(self, sim, tmp_path):
+        qsim, _ = sim
+        records, _ = qsim.sample_fastq(5, 80)
+        path = tmp_path / "q.fastq"
+        write_fastq(records, path)
+        back = read_fastq(path)
+        for a, b in zip(records, back):
+            assert (a.quality == b.quality).all()
+            assert (a.codes == b.codes).all()
+
+    def test_invalid_length(self, sim):
+        qsim, _ = sim
+        with pytest.raises(ValueError):
+            qsim.sample_fastq(1, 0)
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ValueError):
+            QualityReadSimulator(np.zeros(0, np.uint8))

@@ -1,0 +1,78 @@
+"""Tests for the report generator and sensitivity module."""
+
+import pytest
+
+from repro.bench.experiments import fig6, fig8
+from repro.bench.report import fig6_comparison, fig8_comparison
+from repro.bench.sensitivity import PERTURBABLE, check_conclusions
+from repro.gpusim import GTX1650, RTX3090
+from repro.gpusim.costs import DEFAULT_COSTS
+
+
+@pytest.fixture(scope="module")
+def small_fig6():
+    g = fig6(GTX1650, lengths=(64, 512), n_pairs=300)
+    r = fig6(RTX3090, lengths=(64, 512), n_pairs=300)
+    return g, r
+
+
+class TestReportTables:
+    def test_fig6_comparison_renders(self, small_fig6):
+        g, r = small_fig6
+        text = fig6_comparison(g, r)
+        assert "| length |" in text
+        assert "| 512 |" in text
+        # Paper values appear alongside measurements.
+        assert "1.28x" in text or "1.44x" in text
+
+    def test_fig8_comparison_renders(self):
+        res = fig8(n_jobs_a=600, n_jobs_b=600)
+        text = fig8_comparison(res)
+        assert "dataset A, GTX1650" in text
+        assert "dataset B, RTX3090" in text
+        assert text.count("x (") == 4  # four measured cells
+
+
+class TestSensitivity:
+    def test_default_verdict_all_hold(self):
+        v = check_conclusions(DEFAULT_COSTS, n_pairs=300)
+        assert v.all_hold
+
+    def test_perturbable_fields_exist(self):
+        for f in PERTURBABLE:
+            assert hasattr(DEFAULT_COSTS, f)
+
+    def test_verdict_label_carried(self):
+        v = check_conclusions(DEFAULT_COSTS, label="probe", n_pairs=300)
+        assert v.label == "probe"
+
+
+class TestNewDevices:
+    def test_v100_a100_registered(self):
+        from repro.gpusim import A100, V100, known_devices
+
+        devs = known_devices()
+        assert devs["V100"] is V100 and devs["A100"] is A100
+        # Published FP32 peaks: ~15.7 / ~19.5 TFLOPs.
+        assert V100.peak_tflops == pytest.approx(15.7, rel=0.02)
+        assert A100.peak_tflops == pytest.approx(19.5, rel=0.02)
+
+    def test_kernels_run_on_new_devices(self, rng):
+        import numpy as np
+
+        from repro.baselines import Gasal2Kernel, make_jobs
+        from repro.core import SalobaKernel
+        from repro.gpusim import A100, V100
+
+        jobs = make_jobs(
+            [
+                (rng.integers(0, 4, 256).astype(np.uint8),
+                 rng.integers(0, 4, 256).astype(np.uint8))
+                for _ in range(200)
+            ]
+        )
+        for dev in (V100, A100):
+            g = Gasal2Kernel().run(jobs, dev)
+            s = SalobaKernel().run(jobs, dev)
+            assert g.ok and s.ok
+            assert s.total_ms < g.total_ms  # SALoBa wins at 256 bp here too

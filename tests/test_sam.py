@@ -1,0 +1,128 @@
+"""Tests for SAM output."""
+
+import numpy as np
+import pytest
+
+from repro.core import PairedReadMapper, ReadMapper
+from repro.core.sam import (
+    FLAG_FIRST,
+    FLAG_MATE_REVERSE,
+    FLAG_PAIRED,
+    FLAG_PROPER,
+    FLAG_REVERSE,
+    FLAG_SECOND,
+    FLAG_UNMAPPED,
+    sam_record_for,
+    sam_records_for_pair,
+    write_sam,
+)
+from repro.seqs import (
+    ILLUMINA_LIKE,
+    GenomeConfig,
+    ReadSimulator,
+    decode,
+    reverse_complement,
+    synthetic_genome,
+)
+
+
+@pytest.fixture(scope="module")
+def sam_genome():
+    return synthetic_genome(GenomeConfig(length=50_000), seed=41)
+
+
+@pytest.fixture(scope="module")
+def sam_mapper(sam_genome):
+    return ReadMapper(sam_genome)
+
+
+def _cigar_query_span(cigar: str) -> int:
+    import re
+
+    span = 0
+    for n, op in re.findall(r"(\d+)([MIDNSHP=X])", cigar):
+        if op in "MIS=X":
+            span += int(n)
+    return span
+
+
+class TestSingleEnd:
+    def test_mapped_record_fields(self, sam_genome, sam_mapper):
+        read = np.asarray(sam_genome[5000:5150], dtype=np.uint8)
+        m = sam_mapper.map_reads([read]).mappings[0]
+        rec = sam_record_for("r1", read, m, sam_genome)
+        assert rec.flag & FLAG_UNMAPPED == 0
+        assert rec.pos == 5001  # SAM 1-based
+        assert rec.cigar == "150M"
+        assert rec.mapq == 60
+        assert rec.seq == decode(read)
+
+    def test_reverse_strand_record(self, sam_genome, sam_mapper):
+        window = np.asarray(sam_genome[8000:8150], dtype=np.uint8)
+        read = reverse_complement(window)
+        m = sam_mapper.map_reads([read]).mappings[0]
+        rec = sam_record_for("r2", read, m, sam_genome)
+        assert rec.flag & FLAG_REVERSE
+        assert rec.pos == 8001
+        # SEQ is stored in reference orientation.
+        assert rec.seq == decode(window)
+
+    def test_unmapped_record(self, sam_genome, sam_mapper, rng):
+        junk = rng.integers(0, 4, 100).astype(np.uint8)
+        m = sam_mapper.map_reads([junk]).mappings[0]
+        rec = sam_record_for("junk", junk, m, sam_genome)
+        assert rec.flag & FLAG_UNMAPPED
+        assert rec.pos == 0 and rec.cigar == "*" and rec.mapq == 0
+        assert rec.line().split("\t")[2] == "*"
+
+    def test_cigar_spans_read_with_clips(self, sam_genome, sam_mapper, rng):
+        # A read with junk tails: local alignment soft-clips them.
+        core = np.asarray(sam_genome[12_000:12_100], dtype=np.uint8)
+        read = np.concatenate(
+            [rng.integers(0, 4, 10).astype(np.uint8), core,
+             rng.integers(0, 4, 10).astype(np.uint8)]
+        )
+        m = sam_mapper.map_reads([read]).mappings[0]
+        rec = sam_record_for("clipped", read, m, sam_genome)
+        assert _cigar_query_span(rec.cigar) == read.size
+        assert "S" in rec.cigar
+
+    def test_noisy_read_cigar_consistent(self, sam_genome, sam_mapper):
+        sim = ReadSimulator(sam_genome, ILLUMINA_LIKE, seed=7)
+        read = sim.sample_read(150)
+        m = sam_mapper.map_reads([read.codes]).mappings[0]
+        rec = sam_record_for("noisy", read.codes, m, sam_genome)
+        if not rec.flag & FLAG_UNMAPPED:
+            assert _cigar_query_span(rec.cigar) == len(read.codes)
+            assert abs(rec.pos - 1 - read.ref_start) <= 30
+
+
+class TestPaired:
+    def test_proper_pair_records(self, sam_genome):
+        mapper = PairedReadMapper(sam_genome, max_insert=900)
+        sim = ReadSimulator(sam_genome, ILLUMINA_LIKE, seed=8)
+        r1, r2 = sim.sample_read_pair(120, insert_mean=400)
+        pair = mapper.map_pairs([r1.codes], [r2.codes])[0]
+        a, b = sam_records_for_pair(("p/1", "p/2"), (r1.codes, r2.codes), pair, sam_genome)
+        assert a.flag & FLAG_PAIRED and b.flag & FLAG_PAIRED
+        assert a.flag & FLAG_FIRST and b.flag & FLAG_SECOND
+        if pair.proper:
+            assert a.flag & FLAG_PROPER and b.flag & FLAG_PROPER
+            assert a.rnext == "=" and b.rnext == "="
+            assert a.tlen == -b.tlen != 0
+            assert a.pnext == b.pos and b.pnext == a.pos
+            # FR orientation: exactly one end reversed, mates agree.
+            assert bool(a.flag & FLAG_REVERSE) != bool(b.flag & FLAG_REVERSE)
+            assert bool(a.flag & FLAG_MATE_REVERSE) == bool(b.flag & FLAG_REVERSE)
+
+
+class TestWriter:
+    def test_header_and_lines(self, sam_genome, sam_mapper):
+        read = np.asarray(sam_genome[100:220], dtype=np.uint8)
+        m = sam_mapper.map_reads([read]).mappings[0]
+        rec = sam_record_for("x", read, m, sam_genome)
+        text = write_sam([rec], rname="chr1", ref_len=sam_genome.size)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("@HD")
+        assert "SN:chr1" in lines[1]
+        assert len(lines[3].split("\t")) == 11  # mandatory SAM columns

@@ -1,0 +1,72 @@
+"""Unit tests for repro.align.scoring."""
+
+import numpy as np
+import pytest
+
+from repro.align import NEG_INF, PAD, ScoringScheme, bwa_mem_scoring
+from repro.seqs import encode
+
+
+class TestScoringScheme:
+    def test_defaults_valid(self):
+        s = ScoringScheme()
+        assert s.match > 0 and s.mismatch < 0
+
+    def test_matrix_diagonal(self):
+        s = ScoringScheme(match=2, mismatch=-3)
+        for c in range(4):
+            assert s.matrix[c, c] == 2
+
+    def test_matrix_mismatch(self):
+        s = ScoringScheme(match=2, mismatch=-3)
+        assert s.matrix[0, 1] == -3
+
+    def test_n_scores_as_configured(self):
+        s = ScoringScheme(n_score=-2)
+        assert s.matrix[4, 0] == -2
+        assert s.matrix[0, 4] == -2
+        assert s.matrix[4, 4] == -2
+
+    def test_pad_is_neg_inf(self):
+        s = ScoringScheme()
+        assert s.matrix[PAD, 0] == NEG_INF
+        assert s.matrix[2, PAD] == NEG_INF
+
+    def test_substitution_lookup_vectorized(self):
+        s = ScoringScheme(match=1, mismatch=-4)
+        r = encode("ACGT")
+        q = encode("AGGA")
+        assert list(s.substitution(r, q)) == [1, -4, 1, -4]
+
+    def test_gap_cost(self):
+        s = ScoringScheme(alpha=6, beta=1)
+        assert s.gap_cost(0) == 0
+        assert s.gap_cost(1) == 6
+        assert s.gap_cost(4) == 9
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"match": 0},
+            {"match": -1},
+            {"mismatch": 1},
+            {"alpha": 0},
+            {"beta": 0},
+            {"alpha": 1, "beta": 2},  # extending must not exceed opening
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            ScoringScheme(**kwargs)
+
+    def test_bwa_mem_preset(self):
+        s = bwa_mem_scoring()
+        # BWA-MEM: gap of length k costs O + k*E = 6 + k; in paper
+        # notation alpha = 7, beta = 1.
+        assert s.alpha == 7 and s.beta == 1
+        assert s.gap_cost(1) == 7
+        assert s.gap_cost(3) == 9
+
+    def test_neg_inf_headroom(self):
+        # NEG_INF must survive repeated beta subtraction in int32.
+        assert NEG_INF - 10_000 > np.iinfo(np.int32).min

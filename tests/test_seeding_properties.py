@@ -1,0 +1,77 @@
+"""Property-based tests for the seeding substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seeding import KmerIndex, Seed, chain_seeds
+from repro.seeding.smem import SmemSeeder
+from repro.seqs import GenomeConfig, synthetic_genome
+
+_GENOME = synthetic_genome(GenomeConfig(length=8000), seed=61)
+_SEEDER = SmemSeeder(_GENOME, min_seed_len=12)
+_KMERS = KmerIndex(_GENOME, k=12)
+
+
+class TestSeedProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(start=st.integers(0, 7800), length=st.integers(20, 150))
+    def test_seeds_are_always_exact_matches(self, start, length):
+        length = min(length, _GENOME.size - start)
+        read = np.asarray(_GENOME[start : start + length], dtype=np.uint8)
+        for s in _SEEDER.seed(read):
+            assert (
+                _GENOME[s.rpos : s.rend] == read[s.qpos : s.qend]
+            ).all()
+            assert s.length >= _SEEDER.min_seed_len
+            assert 0 <= s.qpos and s.qend <= read.size
+
+    @settings(max_examples=20, deadline=None)
+    @given(start=st.integers(0, 7800))
+    def test_longest_match_agrees_with_kmer_index(self, start):
+        """If the FM seeder claims a match >= 12 from position 0, the
+        12-mer there must be in the k-mer index (and vice versa)."""
+        read = np.asarray(_GENOME[start : start + 60], dtype=np.uint8)
+        length, _positions = _SEEDER.longest_match(read, 0)
+        in_kmers = _KMERS.lookup(read[:12]).size > 0
+        assert (length >= 12) == in_kmers
+
+
+class TestChainingProperties:
+    seeds_strategy = st.lists(
+        st.tuples(st.integers(0, 300), st.integers(0, 300), st.integers(5, 40)),
+        min_size=0,
+        max_size=25,
+    )
+
+    @settings(max_examples=40, deadline=None)
+    @given(raw=seeds_strategy)
+    def test_chains_partition_the_seeds(self, raw):
+        seeds = [Seed(qpos=q, rpos=r, length=ln) for q, r, ln in raw]
+        chains = chain_seeds(seeds)
+        members = [s for c in chains for s in c.seeds]
+        assert len(members) == len(seeds)  # every seed in exactly one chain
+
+    @settings(max_examples=40, deadline=None)
+    @given(raw=seeds_strategy)
+    def test_chains_are_colinear(self, raw):
+        seeds = [Seed(qpos=q, rpos=r, length=ln) for q, r, ln in raw]
+        for chain in chain_seeds(seeds):
+            for a, b in zip(chain.seeds, chain.seeds[1:]):
+                assert b.qpos >= a.qend and b.rpos >= a.rend
+
+    @settings(max_examples=40, deadline=None)
+    @given(raw=seeds_strategy)
+    def test_chains_sorted_by_score(self, raw):
+        seeds = [Seed(qpos=q, rpos=r, length=ln) for q, r, ln in raw]
+        chains = chain_seeds(seeds)
+        scores = [c.score for c in chains]
+        assert scores == sorted(scores, reverse=True)
+
+    @settings(max_examples=30, deadline=None)
+    @given(raw=seeds_strategy)
+    def test_chain_score_at_least_best_seed(self, raw):
+        seeds = [Seed(qpos=q, rpos=r, length=ln) for q, r, ln in raw]
+        chains = chain_seeds(seeds)
+        if seeds:
+            assert chains[0].score >= max(s.length for s in seeds) - 1e-9

@@ -1,0 +1,113 @@
+"""Tests for semiglobal alignment and batch traceback."""
+
+import numpy as np
+import pytest
+
+from repro.align import (
+    AlignmentResult,
+    ScoringScheme,
+    semiglobal_align,
+    sw_align_slow,
+    traceback_batch,
+    traceback_one,
+)
+from repro.align.semiglobal import semiglobal_score_slow
+from repro.baselines import make_jobs
+from repro.core import SalobaKernel
+from repro.gpusim import GTX1650
+
+
+class TestSemiglobal:
+    @pytest.mark.parametrize("trial", range(10))
+    def test_matches_oracle(self, rng, trial, scoring):
+        m, n = rng.integers(0, 45, 2)
+        r = rng.integers(0, 4, m).astype(np.uint8)
+        q = rng.integers(0, 4, n).astype(np.uint8)
+        assert semiglobal_align(r, q, scoring).score == \
+            semiglobal_score_slow(r, q, scoring)
+
+    def test_embedded_query_scores_perfect(self, rng, scoring):
+        g = rng.integers(0, 4, 300).astype(np.uint8)
+        q = g[100:160]
+        res = semiglobal_align(g, q, scoring)
+        assert res.score == 60 * scoring.match
+        assert res.ref_end == 160
+
+    def test_position_invariance(self, rng, scoring):
+        # Score must not depend on where the query sits in the window.
+        q = rng.integers(0, 4, 40).astype(np.uint8)
+        pre = rng.integers(0, 4, 50).astype(np.uint8)
+        post = rng.integers(0, 4, 70).astype(np.uint8)
+        a = semiglobal_align(np.concatenate([pre, q, post]), q, scoring).score
+        b = semiglobal_align(np.concatenate([q, post, pre]), q, scoring).score
+        assert a == b == 40 * scoring.match
+
+    def test_junk_query_goes_negative(self, rng, scoring):
+        r = np.zeros(30, np.uint8)
+        q = np.full(30, 2, np.uint8)
+        assert semiglobal_align(r, q, scoring).score < 0
+
+    def test_bounded_by_local(self, rng, scoring):
+        # Semiglobal forces the whole query; local may clip -> >=.
+        r = rng.integers(0, 4, 50).astype(np.uint8)
+        q = rng.integers(0, 4, 50).astype(np.uint8)
+        assert semiglobal_align(r, q, scoring).score <= sw_align_slow(r, q, scoring).score
+
+    def test_empty_inputs(self, scoring):
+        assert semiglobal_align("", "", scoring).score == 0
+        assert semiglobal_align("", "ACG", scoring).score == -scoring.gap_cost(3)
+        assert semiglobal_align("ACG", "", scoring).score == 0  # ref is free
+
+
+class TestBatchTraceback:
+    def _embedded_pairs(self, rng, n=5):
+        pairs = []
+        for _ in range(n):
+            q = rng.integers(0, 4, 50).astype(np.uint8)
+            r = np.concatenate(
+                [rng.integers(0, 4, 15).astype(np.uint8), q,
+                 rng.integers(0, 4, 15).astype(np.uint8)]
+            )
+            pairs.append((q, r))
+        return pairs
+
+    def test_cigars_reproduce_kernel_scores(self, rng, scoring):
+        jobs = make_jobs(self._embedded_pairs(rng))
+        run = SalobaKernel(scoring).run(jobs, GTX1650, compute_scores=True)
+        tbs = traceback_batch(jobs, run.results, scoring)
+        for res, tb in zip(run.results, tbs):
+            assert tb is not None
+            assert tb.score == res.score
+            assert str(tb.cigar) == "50M"
+
+    def test_subthreshold_skipped(self, rng, scoring):
+        jobs = make_jobs(self._embedded_pairs(rng, 2))
+        run = SalobaKernel(scoring).run(jobs, GTX1650, compute_scores=True)
+        tbs = traceback_batch(jobs, run.results, scoring, min_score=10**6)
+        assert tbs == [None, None]
+
+    def test_empty_alignment_returns_none(self, scoring):
+        res = AlignmentResult(score=0, ref_end=0, query_end=0)
+        assert traceback_one("ACGT", "TTTT", res, scoring) is None
+
+    def test_stale_result_detected(self, scoring):
+        fake = AlignmentResult(score=999, ref_end=4, query_end=4)
+        with pytest.raises(ValueError, match="stale"):
+            traceback_one("ACGT", "ACGT", fake, scoring)
+
+    def test_length_mismatch_rejected(self, rng, scoring):
+        jobs = make_jobs(self._embedded_pairs(rng, 2))
+        with pytest.raises(ValueError):
+            traceback_batch(jobs, [AlignmentResult(1, 1, 1)], scoring)
+
+    def test_aligner_integration(self, rng, scoring):
+        from repro.core import SalobaAligner
+
+        pairs = self._embedded_pairs(rng, 3)
+        report = SalobaAligner(scoring).align_batch(pairs, traceback=True)
+        assert report.tracebacks is not None
+        assert all(tb is not None for tb in report.tracebacks)
+        # Coordinates are consistent with the kernel endpoints.
+        for res, tb in zip(report.results, report.tracebacks):
+            assert tb.ref_end <= res.ref_end
+            assert tb.query_end <= res.query_end

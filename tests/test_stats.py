@@ -1,0 +1,76 @@
+"""Tests for sequence statistics utilities."""
+
+import numpy as np
+import pytest
+
+from repro.seqs import aun, base_composition, gc_content, length_stats, n50
+
+
+class TestComposition:
+    def test_base_composition(self):
+        comp = base_composition("AACGTN")
+        assert comp["A"] == pytest.approx(2 / 6)
+        assert comp["N"] == pytest.approx(1 / 6)
+        assert sum(comp.values()) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert base_composition("") == {b: 0.0 for b in "ACGTN"}
+
+    def test_gc_content(self):
+        assert gc_content("GGCC") == 1.0
+        assert gc_content("AATT") == 0.0
+        assert gc_content("ACGT") == 0.5
+
+    def test_gc_ignores_n(self):
+        assert gc_content("GCNN") == 1.0
+        assert gc_content("NNNN") == 0.0
+
+    def test_synthetic_genome_composition_plausible(self, small_genome):
+        gc = gc_content(small_genome)
+        assert 0.3 < gc < 0.7
+
+
+class TestN50:
+    def test_single_read(self):
+        assert n50([100]) == 100
+
+    def test_textbook_case(self):
+        # total 90; half = 45; sorted desc 30,25,20,15: cumsum 30,55 ->
+        # N50 = 25.
+        assert n50([15, 20, 25, 30]) == 25
+
+    def test_uniform(self):
+        assert n50([10] * 100) == 10
+
+    def test_empty(self):
+        assert n50([]) == 0
+
+    def test_dominated_by_long_reads(self):
+        assert n50([1] * 100 + [1000]) == 1000
+
+
+class TestAun:
+    def test_uniform_equals_length(self):
+        assert aun([50] * 10) == pytest.approx(50.0)
+
+    def test_weighted_mean(self):
+        # (100^2 + 300^2) / 400 = 250
+        assert aun([100, 300]) == pytest.approx(250.0)
+
+    def test_empty(self):
+        assert aun([]) == 0.0
+
+
+class TestLengthStats:
+    def test_summary_fields(self, rng):
+        lengths = rng.integers(50, 500, size=200)
+        s = length_stats(lengths)
+        assert s.count == 200
+        assert s.total == lengths.sum()
+        assert s.minimum == lengths.min() and s.maximum == lengths.max()
+        assert s.minimum <= s.median <= s.maximum
+        assert s.n50 >= s.median  # N50 is length-weighted upward
+
+    def test_empty(self):
+        s = length_stats([])
+        assert s.count == 0 and s.n50 == 0

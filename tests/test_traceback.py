@@ -1,0 +1,101 @@
+"""Tests for CIGAR traceback."""
+
+import numpy as np
+import pytest
+
+from repro.align import (
+    Cigar,
+    ScoringScheme,
+    align_with_traceback,
+    full_matrices,
+    traceback,
+)
+from repro.seqs import decode, encode
+
+
+def _rescore(tb, ref, query, scoring):
+    """Recompute the alignment score from the CIGAR path."""
+    r = encode(ref)[tb.ref_start : tb.ref_end]
+    q = encode(query)[tb.query_start : tb.query_end]
+    score = 0
+    ri = qi = 0
+    prev = None
+    for n, op in tb.cigar.runs:
+        if op == "M":
+            for _ in range(n):
+                score += int(scoring.matrix[r[ri], q[qi]])
+                ri += 1
+                qi += 1
+        else:
+            score -= scoring.gap_cost(n)
+            if op == "D":
+                ri += n
+            else:
+                qi += n
+        prev = op
+    return score
+
+
+class TestCigar:
+    def test_run_length_encoding(self):
+        c = Cigar.from_ops(list("MMMIIDM"))
+        assert str(c) == "3M2I1D1M"
+
+    def test_spans(self):
+        c = Cigar.from_ops(list("MMIIDDDM"))
+        assert c.query_span == 5  # M,M,I,I,M
+        assert c.ref_span == 6  # M,M,D,D,D,M
+
+    def test_empty(self):
+        assert str(Cigar.from_ops([])) == ""
+
+
+class TestTraceback:
+    def test_perfect_match(self, scoring):
+        tb = align_with_traceback("ACGTACGT", "ACGTACGT", scoring)
+        assert str(tb.cigar) == "8M"
+        assert tb.score == 8 * scoring.match
+        assert (tb.ref_start, tb.query_start) == (0, 0)
+
+    def test_local_clipping(self, scoring):
+        # Leading junk on the reference is clipped, not aligned.
+        tb = align_with_traceback("GGGGGACGTACGT", "ACGTACGT", scoring)
+        assert tb.ref_start == 5
+        assert str(tb.cigar) == "8M"
+
+    def test_deletion(self):
+        s = ScoringScheme(match=3, mismatch=-4, alpha=2, beta=1)
+        tb = align_with_traceback("ACGGT", "ACGT", s)
+        assert "D" in str(tb.cigar)
+        assert tb.cigar.ref_span - tb.cigar.query_span == 1
+
+    def test_insertion(self):
+        s = ScoringScheme(match=3, mismatch=-4, alpha=2, beta=1)
+        tb = align_with_traceback("ACGT", "ACGGT", s)
+        assert "I" in str(tb.cigar)
+        assert tb.cigar.query_span - tb.cigar.ref_span == 1
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_cigar_rescores_to_dp_score(self, rng, trial, scoring):
+        m, n = rng.integers(5, 50, 2)
+        r = rng.integers(0, 4, m).astype(np.uint8)
+        q = rng.integers(0, 4, n).astype(np.uint8)
+        tb = align_with_traceback(r, q, scoring)
+        assert _rescore(tb, r, q, scoring) == tb.score
+
+    def test_spans_match_coordinates(self, rng, scoring):
+        r = rng.integers(0, 4, 40).astype(np.uint8)
+        q = rng.integers(0, 4, 40).astype(np.uint8)
+        tb = align_with_traceback(r, q, scoring)
+        assert tb.cigar.ref_span == tb.ref_end - tb.ref_start
+        assert tb.cigar.query_span == tb.query_end - tb.query_start
+
+    def test_global_matrices_rejected(self, scoring):
+        mats = full_matrices("ACG", "ACG", scoring, local=False)
+        with pytest.raises(ValueError):
+            traceback(mats, scoring)
+
+    def test_pretty_render(self, scoring):
+        tb = align_with_traceback("ACGT", "ACGT", scoring)
+        text = tb.pretty("ACGT", "ACGT")
+        assert "ACGT" in text and "||||" in text
