@@ -22,6 +22,7 @@ Public API highlights
 from .align import ScoringScheme, bwa_mem_scoring, sw_align, sw_score, sw_traceback
 from .core import SalobaAligner, SalobaConfig, SalobaKernel
 from .gpusim import GTX1650, RTX3090, DeviceProfile
+from .resilience import AlignmentError, FailureReport, FaultPlan, RetryPolicy
 
 __version__ = "1.0.0"
 
@@ -37,5 +38,9 @@ __all__ = [
     "DeviceProfile",
     "GTX1650",
     "RTX3090",
+    "AlignmentError",
+    "FaultPlan",
+    "RetryPolicy",
+    "FailureReport",
     "__version__",
 ]

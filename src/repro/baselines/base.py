@@ -30,6 +30,8 @@ from ..gpusim.costs import DEFAULT_COSTS, CostModel
 from ..gpusim.device import DeviceProfile
 from ..gpusim.kernel import LaunchTiming
 from ..gpusim.memory import AccessPattern, MemoryModel
+from ..resilience.errors import CapacityExceeded
+from ..resilience.faults import FaultDecision, FaultPlan, job_key
 from ..seqs.packing import PackingKernelModel
 
 __all__ = ["ExtensionJob", "KernelRunResult", "ExtensionKernel", "make_jobs"]
@@ -72,22 +74,36 @@ def make_jobs(pairs: list[tuple[np.ndarray, np.ndarray]]) -> list[ExtensionJob]:
 
 @dataclass(frozen=True)
 class KernelRunResult:
-    """Outcome of running one kernel over one job batch."""
+    """Outcome of running one kernel over one job batch.
+
+    With fault injection active, ``faults`` carries one
+    :class:`~repro.resilience.faults.FaultDecision` (or None) per job
+    for *this attempt*; jobs whose decision ``failed`` have a ``None``
+    entry in ``results`` and must be retried or quarantined by the
+    caller (see :mod:`repro.resilience.isolation`).
+    """
 
     kernel: str
     device: str
     timing: LaunchTiming | None
-    results: list[AlignmentResult] | None
+    results: list[AlignmentResult | None] | None
     skipped: str | None = None
+    faults: tuple[FaultDecision | None, ...] | None = None
 
     @property
     def ok(self) -> bool:
         return self.skipped is None
 
     @property
+    def n_faulted(self) -> int:
+        if not self.faults:
+            return 0
+        return sum(1 for d in self.faults if d is not None and d.failed)
+
+    @property
     def total_ms(self) -> float:
         if self.timing is None:
-            raise ValueError(f"{self.kernel} was skipped: {self.skipped}")
+            raise CapacityExceeded(f"{self.kernel} was skipped: {self.skipped}")
         return self.timing.total_ms
 
 
@@ -113,10 +129,18 @@ class ExtensionKernel(ABC):
         scoring: ScoringScheme | None = None,
         costs: CostModel = DEFAULT_COSTS,
         packing: PackingKernelModel | None = None,
+        fault_plan: FaultPlan | None = None,
     ):
         self.scoring = scoring or ScoringScheme()
         self.costs = costs
         self.packing = packing or PackingKernelModel()
+        #: Kernel-level fault injection; overrides the device's plan.
+        self.fault_plan = fault_plan
+
+    def active_fault_plan(self, device: DeviceProfile) -> FaultPlan | None:
+        """The effective fault plan: the kernel's, else the device's."""
+        plan = self.fault_plan or getattr(device, "fault_plan", None)
+        return plan if plan is not None and plan.enabled else None
 
     # ----- capability ------------------------------------------------
 
@@ -143,20 +167,61 @@ class ExtensionKernel(ABC):
         device: DeviceProfile,
         *,
         compute_scores: bool = False,
+        attempt: int = 0,
     ) -> KernelRunResult:
-        """Model (and optionally exactly execute) the batch."""
+        """Model (and optionally exactly execute) the batch.
+
+        *attempt* numbers re-launches of the same work: the fault plan
+        (if any) draws per-job decisions from ``(job, attempt)``, so a
+        retry redraws while a replay reproduces.
+        """
         reason = self.unsupported_reason(jobs, device)
         if reason is not None:
             return KernelRunResult(
                 kernel=self.name, device=device.name, timing=None, results=None, skipped=reason
             )
+        plan = self.active_fault_plan(device)
+        faults = plan.decide_batch(jobs, attempt) if plan is not None else None
         mem = MemoryModel(device)
         self._packing_traffic(mem, jobs)
         timing = self._model(jobs, device, mem)
-        results = self._exact_scores(jobs) if compute_scores else None
+        if faults is not None:
+            timing = self._inject_stalls(timing, faults)
+        results = None
+        if compute_scores:
+            if faults is None:
+                results = self._exact_scores(jobs)
+            else:
+                # Faulted jobs produce nothing this attempt; only the
+                # survivors' scores are computed (and paid for).
+                alive = [i for i, d in enumerate(faults) if d is None or not d.failed]
+                scores = self._exact_scores([jobs[i] for i in alive])
+                results = [None] * len(jobs)
+                for i, score in zip(alive, scores):
+                    results[i] = score
         return KernelRunResult(
-            kernel=self.name, device=device.name, timing=timing, results=results
+            kernel=self.name, device=device.name, timing=timing, results=results,
+            faults=faults,
         )
+
+    @staticmethod
+    def _inject_stalls(
+        timing: LaunchTiming, faults: tuple[FaultDecision | None, ...]
+    ) -> LaunchTiming:
+        """Dilate the modeled timeline for injected stalls.
+
+        A stalled job drags its warp past the rest of the launch; with
+        jobs spread evenly over warps its marginal cost is its share
+        of the compute stream times ``stall_factor - 1``.
+        """
+        n = len(faults)
+        extra = sum(
+            d.stall_factor - 1.0 for d in faults
+            if d is not None and d.kind == "stall"
+        )
+        if extra <= 0 or n == 0:
+            return timing
+        return timing.with_compute_dilation(timing.compute_s * extra / n)
 
     def _packing_traffic(self, mem: MemoryModel, jobs: list[ExtensionJob]) -> None:
         """GASAL2-style on-GPU packing, shared by all kernels (Sec. V-A):

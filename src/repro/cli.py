@@ -31,6 +31,7 @@ from .baselines import all_baselines, make_jobs
 from .bench.experiments import EXPERIMENTS, run_experiment
 from .core import SUBWARP_SIZES, SalobaConfig, SalobaKernel
 from .gpusim import known_devices
+from .resilience import AlignmentError, FaultPlan
 from .seqs import read_fasta, read_fastq
 
 __all__ = ["main", "build_parser"]
@@ -63,6 +64,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--length", type=int, default=512)
     p_sweep.add_argument("--pairs", type=int, default=5000)
     p_sweep.add_argument("--subwarp", type=int, default=8, choices=SUBWARP_SIZES)
+    p_sweep.add_argument("--fault-rate", type=float, default=0.0,
+                         help="inject transient device faults at this rate")
+    p_sweep.add_argument("--fault-seed", type=int, default=0,
+                         help="seed for the injected fault plan")
 
     sub.add_parser("devices", help="list modeled GPU profiles")
 
@@ -76,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("--device", default="GTX1650", choices=sorted(known_devices()))
     p_map.add_argument("--min-seed-len", type=int, default=19)
     p_map.add_argument("--sam", action="store_true", help="emit SAM instead of TSV")
+    bad = p_map.add_mutually_exclusive_group()
+    bad.add_argument("--strict", action="store_true",
+                     help="abort on malformed input records (default)")
+    bad.add_argument("--skip-bad-reads", action="store_true",
+                     help="drop malformed input records and keep mapping")
 
     p_rep = sub.add_parser("report", help="regenerate the comparison report")
     p_rep.add_argument("--quick", action="store_true", help="smaller batches")
@@ -109,6 +119,10 @@ def _cmd_experiment(args) -> int:
 
 def _cmd_sweep(args) -> int:
     device = known_devices()[args.device]
+    if args.fault_rate:
+        device = device.with_faults(
+            FaultPlan(seed=args.fault_seed, transient_rate=args.fault_rate)
+        )
     rng = np.random.default_rng(0)
     jobs = make_jobs(
         [
@@ -121,7 +135,13 @@ def _cmd_sweep(args) -> int:
     print(f"{args.pairs} pairs x {args.length} bp on {device.name}:")
     for k in kernels:
         res = k.run(jobs, device)
-        print(f"  {k.name:>14}: " + (f"{res.total_ms:9.3f} ms" if res.ok else f"skip ({res.skipped})"))
+        if res.ok:
+            line = f"{res.total_ms:9.3f} ms"
+            if res.n_faulted:
+                line += f"  ({res.n_faulted} faulted)"
+        else:
+            line = f"skip ({res.skipped})"
+        print(f"  {k.name:>14}: {line}")
     return 0
 
 
@@ -161,20 +181,21 @@ def _cmd_tune(args) -> int:
     return 0
 
 
-def _read_queries(path: str):
+def _read_queries(path: str, on_error: str = "raise"):
     if path.endswith((".fq", ".fastq")):
-        return [(rec.name, rec.codes) for rec in read_fastq(path)]
-    return list(read_fasta(path).items())
+        return [(rec.name, rec.codes) for rec in read_fastq(path, on_error=on_error)]
+    return list(read_fasta(path, on_error=on_error).items())
 
 
 def _cmd_map(args) -> int:
     from .core import ReadMapper
 
+    on_error = "skip" if args.skip_bad_reads else "raise"
     reference = next(iter(read_fasta(args.reference).values()), None)
     if reference is None:
         print("empty reference", file=sys.stderr)
         return 1
-    queries = _read_queries(args.reads)
+    queries = _read_queries(args.reads, on_error)
     if not queries:
         print("no reads found", file=sys.stderr)
         return 1
@@ -236,7 +257,14 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except (AlignmentError, OSError) as exc:
+        # Taxonomy errors (bad input records, rejected jobs, blown
+        # deadlines) and I/O failures exit 2 with a one-line message;
+        # anything else is a bug and keeps its traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,5 +1,11 @@
 """SALoBa core: the paper's contribution on the GPU model."""
 
+from ..resilience import (
+    AlignmentError,
+    FailureReport,
+    FaultPlan,
+    RetryPolicy,
+)
 from .ablation import (
     ABLATION_ORDER,
     AblationPoint,
@@ -30,4 +36,5 @@ __all__ = [
     "MultiGpuResult", "run_multi_gpu", "split_jobs",
     "ReadMapper", "ReadMapping", "MapperReport", "PairedReadMapper", "PairMapping",
     "SamRecord", "sam_record_for", "sam_records_for_pair", "write_sam",
+    "AlignmentError", "FaultPlan", "RetryPolicy", "FailureReport",
 ]

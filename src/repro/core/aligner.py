@@ -20,6 +20,11 @@ from ..align.traceback import Traceback, align_with_traceback
 from ..baselines.base import ExtensionJob, KernelRunResult, make_jobs
 from ..gpusim.device import GTX1650, DeviceProfile
 from ..gpusim.kernel import LaunchTiming
+from ..resilience.errors import AlignmentError
+from ..resilience.faults import FaultPlan
+from ..resilience.isolation import run_isolated
+from ..resilience.report import FailureRecord, FailureReport
+from ..resilience.retry import RetryPolicy
 from ..seqs.alphabet import encode
 from .config import SUBWARP_SIZES, SalobaConfig
 from .kernel import SalobaKernel
@@ -35,21 +40,32 @@ class BatchReport:
     ----------
     results:
         One :class:`AlignmentResult` per input pair (None when the
-        batch ran in model-only mode).
+        batch ran in model-only mode, or per-entry None for pairs that
+        were quarantined by a resilient run).
     timing:
-        Modeled GPU timing breakdown.
+        Modeled GPU timing breakdown (None when no launch ran, e.g.
+        every pair was rejected).
     tracebacks:
         Per-pair CIGAR tracebacks when requested (None entries for
         empty/sub-threshold alignments).
+    failures:
+        Quarantine/recovery ledger from a resilient run (None from the
+        fast path, which raises instead of quarantining).
     """
 
-    results: list[AlignmentResult] | None
-    timing: LaunchTiming
+    results: list[AlignmentResult | None] | None
+    timing: LaunchTiming | None
     tracebacks: list[Traceback | None] | None = None
+    failures: FailureReport | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when every pair produced a result."""
+        return self.failures is None or self.failures.ok
 
     @property
     def total_ms(self) -> float:
-        return self.timing.total_ms
+        return self.timing.total_ms if self.timing is not None else 0.0
 
 
 class SalobaAligner:
@@ -78,11 +94,18 @@ class SalobaAligner:
         scoring: ScoringScheme | None = None,
         config: SalobaConfig | None = None,
         device: DeviceProfile = GTX1650,
+        *,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        deadline_ms: float | None = None,
     ):
         self.scoring = scoring or ScoringScheme()
         self.config = config or SalobaConfig()
         self.device = device
-        self._kernel = SalobaKernel(self.scoring, self.config)
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.deadline_ms = deadline_ms
+        self._kernel = SalobaKernel(self.scoring, self.config, fault_plan=fault_plan)
 
     # ----- single-pair convenience ----------------------------------------
 
@@ -113,7 +136,18 @@ class SalobaAligner:
         result scoring at least *min_traceback_score* (the kernel
         reports endpoints; traceback reruns only the bounded prefix —
         see :mod:`repro.align.batch_traceback`).
+
+        This is the *fast path*: invalid input raises and an active
+        fault plan would surface holes, so with faults, a retry
+        policy, or a deadline configured it delegates to :meth:`run`.
         """
+        if self._kernel.active_fault_plan(self.device) or self.deadline_ms is not None:
+            return self.run(
+                pairs,
+                compute_scores=compute_scores,
+                traceback=traceback,
+                min_traceback_score=min_traceback_score,
+            )
         jobs = make_jobs(pairs)
         run = self._kernel.run(
             jobs, self.device, compute_scores=compute_scores or traceback
@@ -130,6 +164,73 @@ class SalobaAligner:
     def model_batch(self, pairs) -> KernelRunResult:
         """Raw kernel-run result (timing + counters), model mode."""
         return self._kernel.run(make_jobs(pairs), self.device, compute_scores=False)
+
+    # ----- resilient batch API ----------------------------------------------
+
+    def run(
+        self,
+        pairs,
+        *,
+        compute_scores: bool = True,
+        traceback: bool = False,
+        min_traceback_score: int = 1,
+        deadline_ms: float | None = None,
+    ) -> BatchReport:
+        """Extend a batch with per-pair error isolation.
+
+        The production entry point: **no exception escapes**.  Every
+        pair either yields a result — directly, after retries of
+        transient device faults (capped exponential backoff), or via
+        the CPU reference fallback — or is quarantined into
+        ``report.failures`` with its error class and attempt count.
+        A ``deadline_ms`` budget (argument overrides the instance
+        default) truncates or splits work that cannot fit.
+
+        Unlike :meth:`align_batch`, *pairs* may hold raw strings or
+        arrays; encoding/validation failures quarantine the pair
+        instead of aborting the batch.
+        """
+        failures = FailureReport()
+        jobs: list[ExtensionJob | None] = []
+        for i, pair in enumerate(pairs):
+            try:
+                q, r = pair
+                jobs.append(ExtensionJob(ref=encode(r), query=encode(q)))
+            except (AlignmentError, ValueError, TypeError) as exc:
+                jobs.append(None)
+                name = type(exc).__name__ if isinstance(exc, AlignmentError) else "JobRejected"
+                failures.quarantine(FailureRecord(i, name, str(exc), attempts=0))
+        outcome = run_isolated(
+            self._kernel,
+            jobs,
+            self.device,
+            policy=self.retry_policy,
+            deadline_ms=self.deadline_ms if deadline_ms is None else deadline_ms,
+            compute_scores=compute_scores or traceback,
+            scoring=self.scoring,
+            failures=failures,
+        )
+        tracebacks = None
+        if traceback:
+            done = [
+                i for i, job in enumerate(jobs)
+                if job is not None and outcome.results[i] is not None
+            ]
+            tbs = traceback_batch(
+                [jobs[i] for i in done],
+                [outcome.results[i] for i in done],
+                self.scoring,
+                min_score=min_traceback_score,
+            )
+            tracebacks = [None] * len(jobs)
+            for i, tb in zip(done, tbs):
+                tracebacks[i] = tb
+        return BatchReport(
+            results=outcome.results,
+            timing=outcome.timing,
+            tracebacks=tracebacks,
+            failures=outcome.failures,
+        )
 
     # ----- tuning -------------------------------------------------------------
 

@@ -16,6 +16,10 @@ from dataclasses import dataclass, field
 from ..align.matrix import AlignmentResult
 from ..baselines.base import ExtensionJob, ExtensionKernel
 from ..gpusim.device import DeviceProfile
+from ..resilience.errors import JobRejected
+from ..resilience.isolation import run_isolated
+from ..resilience.report import FailureRecord, FailureReport
+from ..resilience.retry import RetryPolicy
 
 __all__ = ["BatchPlan", "StreamResult", "BatchRunner"]
 
@@ -38,18 +42,26 @@ class BatchPlan:
 
 @dataclass
 class StreamResult:
-    """Aggregate outcome of streaming a job list through a kernel."""
+    """Aggregate outcome of streaming a job list through a kernel.
+
+    ``failures`` is populated by :meth:`BatchRunner.run_resilient`
+    (per-job ledger, global job indices); the legacy :meth:`run` path
+    keeps its coarser per-batch ``skipped_batches`` record.
+    """
 
     kernel: str
     device: str
     plan: BatchPlan
     total_ms: float = 0.0
     per_batch_ms: list[float] = field(default_factory=list)
-    results: list[AlignmentResult] | None = None
+    results: list[AlignmentResult | None] | None = None
     skipped_batches: list[tuple[int, str]] = field(default_factory=list)
+    failures: FailureReport | None = None
 
     @property
     def completed(self) -> bool:
+        if self.failures is not None and not self.failures.ok:
+            return False
         return not self.skipped_batches
 
 
@@ -57,12 +69,16 @@ class BatchRunner:
     """Slice a job stream into device-sized kernel calls."""
 
     def __init__(self, kernel: ExtensionKernel, device: DeviceProfile,
-                 *, batch_size: int = 5000):
+                 *, batch_size: int = 5000,
+                 retry_policy: RetryPolicy | None = None,
+                 deadline_ms: float | None = None):
         if batch_size < 1:
-            raise ValueError("batch size must be positive")
+            raise JobRejected("batch size must be positive")
         self.kernel = kernel
         self.device = device
         self.batch_size = batch_size
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.deadline_ms = deadline_ms
 
     def plan(self, n_jobs: int) -> BatchPlan:
         return BatchPlan(
@@ -96,6 +112,54 @@ class BatchRunner:
                 out.results.extend(res.results)
         return out
 
+    def run_resilient(self, jobs: list[ExtensionJob], *,
+                      compute_scores: bool = False,
+                      deadline_ms: float | None = None) -> StreamResult:
+        """Stream *jobs* with per-job isolation, retry, and deadlines.
+
+        Each device-sized call goes through the
+        :mod:`~repro.resilience.isolation` executor: invalid jobs are
+        quarantined, transiently-faulted jobs retried with backoff,
+        capacity-skipped batches bisected, exhausted jobs degraded to
+        the CPU reference path.  A ``deadline_ms`` budget (argument
+        overrides the instance default) spans the *whole stream*:
+        batches that no longer fit are truncated and the tail
+        quarantined as ``DeadlineExceeded`` — no exception escapes.
+        """
+        deadline = self.deadline_ms if deadline_ms is None else deadline_ms
+        plan = self.plan(len(jobs))
+        out = StreamResult(
+            kernel=self.kernel.name,
+            device=self.device.name,
+            plan=plan,
+            results=[None] * len(jobs) if compute_scores else None,
+            failures=FailureReport(),
+        )
+        for b in range(plan.n_batches):
+            lo = b * self.batch_size
+            batch = jobs[lo : lo + self.batch_size]
+            remaining = None if deadline is None else deadline - out.total_ms
+            if remaining is not None and remaining <= 0:
+                for i in range(lo, len(jobs)):
+                    out.failures.quarantine(FailureRecord(
+                        i, "DeadlineExceeded",
+                        "stream deadline budget exhausted", attempts=0))
+                break
+            outcome = run_isolated(
+                self.kernel, batch, self.device,
+                policy=self.retry_policy,
+                deadline_ms=remaining,
+                compute_scores=compute_scores,
+                scoring=getattr(self.kernel, "scoring", None),
+            )
+            out.failures.merge(outcome.failures, index_offset=lo)
+            if outcome.timing is not None:
+                out.per_batch_ms.append(outcome.timing.total_ms)
+                out.total_ms += outcome.timing.total_ms
+            if compute_scores and outcome.results is not None:
+                out.results[lo : lo + len(batch)] = outcome.results
+        return out
+
     def tune_batch_size(self, sample: list[ExtensionJob],
                         candidates: tuple[int, ...] = (1000, 2000, 5000, 10_000, 20_000),
                         *, stream_length: int = 100_000) -> int:
@@ -106,7 +170,7 @@ class BatchRunner:
         exceed device capacity (which disqualifies the candidate).
         """
         if not sample:
-            raise ValueError("need a non-empty sample")
+            raise JobRejected("need a non-empty sample")
         best_size, best_t = self.batch_size, float("inf")
         for size in candidates:
             reps = -(-size // len(sample))

@@ -43,11 +43,12 @@ class SalobaKernel(ExtensionKernel):
     bits = 4
 
     def __init__(self, scoring=None, config: SalobaConfig | None = None, *,
-                 sort_jobs: bool = False, costs=None, packing=None):
+                 sort_jobs: bool = False, costs=None, packing=None,
+                 fault_plan=None):
         kwargs = {}
         if costs is not None:
             kwargs["costs"] = costs
-        super().__init__(scoring, packing=packing, **kwargs)
+        super().__init__(scoring, packing=packing, fault_plan=fault_plan, **kwargs)
         self.config = config or SalobaConfig()
         #: Discussion VII-C: optionally sort queries by cost before
         #: packing warps, trading preprocessing for balance.

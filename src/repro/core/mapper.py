@@ -26,6 +26,11 @@ from ..align.semiglobal import semiglobal_align
 from ..baselines.base import ExtensionJob
 from ..gpusim.device import GTX1650, DeviceProfile
 from ..gpusim.kernel import LaunchTiming
+from ..resilience.errors import AlignmentError, JobRejected
+from ..resilience.faults import FaultPlan
+from ..resilience.isolation import run_isolated
+from ..resilience.report import FailureRecord, FailureReport
+from ..resilience.retry import RetryPolicy
 from ..seeding.chaining import Chain, chain_seeds
 from ..seeding.jobs import extension_jobs_for_chain
 from ..seeding.smem import SmemSeeder
@@ -73,11 +78,18 @@ class ReadMapping:
 
 @dataclass(frozen=True)
 class MapperReport:
-    """Batch mapping output plus the modeled extension timing."""
+    """Batch mapping output plus the modeled extension timing.
+
+    ``failures`` records quarantined work by **read index**: reads
+    whose seeding or extension jobs failed terminally (they still get
+    a mapping entry — per-read isolation means one bad read never
+    aborts the batch).
+    """
 
     mappings: list[ReadMapping]
     timing: LaunchTiming | None
     n_jobs: int
+    failures: FailureReport | None = None
 
     @property
     def extension_ms(self) -> float:
@@ -103,13 +115,19 @@ class ReadMapper:
         min_seed_len: int = 19,
         max_hits: int = 16,
         gap_margin: int = 150,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        deadline_ms: float | None = None,
     ):
         self.reference = np.asarray(reference, dtype=np.uint8)
         self.scoring = scoring or ScoringScheme()
         self.device = device
-        self.kernel = SalobaKernel(self.scoring, config or SalobaConfig())
+        self.kernel = SalobaKernel(self.scoring, config or SalobaConfig(),
+                                   fault_plan=fault_plan)
         self.seeder = SmemSeeder(self.reference, min_seed_len=min_seed_len, max_hits=max_hits)
         self.gap_margin = gap_margin
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.deadline_ms = deadline_ms
 
     # ----- per-read seeding ------------------------------------------------
 
@@ -133,18 +151,30 @@ class ReadMapper:
 
     def map_reads(self, reads: list[np.ndarray], *, compute_scores: bool = True
                   ) -> MapperReport:
-        """Map a batch of reads; extension runs as one kernel batch."""
+        """Map a batch of reads; extension runs as one kernel batch.
+
+        Per-read isolation: a read whose codes are invalid or whose
+        seeding blows up is reported unmapped (with a ``failures``
+        entry) instead of aborting the batch, and extension jobs run
+        through the resilient executor — faulted jobs are retried,
+        degraded to the CPU path, or quarantined per the mapper's
+        retry policy.
+        """
+        failures = FailureReport()
         per_read: list[dict] = []
         jobs: list[ExtensionJob] = []
         job_owner: list[int] = []
         for idx, read in enumerate(reads):
-            codes = np.asarray(read, dtype=np.uint8)
-            chain, oriented, reverse = self._orient(codes)
-            entry = {
-                "chain": chain,
-                "reverse": reverse,
-                "jobs": [],
-            }
+            entry = {"chain": None, "reverse": False, "jobs": []}
+            try:
+                codes = np.asarray(read, dtype=np.uint8)
+                chain, oriented, reverse = self._orient(codes)
+                entry["chain"], entry["reverse"] = chain, reverse
+            except (AlignmentError, ValueError) as exc:
+                name = type(exc).__name__ if isinstance(exc, AlignmentError) else "JobRejected"
+                failures.quarantine(FailureRecord(idx, name, str(exc), attempts=0))
+                per_read.append(entry)
+                continue
             if chain is not None:
                 pairs = extension_jobs_for_chain(
                     oriented, self.reference, chain, gap_margin=self.gap_margin
@@ -157,12 +187,27 @@ class ReadMapper:
         timing = None
         ext_scores = [0] * len(reads)
         if jobs:
-            run = self.kernel.run(jobs, self.device, compute_scores=compute_scores)
-            assert run.timing is not None
-            timing = run.timing
-            if compute_scores and run.results:
-                for owner, res in zip(job_owner, run.results):
-                    ext_scores[owner] += res.score
+            outcome = run_isolated(
+                self.kernel, jobs, self.device,
+                policy=self.retry_policy,
+                deadline_ms=self.deadline_ms,
+                compute_scores=compute_scores,
+                scoring=self.scoring,
+            )
+            timing = outcome.timing
+            # Re-index job-level failures to the owning read.
+            for rec in outcome.failures.entries:
+                failures.quarantine(FailureRecord(
+                    job_owner[rec.job_index], rec.error, rec.message,
+                    attempts=rec.attempts))
+            for rec in outcome.failures.recovered:
+                failures.recover(FailureRecord(
+                    job_owner[rec.job_index], rec.error, rec.message,
+                    attempts=rec.attempts, fallback=rec.fallback))
+            if compute_scores and outcome.results:
+                for owner, res in zip(job_owner, outcome.results):
+                    if res is not None:
+                        ext_scores[owner] += res.score
 
         mappings = []
         for idx, entry in enumerate(per_read):
@@ -184,7 +229,8 @@ class ReadMapper:
                     extension_score=ext_scores[idx],
                 )
             )
-        return MapperReport(mappings=mappings, timing=timing, n_jobs=len(jobs))
+        return MapperReport(mappings=mappings, timing=timing, n_jobs=len(jobs),
+                            failures=failures)
 
 
 @dataclass(frozen=True)
@@ -237,9 +283,9 @@ class PairedReadMapper(ReadMapper):
                  rescue_min_identity: float = 0.5, **kwargs):
         super().__init__(*args, **kwargs)
         if max_insert <= 0:
-            raise ValueError("max_insert must be positive")
+            raise JobRejected("max_insert must be positive")
         if not 0.0 < rescue_min_identity <= 1.0:
-            raise ValueError("rescue_min_identity must be in (0, 1]")
+            raise JobRejected("rescue_min_identity must be in (0, 1]")
         self.max_insert = max_insert
         self.rescue_min_identity = rescue_min_identity
 
@@ -280,7 +326,7 @@ class PairedReadMapper(ReadMapper):
                   *, compute_scores: bool = True) -> list[PairMapping]:
         """Map mate pairs; returns one :class:`PairMapping` per pair."""
         if len(reads1) != len(reads2):
-            raise ValueError("mate lists must have equal length")
+            raise JobRejected("mate lists must have equal length")
         rep1 = self.map_reads(reads1, compute_scores=compute_scores)
         rep2 = self.map_reads(reads2, compute_scores=compute_scores)
         out: list[PairMapping] = []

@@ -25,7 +25,14 @@ from .memory import AccessPattern, MemoryModel, amplified_bytes
 from .scheduler import ScheduleResult, WarpJob, schedule_warps
 from .sharedmem import N_BANKS, SharedAllocation, bank_conflict_factor
 from .occupancy import LaunchConfig, Occupancy, occupancy
-from .timeline import SmTimeline, WarpInterval, build_timeline, render_timeline
+from .timeline import (
+    STALL_MARK,
+    SmTimeline,
+    WarpInterval,
+    apply_stalls,
+    build_timeline,
+    render_timeline,
+)
 
 __all__ = [
     "DeviceProfile", "GTX1650", "RTX3090", "PRE_PASCAL", "V100", "A100",
@@ -36,5 +43,6 @@ __all__ = [
     "SharedAllocation", "bank_conflict_factor", "N_BANKS",
     "LaunchTiming", "assemble_launch",
     "SmTimeline", "WarpInterval", "build_timeline", "render_timeline",
+    "apply_stalls", "STALL_MARK",
     "LaunchConfig", "Occupancy", "occupancy",
 ]

@@ -10,7 +10,11 @@ on: 128 B before Pascal, 32 B from Volta on (per Khairy et al. [32]).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # runtime import avoided: resilience is a leaf package
+    from ..resilience.faults import FaultPlan
 
 __all__ = ["DeviceProfile", "GTX1650", "RTX3090", "PRE_PASCAL", "WARP_SIZE", "known_devices"]
 
@@ -62,6 +66,12 @@ class DeviceProfile:
     l2_bw_ratio:
         L2 bandwidth as a multiple of DRAM bandwidth (big-DRAM cards
         have proportionally *less* L2 headroom).
+    fault_plan:
+        Optional seeded :class:`~repro.resilience.faults.FaultPlan`
+        making this profile model an *unreliable* device: every kernel
+        attempt consults it per job and suffers the drawn stalls,
+        transient launch failures, and capacity overflows.  None (the
+        default) models a perfectly reliable card.
     """
 
     name: str
@@ -78,6 +88,7 @@ class DeviceProfile:
     device_mem_gb: float
     l2_hit_redundant: float = 0.9
     l2_bw_ratio: float = 3.0
+    fault_plan: "FaultPlan | None" = None
 
     def __post_init__(self):
         if self.sm_count <= 0 or self.cores_per_sm <= 0:
@@ -128,8 +139,6 @@ class DeviceProfile:
         the knobs for what-if roofline studies ("how would the Fig. 6
         ordering look on a card with 2x the bandwidth?").
         """
-        from dataclasses import replace
-
         return replace(
             self,
             name=name or f"{self.name}[x{compute:g}c,x{bandwidth:g}b]",
@@ -137,6 +146,10 @@ class DeviceProfile:
             mem_bandwidth_gbps=self.mem_bandwidth_gbps * bandwidth,
             device_mem_gb=self.device_mem_gb * memory,
         )
+
+    def with_faults(self, plan: "FaultPlan | None") -> "DeviceProfile":
+        """This profile with *plan* installed (None clears injection)."""
+        return replace(self, fault_plan=plan)
 
 
 #: The paper's 'affordable' platform (Turing TU117).

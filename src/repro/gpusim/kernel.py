@@ -16,7 +16,7 @@ GASAL2's small-input penalty in Fig. 7.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from .counters import Counters
 from .device import DeviceProfile
@@ -55,6 +55,36 @@ class LaunchTiming:
     @property
     def total_ms(self) -> float:
         return self.total_s * 1e3
+
+    def with_extra_overhead(self, seconds: float) -> "LaunchTiming":
+        """This timing plus *seconds* of serial host-side overhead.
+
+        How retry backoff and CPU-fallback work are folded onto the
+        modeled timeline: serial, after the launch, like a host wait.
+        """
+        if seconds < 0:
+            raise ValueError("overhead cannot be negative")
+        return replace(
+            self,
+            total_s=self.total_s + seconds,
+            overhead_s=self.overhead_s + seconds,
+        )
+
+    def with_compute_dilation(self, extra_s: float) -> "LaunchTiming":
+        """This timing with *extra_s* added to the compute stream.
+
+        Used by fault injection to model stalled subwarps dragging the
+        launch: the compute component grows and the roofline total is
+        re-derived (memory still overlaps).
+        """
+        if extra_s < 0:
+            raise ValueError("dilation cannot be negative")
+        compute_s = self.compute_s + extra_s
+        return replace(
+            self,
+            compute_s=compute_s,
+            total_s=max(compute_s, self.memory_s) + self.overhead_s,
+        )
 
 
 def assemble_launch(

@@ -15,7 +15,11 @@ from dataclasses import dataclass
 from .device import DeviceProfile
 from .scheduler import SINGLE_WARP_IPC, WarpJob
 
-__all__ = ["WarpInterval", "SmTimeline", "build_timeline", "render_timeline"]
+__all__ = ["WarpInterval", "SmTimeline", "build_timeline", "render_timeline",
+           "apply_stalls", "STALL_MARK"]
+
+#: Tag suffix marking a warp dilated by an injected stall.
+STALL_MARK = "!"
 
 
 @dataclass(frozen=True)
@@ -92,8 +96,29 @@ def build_timeline(jobs: list[WarpJob], device: DeviceProfile) -> SmTimeline:
     return SmTimeline(per_sm=per_sm, makespan_cycles=makespan)
 
 
+def apply_stalls(jobs: list[WarpJob], factors: dict[int, float]) -> list[WarpJob]:
+    """Dilate selected warps by injected stall factors.
+
+    ``factors`` maps a job's position in *jobs* to its cycle
+    multiplier (>= 1).  Dilated warps get a :data:`STALL_MARK` suffix
+    on their tag so :func:`render_timeline` can show *where* the
+    injected stall lands on the SM chart — the fault-injection
+    counterpart of the Sec. III-A straggler diagnosis.
+    """
+    out = []
+    for i, job in enumerate(jobs):
+        f = factors.get(i, 1.0)
+        if f < 1.0:
+            raise ValueError("stall factors must be >= 1")
+        if f > 1.0:
+            job = WarpJob(cycles=job.cycles * f, tag=job.tag + STALL_MARK)
+        out.append(job)
+    return out
+
+
 def render_timeline(timeline: SmTimeline, *, width: int = 60) -> str:
-    """ASCII occupancy chart: one row per SM, '#' = busy, '.' = idle."""
+    """ASCII occupancy chart: one row per SM, '#' = busy, '.' = idle,
+    'X' = busy on a warp dilated by an injected stall."""
     if timeline.makespan_cycles <= 0:
         return "(empty timeline)"
     scale = width / timeline.makespan_cycles
@@ -101,10 +126,11 @@ def render_timeline(timeline: SmTimeline, *, width: int = 60) -> str:
     for i, sm in enumerate(timeline.per_sm):
         row = ["."] * width
         for iv in sm:
+            mark = "X" if iv.tag.endswith(STALL_MARK) else "#"
             a = int(iv.start_cycles * scale)
             b = max(int(iv.end_cycles * scale), a + 1)
             for k in range(a, min(b, width)):
-                row[k] = "#"
+                row[k] = mark
         lines.append(f"SM{i:3d} |{''.join(row)}|")
     lines.append(f"utilization: {timeline.utilization:.1%}  "
                  f"makespan: {timeline.makespan_cycles:.0f} cycles")

@@ -1,0 +1,51 @@
+"""Resilience layer: error taxonomy, fault injection, retry, isolation.
+
+Production alignment services must quarantine bad work and keep the
+stream flowing.  This package supplies the pieces:
+
+- :mod:`~repro.resilience.errors` — the structured exception taxonomy
+  rooted at :class:`AlignmentError`;
+- :mod:`~repro.resilience.faults` — seeded, deterministic
+  :class:`FaultPlan` injection for the GPU model;
+- :mod:`~repro.resilience.retry` — :class:`RetryPolicy` (capped
+  exponential backoff + CPU fallback);
+- :mod:`~repro.resilience.report` — the :class:`FailureReport` ledger;
+- :mod:`~repro.resilience.isolation` — the per-job isolation executor
+  behind ``SalobaAligner.run`` and ``BatchRunner.run_resilient``.
+
+See ``docs/RESILIENCE.md`` for the full semantics.
+"""
+
+from .errors import (
+    AlignmentError,
+    CapacityExceeded,
+    DeadlineExceeded,
+    DeviceFault,
+    InputError,
+    JobRejected,
+)
+from .faults import FaultDecision, FaultPlan, job_key
+from .report import FailureRecord, FailureReport
+from .retry import RetryPolicy
+
+# The isolation executor pulls in the alignment stack, which itself
+# uses the leaf modules above (seqs.alphabet raises JobRejected) — load
+# it lazily (PEP 562) so this package stays importable from anywhere.
+_LAZY = {"IsolationOutcome", "run_isolated", "validate_job"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import isolation
+
+        return getattr(isolation, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "AlignmentError", "JobRejected", "InputError",
+    "DeviceFault", "CapacityExceeded", "DeadlineExceeded",
+    "FaultPlan", "FaultDecision", "job_key",
+    "RetryPolicy",
+    "FailureRecord", "FailureReport",
+    "IsolationOutcome", "run_isolated", "validate_job",
+]

@@ -1,0 +1,86 @@
+"""Structured error taxonomy for the alignment pipeline.
+
+Production deployments (GASAL2 inside BWA-MEM — the streaming pattern
+:mod:`repro.core.batching` models) cannot let one malformed pair or a
+stalled launch abort a whole stream: failures must carry enough
+structure for the caller to decide *quarantine, retry, or fall back*.
+This module replaces the bare ``ValueError``/``RuntimeError`` raises on
+the hot paths with a small class hierarchy rooted at
+:class:`AlignmentError`.
+
+Every class also inherits the builtin exception it historically
+replaced (``ValueError``, ``TimeoutError``, ...) so pre-taxonomy
+callers catching the builtin keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "AlignmentError",
+    "JobRejected",
+    "InputError",
+    "DeviceFault",
+    "CapacityExceeded",
+    "DeadlineExceeded",
+]
+
+
+class AlignmentError(Exception):
+    """Root of the pipeline's error taxonomy.
+
+    Catching this one class at a boundary (the CLI, a service handler)
+    is guaranteed to cover every structured failure the library
+    raises.
+    """
+
+
+class JobRejected(AlignmentError, ValueError):
+    """A work item or parameter failed validation before reaching the
+    device: empty sequence, out-of-range codes, nonsensical batch or
+    policy settings."""
+
+
+class InputError(AlignmentError, ValueError):
+    """A sequence file could not be parsed.
+
+    Carries the offending record name (when known) and 1-based line
+    number so operators can locate truncated or corrupt records.
+    """
+
+    def __init__(self, message: str, *, record: str | None = None,
+                 line: int | None = None):
+        where = []
+        if record is not None:
+            where.append(f"record {record!r}")
+        if line is not None:
+            where.append(f"line {line}")
+        suffix = f" ({', '.join(where)})" if where else ""
+        super().__init__(message + suffix)
+        self.record = record
+        self.line = line
+
+
+class DeviceFault(AlignmentError, RuntimeError):
+    """The (modeled) device failed while executing a job.
+
+    ``transient=True`` marks faults worth retrying (launch glitches);
+    ``transient=False`` marks hard faults where a retry on the same
+    device would deterministically fail again.
+    """
+
+    def __init__(self, message: str, *, transient: bool = False,
+                 kind: str = "fault"):
+        super().__init__(message)
+        self.transient = transient
+        self.kind = kind
+
+
+class CapacityExceeded(AlignmentError, ValueError):
+    """A batch does not fit the device: memory, shared-memory, or a
+    kernel's structural limit.  Retrying the same batch cannot help;
+    splitting it might."""
+
+
+class DeadlineExceeded(AlignmentError, TimeoutError):
+    """Work was abandoned because the per-call deadline budget ran out
+    before it could be (re)scheduled."""

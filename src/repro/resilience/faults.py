@@ -1,0 +1,122 @@
+"""Deterministic fault injection for the GPU model.
+
+A :class:`FaultPlan` is a seeded description of how unreliable the
+modeled device should be.  Installed on a
+:class:`~repro.gpusim.device.DeviceProfile` (or directly on a kernel),
+it makes every :meth:`ExtensionKernel.run` attempt consult
+:meth:`FaultPlan.decide` per job and suffer the drawn fault:
+
+* ``transient`` — the launch glitches for that job; no result this
+  attempt, but a retry (a higher ``attempt`` number) redraws and will
+  almost surely succeed.
+* ``stall``     — the job's subwarp drags (clock throttling, memory
+  contention): the result is still correct but the modeled timeline
+  dilates, which is how stalls interact with deadline budgets.
+* ``overflow``  — a shared-memory/capacity overflow: deterministic for
+  the job, so retrying is pointless and the caller should fall back.
+
+Decisions are pure functions of ``(plan seed, job content, attempt)``
+— the same plan over the same jobs always faults identically, batch
+boundaries notwithstanding, which is what makes failure-handling
+testable (same seed => same faults) and lets a re-batched retry see
+the same world.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import JobRejected
+
+__all__ = ["FaultDecision", "FaultPlan", "job_key"]
+
+_MASK32 = 0xFFFFFFFF
+
+
+def job_key(job) -> int:
+    """Stable 32-bit fingerprint of one extension job's content.
+
+    Keyed on the sequences themselves (not the batch position) so a
+    job faults the same way however the stream is sliced.  Accepts any
+    object with uint8 ``ref``/``query`` arrays.
+    """
+    h = zlib.crc32(np.ascontiguousarray(job.ref, dtype=np.uint8).tobytes())
+    h = zlib.crc32(np.ascontiguousarray(job.query, dtype=np.uint8).tobytes(), h)
+    return h & _MASK32
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the plan injected for one (job, attempt)."""
+
+    kind: str  # "transient" | "stall" | "overflow"
+    stall_factor: float = 1.0
+
+    @property
+    def failed(self) -> bool:
+        """True when the job produced no usable result this attempt."""
+        return self.kind != "stall"
+
+    @property
+    def transient(self) -> bool:
+        return self.kind == "transient"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, rate-based fault model.
+
+    Attributes
+    ----------
+    seed:
+        Root of all randomness; two plans with equal fields inject
+        identical faults.
+    transient_rate / stall_rate / overflow_rate:
+        Per-job per-attempt probabilities of each fault class (their
+        sum must stay <= 1).
+    stall_factor:
+        Cycle-dilation multiplier a stalled job suffers.
+    """
+
+    seed: int = 0
+    transient_rate: float = 0.0
+    stall_rate: float = 0.0
+    overflow_rate: float = 0.0
+    stall_factor: float = 8.0
+
+    def __post_init__(self):
+        for name in ("transient_rate", "stall_rate", "overflow_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise JobRejected(f"{name} must be in [0, 1], got {rate}")
+        if self.transient_rate + self.stall_rate + self.overflow_rate > 1.0:
+            raise JobRejected("fault rates must sum to at most 1")
+        if self.stall_factor < 1.0:
+            raise JobRejected("stall_factor must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        return (self.transient_rate + self.stall_rate + self.overflow_rate) > 0.0
+
+    def decide(self, key: int, attempt: int = 0) -> FaultDecision | None:
+        """The fault (or None) for job fingerprint *key* on *attempt*."""
+        if not self.enabled:
+            return None
+        rng = np.random.default_rng(
+            [self.seed & _MASK32, key & _MASK32, attempt & _MASK32]
+        )
+        u = rng.random()
+        if u < self.transient_rate:
+            return FaultDecision("transient")
+        if u < self.transient_rate + self.stall_rate:
+            return FaultDecision("stall", stall_factor=self.stall_factor)
+        if u < self.transient_rate + self.stall_rate + self.overflow_rate:
+            return FaultDecision("overflow")
+        return None
+
+    def decide_batch(self, jobs, attempt: int = 0) -> tuple[FaultDecision | None, ...]:
+        """Per-job decisions for one kernel attempt over *jobs*."""
+        return tuple(self.decide(job_key(j), attempt) for j in jobs)

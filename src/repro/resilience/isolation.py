@@ -1,0 +1,276 @@
+"""Per-job error isolation: quarantine, retry, fall back — never abort.
+
+This is the executor behind :meth:`SalobaAligner.run`,
+:meth:`BatchRunner.run_resilient`, and :meth:`ReadMapper.map_reads`.
+Given a job list and a kernel it guarantees that **zero exceptions
+escape**: every job either produces a result (directly, after retries,
+or via the CPU reference fallback) or gets a structured entry in a
+:class:`~repro.resilience.report.FailureReport`.
+
+Mechanics, in the order a job experiences them:
+
+1. **Validation** — empty or out-of-range-code jobs are quarantined as
+   :class:`JobRejected` before touching the device.
+2. **Deadline chunking** — with a ``deadline_ms`` budget, the batch is
+   first projected on the timing model and split into chunks that fit;
+   work the budget cannot cover is quarantined as
+   :class:`DeadlineExceeded` (truncation) instead of blowing the SLA.
+3. **Launch attempts** — each kernel call carries an ``attempt``
+   number; jobs the fault plan glitches transiently are re-queued with
+   capped exponential backoff (charged to the modeled timing, exactly
+   where a host retry loop would sit on a real timeline).
+4. **Capacity splitting** — a batch the device rejects outright is
+   bisected until sub-batches fit; a single job that still cannot run
+   is handled terminally.
+5. **Graceful degradation** — jobs out of attempts (or hit by
+   non-transient faults) fall back to the CPU reference ``sw_align``
+   path when the policy allows, with the modeled CPU cost charged to
+   the budget; otherwise they are quarantined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..align import sw_align
+from ..align.matrix import AlignmentResult
+from ..align.scoring import ScoringScheme
+from ..gpusim.counters import Counters
+from ..gpusim.kernel import LaunchTiming
+from ..seqs.alphabet import N as _MAX_CODE
+from .report import FailureRecord, FailureReport
+from .retry import RetryPolicy
+
+__all__ = ["IsolationOutcome", "run_isolated", "validate_job"]
+
+
+@dataclass
+class IsolationOutcome:
+    """What the isolation executor produced for one call.
+
+    Attributes
+    ----------
+    results:
+        Per-job results aligned with the input list (None for
+        quarantined jobs); None entirely in model-only mode.
+    timing:
+        Aggregate modeled timing across every attempt, backoff delay,
+        and CPU-fallback charge (None when no kernel call ran).
+    failures:
+        The quarantine/recovery ledger.
+    n_kernel_calls:
+        Device launches performed (retries and splits included).
+    overhead_ms:
+        Backoff + CPU-fallback milliseconds folded into ``timing``.
+    """
+
+    results: list[AlignmentResult | None] | None
+    timing: LaunchTiming | None
+    failures: FailureReport
+    n_kernel_calls: int = 0
+    overhead_ms: float = 0.0
+
+    @property
+    def total_ms(self) -> float:
+        return self.timing.total_ms if self.timing is not None else self.overhead_ms
+
+
+def validate_job(job) -> str | None:
+    """Why *job* must not reach the device (None = it may)."""
+    if job.ref_len == 0 or job.query_len == 0:
+        return "empty reference or query sequence"
+    for name, arr in (("ref", job.ref), ("query", job.query)):
+        if arr.dtype.kind not in "u" or int(arr.max(initial=0)) > _MAX_CODE:
+            return f"{name} codes outside the 0..{_MAX_CODE} alphabet"
+    return None
+
+
+def _combine_timings(timings: list[LaunchTiming], extra_overhead_s: float) -> LaunchTiming:
+    """Fold per-attempt timings plus serial host overhead into one."""
+    cnt = Counters()
+    for t in timings:
+        cnt.merge(t.counters)
+    return replace(
+        timings[0],
+        total_s=sum(t.total_s for t in timings) + extra_overhead_s,
+        compute_s=sum(t.compute_s for t in timings),
+        memory_s=sum(t.memory_s for t in timings),
+        overhead_s=sum(t.overhead_s for t in timings) + extra_overhead_s,
+        counters=cnt,
+    )
+
+
+class _Budget:
+    """Running deadline-budget ledger (ms)."""
+
+    def __init__(self, deadline_ms: float | None):
+        self.deadline_ms = deadline_ms
+        self.spent_ms = 0.0
+
+    def spend(self, ms: float) -> None:
+        self.spent_ms += ms
+
+    @property
+    def remaining_ms(self) -> float:
+        if self.deadline_ms is None:
+            return float("inf")
+        return self.deadline_ms - self.spent_ms
+
+    def can_afford(self, ms: float) -> bool:
+        return self.remaining_ms >= ms
+
+
+def run_isolated(
+    kernel,
+    jobs,
+    device,
+    *,
+    policy: RetryPolicy | None = None,
+    deadline_ms: float | None = None,
+    compute_scores: bool = False,
+    scoring: ScoringScheme | None = None,
+    failures: FailureReport | None = None,
+) -> IsolationOutcome:
+    """Run *jobs* through *kernel* with per-job isolation.
+
+    ``jobs`` may contain ``None`` placeholders for work the caller
+    already rejected (their indices should carry entries in a
+    pre-filled *failures* report; uncovered placeholders are
+    quarantined as ``JobRejected`` here).  See the module docstring
+    for the full failure-handling contract.
+    """
+    policy = policy or RetryPolicy()
+    failures = failures or FailureReport()
+    scoring = scoring or getattr(kernel, "scoring", None) or ScoringScheme()
+    n = len(jobs)
+    results: list[AlignmentResult | None] | None = [None] * n if compute_scores else None
+    timings: list[LaunchTiming] = []
+    budget = _Budget(deadline_ms)
+    state = {"calls": 0, "extra_ms": 0.0}
+
+    pre_recorded = {r.job_index for r in failures.entries}
+    valid: list[int] = []
+    for i, job in enumerate(jobs):
+        if job is None:
+            if i not in pre_recorded:
+                failures.quarantine(FailureRecord(
+                    i, "JobRejected", "job could not be constructed", attempts=0))
+            continue
+        why = validate_job(job)
+        if why is not None:
+            failures.quarantine(FailureRecord(i, "JobRejected", why, attempts=0))
+            continue
+        valid.append(i)
+
+    attempts_used = dict.fromkeys(valid, 0)
+
+    def quarantine_deadline(idxs: list[int], detail: str) -> None:
+        for i in idxs:
+            failures.quarantine(FailureRecord(
+                i, "DeadlineExceeded", detail, attempts=attempts_used.get(i, 0)))
+
+    def terminal(i: int, error: str, msg: str) -> None:
+        """A job out of device options: degrade to CPU or quarantine."""
+        job = jobs[i]
+        if policy.cpu_fallback:
+            cost = policy.fallback_ms(job.cells)
+            if not budget.can_afford(cost):
+                failures.quarantine(FailureRecord(
+                    i, "DeadlineExceeded",
+                    f"{msg}; no budget left for CPU fallback",
+                    attempts=attempts_used[i]))
+                return
+            budget.spend(cost)
+            state["extra_ms"] += cost
+            if compute_scores:
+                results[i] = sw_align(job.ref, job.query, scoring)
+            failures.recover(FailureRecord(
+                i, error, f"{msg}; degraded to CPU reference path",
+                attempts=attempts_used[i], fallback=True))
+        else:
+            failures.quarantine(FailureRecord(i, error, msg, attempts=attempts_used[i]))
+
+    def attempt_waves(idxs: list[int]) -> None:
+        """Retry loop over one chunk; recurses to bisect capacity skips."""
+        wave = list(idxs)
+        attempt = 0
+        while wave:
+            if not budget.can_afford(0.0) or budget.remaining_ms <= 0.0:
+                quarantine_deadline(wave, "deadline budget exhausted before launch")
+                return
+            batch = [jobs[i] for i in wave]
+            res = kernel.run(batch, device, compute_scores=compute_scores, attempt=attempt)
+            state["calls"] += 1
+            if not res.ok:
+                if len(wave) == 1:
+                    attempts_used[wave[0]] += 1
+                    terminal(wave[0], "CapacityExceeded", res.skipped)
+                    return
+                mid = len(wave) // 2
+                attempt_waves(wave[:mid])
+                attempt_waves(wave[mid:])
+                return
+            timings.append(res.timing)
+            budget.spend(res.timing.total_ms)
+            retry_wave: list[int] = []
+            for local, i in enumerate(wave):
+                attempts_used[i] += 1
+                dec = res.faults[local] if res.faults else None
+                if dec is None or not dec.failed:
+                    if compute_scores:
+                        results[i] = res.results[local]
+                    if attempts_used[i] > 1:
+                        failures.recover(FailureRecord(
+                            i, "DeviceFault",
+                            "recovered by retry after transient fault(s)",
+                            attempts=attempts_used[i]))
+                elif dec.transient and attempts_used[i] < policy.max_attempts:
+                    retry_wave.append(i)
+                elif dec.transient:
+                    terminal(i, "DeviceFault",
+                             f"transient launch failure x{attempts_used[i]} "
+                             "(attempt budget exhausted)")
+                else:
+                    terminal(i, "CapacityExceeded",
+                             "injected shared-memory/capacity overflow")
+            if retry_wave:
+                delay = policy.backoff_for(attempt)
+                if not budget.can_afford(delay):
+                    quarantine_deadline(
+                        retry_wave, "deadline budget exhausted during retry backoff")
+                    return
+                budget.spend(delay)
+                state["extra_ms"] += delay
+            wave = retry_wave
+            attempt += 1
+
+    # Deadline chunking: project the whole batch on the timing model
+    # and slice it so each launch fits the remaining budget.
+    if valid and deadline_ms is not None:
+        projection = kernel.run([jobs[i] for i in valid], device)
+        if projection.ok and projection.timing.total_ms > budget.remaining_ms:
+            per_job_ms = projection.timing.total_ms / len(valid)
+            pending = list(valid)
+            while pending:
+                if per_job_ms > budget.remaining_ms:
+                    quarantine_deadline(
+                        pending, "batch truncated by deadline budget")
+                    break
+                take = min(len(pending), max(int(budget.remaining_ms // per_job_ms), 1))
+                chunk, pending = pending[:take], pending[take:]
+                attempt_waves(chunk)
+        else:
+            attempt_waves(valid)
+    elif valid:
+        attempt_waves(valid)
+
+    timing = None
+    if timings:
+        timing = _combine_timings(timings, state["extra_ms"] * 1e-3)
+    return IsolationOutcome(
+        results=results,
+        timing=timing,
+        failures=failures,
+        n_kernel_calls=state["calls"],
+        overhead_ms=state["extra_ms"],
+    )

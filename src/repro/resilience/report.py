@@ -1,0 +1,104 @@
+"""Structured failure accounting for a batch run.
+
+Quarantining instead of aborting only helps if the caller can see what
+was quarantined.  :class:`FailureReport` is that ledger: one
+:class:`FailureRecord` per job that produced **no result**, plus a
+parallel list of jobs that were *recovered* (retried successfully or
+degraded to the CPU path) so operators can monitor how close the
+system runs to its failure budget.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["FailureRecord", "FailureReport"]
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One job's terminal failure (or recovery) summary.
+
+    Attributes
+    ----------
+    job_index:
+        Position in the caller's original job/pair list.
+    error:
+        Taxonomy class name (``JobRejected``, ``DeviceFault``, ...).
+    message:
+        Human-readable detail.
+    attempts:
+        Device launch attempts the job consumed.
+    fallback:
+        True when the job was recovered on the CPU reference path
+        (it then has a result and lives in ``recovered``, not
+        ``entries``).
+    """
+
+    job_index: int
+    error: str
+    message: str
+    attempts: int = 1
+    fallback: bool = False
+
+
+@dataclass
+class FailureReport:
+    """Ledger of quarantined and recovered jobs for one call."""
+
+    entries: list[FailureRecord] = field(default_factory=list)
+    recovered: list[FailureRecord] = field(default_factory=list)
+
+    def quarantine(self, record: FailureRecord) -> None:
+        self.entries.append(record)
+
+    def recover(self, record: FailureRecord) -> None:
+        self.recovered.append(record)
+
+    def merge(self, other: "FailureReport", *, index_offset: int = 0) -> "FailureReport":
+        """Fold *other* in, shifting its job indices by *index_offset*."""
+        from dataclasses import replace
+
+        for rec in other.entries:
+            self.entries.append(replace(rec, job_index=rec.job_index + index_offset))
+        for rec in other.recovered:
+            self.recovered.append(replace(rec, job_index=rec.job_index + index_offset))
+        return self
+
+    @property
+    def ok(self) -> bool:
+        """True when every job produced a result."""
+        return not self.entries
+
+    @property
+    def failed_indices(self) -> list[int]:
+        return [r.job_index for r in self.entries]
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.entries)
+
+    @property
+    def n_recovered(self) -> int:
+        return len(self.recovered)
+
+    def counts_by_error(self) -> dict[str, int]:
+        """``{taxonomy class name: quarantined count}``."""
+        return dict(Counter(r.error for r in self.entries))
+
+    def summary(self) -> str:
+        if self.ok and not self.recovered:
+            return "all jobs completed cleanly"
+        parts = []
+        if self.recovered:
+            n_fb = sum(r.fallback for r in self.recovered)
+            n_retry = len(self.recovered) - n_fb
+            if n_retry:
+                parts.append(f"{n_retry} recovered by retry")
+            if n_fb:
+                parts.append(f"{n_fb} degraded to CPU fallback")
+        if self.entries:
+            by = ", ".join(f"{k}={v}" for k, v in sorted(self.counts_by_error().items()))
+            parts.append(f"{self.n_failed} quarantined ({by})")
+        return "; ".join(parts)

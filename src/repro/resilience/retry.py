@@ -1,0 +1,69 @@
+"""Retry and graceful-degradation policy.
+
+Transient device faults are worth retrying; everything else is not.
+:class:`RetryPolicy` captures how hard to try — attempt cap, capped
+exponential backoff (modeled as added latency on the launch timing,
+the way a host-side retry loop would look on a real timeline), and
+whether a job that exhausts its attempts degrades to the CPU reference
+``sw_align`` path instead of being dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import JobRejected
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the isolation layer responds to per-job faults.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total launch attempts a job may consume (1 = never retry).
+    backoff_ms:
+        Host-side delay before the first retry wave.
+    backoff_multiplier:
+        Growth factor per successive wave.
+    backoff_cap_ms:
+        Ceiling on any single wave's delay (capped exponential).
+    cpu_fallback:
+        After the attempt budget is spent (or on a non-transient
+        fault), recompute the job on the CPU reference aligner instead
+        of quarantining it.
+    cpu_cells_per_s:
+        Modeled CPU throughput for fallback work, charged to the
+        timing so deadlines see the degradation cost.
+    """
+
+    max_attempts: int = 3
+    backoff_ms: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_cap_ms: float = 2.0
+    cpu_fallback: bool = True
+    cpu_cells_per_s: float = 200e6
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise JobRejected("max_attempts must be at least 1")
+        if self.backoff_ms < 0 or self.backoff_cap_ms < 0:
+            raise JobRejected("backoff delays must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise JobRejected("backoff_multiplier must be >= 1")
+        if self.cpu_cells_per_s <= 0:
+            raise JobRejected("cpu_cells_per_s must be positive")
+
+    def backoff_for(self, retry_index: int) -> float:
+        """Delay in ms before retry wave *retry_index* (0-based)."""
+        return min(
+            self.backoff_ms * self.backoff_multiplier ** retry_index,
+            self.backoff_cap_ms,
+        )
+
+    def fallback_ms(self, cells: int) -> float:
+        """Modeled CPU time to realign *cells* DP cells."""
+        return cells / self.cpu_cells_per_s * 1e3

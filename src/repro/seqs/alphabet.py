@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..resilience.errors import JobRejected
+
 __all__ = [
     "A",
     "C",
@@ -64,9 +66,13 @@ def encode(seq: str | bytes | np.ndarray) -> np.ndarray:
     """
     if isinstance(seq, np.ndarray):
         if seq.dtype != np.uint8:
+            # Validate BEFORE the uint8 cast: out-of-range ints (e.g.
+            # 256) would otherwise silently wrap to valid codes.
+            if seq.size and (int(seq.min()) < 0 or int(seq.max()) > N):
+                raise JobRejected("code array contains values outside 0..4")
             seq = seq.astype(np.uint8)
         if seq.size and int(seq.max(initial=0)) > N:
-            raise ValueError("code array contains values outside 0..4")
+            raise JobRejected("code array contains values outside 0..4")
         return seq
     if isinstance(seq, str):
         seq = seq.encode("ascii")
@@ -78,7 +84,7 @@ def decode(codes: np.ndarray) -> str:
     """Convert a code array back to an upper-case literal string."""
     codes = np.asarray(codes, dtype=np.uint8)
     if codes.size and int(codes.max(initial=0)) > N:
-        raise ValueError("code array contains values outside 0..4")
+        raise JobRejected("code array contains values outside 0..4")
     return _DECODE_LUT[codes].tobytes().decode("ascii")
 
 

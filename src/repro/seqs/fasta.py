@@ -1,8 +1,12 @@
 """Minimal FASTA reader/writer operating in code space.
 
 Only what the pipeline needs: multi-record FASTA with arbitrary line
-wrapping, tolerant of blank lines and ``;`` comment lines (an old but
-still-encountered FASTA dialect).
+wrapping, tolerant of blank lines, CRLF line endings, and ``;``
+comment lines (an old but still-encountered FASTA dialect).  Malformed
+input raises :class:`~repro.resilience.errors.InputError` carrying the
+record name and line number — or, with ``on_error="skip"``, drops the
+bad record and keeps streaming (the quarantine-not-abort semantics the
+mapping CLI exposes as ``--skip-bad-reads``).
 """
 
 from __future__ import annotations
@@ -13,13 +17,23 @@ from pathlib import Path
 
 import numpy as np
 
+from ..resilience.errors import InputError
 from .alphabet import decode, encode
 
 __all__ = ["read_fasta", "write_fasta", "iter_fasta"]
 
 
-def iter_fasta(source: str | Path | io.TextIOBase) -> Iterator[tuple[str, np.ndarray]]:
-    """Yield ``(name, codes)`` records from a FASTA path, text, or handle."""
+def iter_fasta(
+    source: str | Path | io.TextIOBase, *, on_error: str = "raise"
+) -> Iterator[tuple[str, np.ndarray]]:
+    """Yield ``(name, codes)`` records from a FASTA path, text, or handle.
+
+    ``on_error="skip"`` drops records that fail to parse (truncated
+    headers with no sequence, data before any header) instead of
+    raising :class:`InputError`.
+    """
+    if on_error not in ("raise", "skip"):
+        raise ValueError("on_error must be 'raise' or 'skip'")
     if isinstance(source, str) and (not source or source.lstrip()[:1] in (">", ";")
                                     or "\n" in source):
         handle: io.TextIOBase = io.StringIO(source)
@@ -30,35 +44,60 @@ def iter_fasta(source: str | Path | io.TextIOBase) -> Iterator[tuple[str, np.nda
     else:
         handle = source
         own = False
+
+    def finish(name: str, chunks: list[str], header_line: int):
+        """Close out one record: yield it, or flag truncation."""
+        if not chunks:
+            if on_error == "raise":
+                raise InputError("FASTA record has no sequence data "
+                                 "(truncated mid-record?)",
+                                 record=name, line=header_line)
+            return None
+        return name, encode("".join(chunks))
+
     try:
         name: str | None = None
+        header_line = 0
         chunks: list[str] = []
-        for line in handle:
-            line = line.strip()
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()  # tolerates CRLF and stray whitespace
             if not line or line.startswith(";"):
                 continue
             if line.startswith(">"):
                 if name is not None:
-                    yield name, encode("".join(chunks))
+                    rec = finish(name, chunks, header_line)
+                    if rec is not None:
+                        yield rec
                 name = line[1:].split()[0] if len(line) > 1 else ""
+                header_line = lineno
                 chunks = []
             else:
                 if name is None:
-                    raise ValueError("FASTA sequence data before any '>' header")
+                    if on_error == "raise":
+                        raise InputError(
+                            "FASTA sequence data before any '>' header",
+                            line=lineno)
+                    continue
                 chunks.append(line)
         if name is not None:
-            yield name, encode("".join(chunks))
+            rec = finish(name, chunks, header_line)
+            if rec is not None:
+                yield rec
     finally:
         if own:
             handle.close()
 
 
-def read_fasta(source: str | Path | io.TextIOBase) -> dict[str, np.ndarray]:
+def read_fasta(
+    source: str | Path | io.TextIOBase, *, on_error: str = "raise"
+) -> dict[str, np.ndarray]:
     """Read all FASTA records into an ordered ``{name: codes}`` dict."""
     records: dict[str, np.ndarray] = {}
-    for name, codes in iter_fasta(source):
+    for name, codes in iter_fasta(source, on_error=on_error):
         if name in records:
-            raise ValueError(f"duplicate FASTA record name: {name!r}")
+            if on_error == "skip":
+                continue
+            raise InputError(f"duplicate FASTA record name: {name!r}", record=name)
         records[name] = codes
     return records
 

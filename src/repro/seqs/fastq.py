@@ -2,7 +2,12 @@
 
 FASTQ is the native format of the SRA read datasets the paper uses
 (SRR835433, SRP091981); our simulated equivalents round-trip through
-it so the dataset pipeline exercises the same I/O path.
+it so the dataset pipeline exercises the same I/O path.  Malformed
+records — bad headers/separators, quality/sequence length mismatches,
+files truncated mid-record — raise
+:class:`~repro.resilience.errors.InputError` with the record name and
+line number; ``on_error="skip"`` drops them and keeps streaming
+instead (the CLI's ``--skip-bad-reads``).  CRLF files parse cleanly.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..resilience.errors import InputError
 from .alphabet import decode, encode
 
 __all__ = ["FastqRecord", "iter_fastq", "read_fastq", "write_fastq", "constant_quality"]
@@ -29,8 +35,9 @@ class FastqRecord:
 
     def __post_init__(self):
         if self.codes.size != self.quality.size:
-            raise ValueError(
-                f"record {self.name!r}: {self.codes.size} bases vs {self.quality.size} qualities"
+            raise InputError(
+                f"record {self.name!r}: {self.codes.size} bases vs "
+                f"{self.quality.size} qualities"
             )
 
     def __len__(self) -> int:
@@ -44,8 +51,16 @@ def constant_quality(n: int, phred: int = 30) -> np.ndarray:
     return np.full(n, phred, dtype=np.uint8)
 
 
-def iter_fastq(source: str | Path | io.TextIOBase) -> Iterator[FastqRecord]:
-    """Yield records from a FASTQ path, text, or handle."""
+def iter_fastq(
+    source: str | Path | io.TextIOBase, *, on_error: str = "raise"
+) -> Iterator[FastqRecord]:
+    """Yield records from a FASTQ path, text, or handle.
+
+    ``on_error="skip"`` drops malformed records (and a trailing
+    truncated one) instead of raising :class:`InputError`.
+    """
+    if on_error not in ("raise", "skip"):
+        raise ValueError("on_error must be 'raise' or 'skip'")
     if isinstance(source, str) and (not source or source.lstrip()[:1] == "@"
                                     or "\n" in source):
         handle: io.TextIOBase = io.StringIO(source)
@@ -56,33 +71,61 @@ def iter_fastq(source: str | Path | io.TextIOBase) -> Iterator[FastqRecord]:
     else:
         handle = source
         own = False
+    lineno = 0
+
+    def next_line() -> str | None:
+        nonlocal lineno
+        raw = handle.readline()
+        if not raw:
+            return None
+        lineno += 1
+        return raw.strip()  # tolerates CRLF endings
+
     try:
         while True:
-            header = handle.readline()
-            if not header:
+            header = next_line()
+            if header is None:
                 return
-            header = header.strip()
             if not header:
                 continue
+            record_line = lineno
             if not header.startswith("@"):
-                raise ValueError(f"malformed FASTQ header: {header!r}")
-            seq = handle.readline().strip()
-            plus = handle.readline().strip()
-            qual = handle.readline().strip()
+                if on_error == "skip":
+                    continue
+                raise InputError(f"malformed FASTQ header: {header!r}",
+                                 line=record_line)
+            name = header[1:].split()[0] if len(header) > 1 else ""
+            seq = next_line()
+            plus = next_line()
+            qual = next_line()
+            if qual is None:  # EOF inside the 4-line record
+                if on_error == "skip":
+                    return
+                raise InputError("FASTQ file truncated mid-record",
+                                 record=name, line=record_line)
             if not plus.startswith("+"):
-                raise ValueError(f"malformed FASTQ separator for {header!r}")
+                if on_error == "skip":
+                    continue
+                raise InputError(f"malformed FASTQ separator: {plus!r}",
+                                 record=name, line=record_line + 2)
             if len(qual) != len(seq):
-                raise ValueError(f"quality/sequence length mismatch for {header!r}")
+                if on_error == "skip":
+                    continue
+                raise InputError(
+                    f"quality length {len(qual)} != sequence length {len(seq)}",
+                    record=name, line=record_line + 3)
             phred = np.frombuffer(qual.encode("ascii"), dtype=np.uint8) - 33
-            yield FastqRecord(name=header[1:].split()[0], codes=encode(seq), quality=phred)
+            yield FastqRecord(name=name, codes=encode(seq), quality=phred)
     finally:
         if own:
             handle.close()
 
 
-def read_fastq(source: str | Path | io.TextIOBase) -> list[FastqRecord]:
+def read_fastq(
+    source: str | Path | io.TextIOBase, *, on_error: str = "raise"
+) -> list[FastqRecord]:
     """Read all records into a list."""
-    return list(iter_fastq(source))
+    return list(iter_fastq(source, on_error=on_error))
 
 
 def write_fastq(
