@@ -17,12 +17,15 @@ Public API highlights
 - :mod:`repro.seqs`, :mod:`repro.seeding`, :mod:`repro.datasets` — the
   substrates that generate realistic extension workloads.
 - :mod:`repro.bench` — regenerates every table and figure of the paper.
+- :mod:`repro.serve` — the in-process alignment service: admission
+  control, length-binned dynamic batching, result caching, metrics.
 """
 
 from .align import ScoringScheme, bwa_mem_scoring, sw_align, sw_score, sw_traceback
 from .core import SalobaAligner, SalobaConfig, SalobaKernel
 from .gpusim import GTX1650, RTX3090, DeviceProfile
 from .resilience import AlignmentError, FailureReport, FaultPlan, RetryPolicy
+from .serve import AlignmentService, ServiceMetrics
 
 __version__ = "1.0.0"
 
@@ -35,6 +38,8 @@ __all__ = [
     "SalobaAligner",
     "SalobaConfig",
     "SalobaKernel",
+    "AlignmentService",
+    "ServiceMetrics",
     "DeviceProfile",
     "GTX1650",
     "RTX3090",

@@ -14,6 +14,8 @@ Exposes the library's main entry points without writing Python:
     Subwarp auto-tuning for a FASTA/FASTQ workload sample.
 ``map``
     Map reads (FASTA/FASTQ) against a reference FASTA, TSV output.
+``serve-bench``
+    Benchmark the alignment service layer against naive streaming.
 ``report``
     Regenerate the full paper-vs-measured comparison document.
 """
@@ -86,6 +88,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="abort on malformed input records (default)")
     bad.add_argument("--skip-bad-reads", action="store_true",
                      help="drop malformed input records and keep mapping")
+
+    p_srv = sub.add_parser(
+        "serve-bench",
+        help="benchmark AlignmentService vs naive BatchRunner streaming",
+    )
+    p_srv.add_argument("--requests", type=int, default=2000,
+                       help="total stream length (duplicates included)")
+    p_srv.add_argument("--dup-rate", type=float, default=0.25,
+                       help="fraction of the stream re-submitting earlier jobs")
+    p_srv.add_argument("--long-read-fraction", type=float, default=0.12,
+                       help="dataset-B-shaped share of the unique jobs")
+    p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.add_argument("--device", default="GTX1650", choices=sorted(known_devices()))
+    p_srv.add_argument("--out", default=None, help="write the JSON result here")
 
     p_rep = sub.add_parser("report", help="regenerate the comparison report")
     p_rep.add_argument("--quick", action="store_true", help="smaller batches")
@@ -231,6 +247,28 @@ def _cmd_map(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    from .serve.bench import run_serve_bench
+
+    res = run_serve_bench(
+        args.requests,
+        b_fraction=args.long_read_fraction,
+        duplicate_fraction=args.dup_rate,
+        seed=args.seed,
+        device=known_devices()[args.device],
+    )
+    print(res.text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(res.to_json() + "\n")
+        print(f"wrote {args.out}")
+    if not res.scored_identical:
+        print("error: service results diverged from the reference path",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_report(args) -> int:
     from .bench.report import full_report
 
@@ -251,6 +289,7 @@ _COMMANDS = {
     "devices": _cmd_devices,
     "tune": _cmd_tune,
     "map": _cmd_map,
+    "serve-bench": _cmd_serve_bench,
     "report": _cmd_report,
 }
 

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from ..align.matrix import AlignmentResult
 from ..baselines.base import ExtensionJob, ExtensionKernel
 from ..gpusim.device import DeviceProfile
-from ..resilience.errors import JobRejected
+from ..resilience.errors import CapacityExceeded, JobRejected
 from ..resilience.isolation import run_isolated
 from ..resilience.report import FailureRecord, FailureReport
 from ..resilience.retry import RetryPolicy
@@ -102,9 +102,9 @@ class BatchRunner:
             if not res.ok:
                 out.skipped_batches.append((b, res.skipped))
                 if compute_scores:
-                    out.results.extend(
-                        [AlignmentResult(score=0, ref_end=0, query_end=0)] * len(batch)
-                    )
+                    # None keeps index alignment without masquerading
+                    # as a real zero-score alignment.
+                    out.results.extend([None] * len(batch))
                 continue
             out.per_batch_ms.append(res.total_ms)
             out.total_ms += res.total_ms
@@ -168,19 +168,29 @@ class BatchRunner:
 
         Small batches multiply per-call overheads; huge batches can
         exceed device capacity (which disqualifies the candidate).
+        Raises :class:`CapacityExceeded` when *every* candidate is
+        disqualified — ``self.batch_size`` is only updated once a
+        candidate actually wins.
         """
         if not sample:
             raise JobRejected("need a non-empty sample")
-        best_size, best_t = self.batch_size, float("inf")
+        best_size, best_t = None, float("inf")
+        skips: list[str] = []
         for size in candidates:
             reps = -(-size // len(sample))
             batch = (sample * reps)[:size]
             res = self.kernel.run(batch, self.device)
             if not res.ok:
+                skips.append(f"{size}: {res.skipped}")
                 continue
             calls = -(-stream_length // size)
             total = res.total_ms * calls
             if total < best_t:
                 best_size, best_t = size, total
+        if best_size is None:
+            raise CapacityExceeded(
+                "no candidate batch size fits the device: "
+                + "; ".join(skips)
+            )
         self.batch_size = best_size
         return best_size

@@ -1,0 +1,36 @@
+"""repro.serve — the high-throughput alignment service layer.
+
+Where :mod:`repro.core` answers "how fast is one kernel launch", this
+package answers the deployment question: many concurrent producers
+submitting jobs of wildly mixed sizes, with priorities, deadlines, and
+heavy duplication.  :class:`AlignmentService` owns request admission
+(bounded backpressure), length-binned micro-batch formation at
+per-bin-tuned subwarp sizes, a content-addressed result cache, the
+resilient execution path, and deterministic service metrics.
+
+See docs/SERVING.md for the architecture and semantics.
+"""
+
+from .admission import AdmissionQueue
+from .binning import DEFAULT_BIN_EDGES, BinTuner, LengthBinner
+from .cache import CacheEntry, CacheStats, ResultCache, cache_key
+from .metrics import LatencySummary, MetricsRecorder, ServiceMetrics
+from .request import AlignmentRequest, RequestHandle
+from .service import AlignmentService
+
+__all__ = [
+    "AlignmentService",
+    "AlignmentRequest",
+    "RequestHandle",
+    "AdmissionQueue",
+    "LengthBinner",
+    "BinTuner",
+    "DEFAULT_BIN_EDGES",
+    "ResultCache",
+    "CacheEntry",
+    "CacheStats",
+    "cache_key",
+    "ServiceMetrics",
+    "MetricsRecorder",
+    "LatencySummary",
+]

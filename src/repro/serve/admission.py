@@ -1,0 +1,87 @@
+"""Admission control: bounded queueing with priority-aware dispatch.
+
+A service that accepts unbounded work does not degrade, it collapses —
+queues grow without limit and every request times out together.  The
+:class:`AdmissionQueue` enforces two budgets at the front door:
+
+* ``max_depth`` — pending request count (the classic bounded queue);
+* ``max_cells`` — pending *work*, measured in DP cells, so a handful
+  of 8 kbp PacBio extensions cannot monopolize a queue sized for
+  250 bp short reads.
+
+Either budget exceeded makes :meth:`offer` raise
+:class:`~repro.resilience.errors.CapacityExceeded` — the existing
+taxonomy class, so callers already catching ``AlignmentError`` (the
+CLI, `SalobaAligner.run` users) handle backpressure for free.
+
+Dispatch order is highest priority first, FIFO within a priority
+(heap keyed on ``(-priority, request_id)``).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..resilience.errors import CapacityExceeded
+from .request import AlignmentRequest
+
+__all__ = ["AdmissionQueue"]
+
+
+class AdmissionQueue:
+    """Bounded priority queue of pending alignment requests."""
+
+    def __init__(self, max_depth: int = 10_000, max_cells: int | None = None):
+        if max_depth < 1:
+            raise ValueError("queue depth bound must be positive")
+        if max_cells is not None and max_cells < 1:
+            raise ValueError("queue cell bound must be positive")
+        self.max_depth = max_depth
+        self.max_cells = max_cells
+        self._heap: list[tuple[int, int, AlignmentRequest]] = []
+        self._cells = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def depth(self) -> int:
+        return len(self._heap)
+
+    @property
+    def queued_cells(self) -> int:
+        return self._cells
+
+    def admits(self, request: AlignmentRequest) -> str | None:
+        """Why *request* must be rejected (None = admitted)."""
+        if len(self._heap) >= self.max_depth:
+            return (
+                f"admission queue full ({self.max_depth} pending requests); "
+                "drain the service or raise max_queue_depth"
+            )
+        if self.max_cells is not None and self._cells + request.job.cells > self.max_cells:
+            return (
+                f"admission queue work budget full ({self._cells} of "
+                f"{self.max_cells} DP cells pending)"
+            )
+        return None
+
+    def offer(self, request: AlignmentRequest) -> None:
+        """Enqueue *request* or raise :class:`CapacityExceeded`."""
+        why = self.admits(request)
+        if why is not None:
+            raise CapacityExceeded(why)
+        heapq.heappush(
+            self._heap, (-request.priority, request.request_id, request)
+        )
+        self._cells += request.job.cells
+
+    def pop(self) -> AlignmentRequest:
+        """Remove and return the highest-priority pending request."""
+        _, _, request = heapq.heappop(self._heap)
+        self._cells -= request.job.cells
+        return request
+
+    def pop_upto(self, n: int) -> list[AlignmentRequest]:
+        """Dequeue at most *n* requests in dispatch order."""
+        return [self.pop() for _ in range(min(n, len(self._heap)))]

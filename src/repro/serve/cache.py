@@ -1,0 +1,135 @@
+"""Content-addressed result cache: duplicate extensions skip the kernel.
+
+Seed-filter-extend pipelines are repeat-heavy: the same read window
+extended against the same reference window shows up again and again
+(tandem repeats, multi-mapping seeds, re-submitted mates).  The cache
+keys each job on *content* — the scoring parameters plus the 4-bit
+packed reference and query byte strings — so an identical pair served
+once never pays for a second kernel launch, wherever it appears in the
+stream.
+
+Entries live in an LRU ring bounded by a **byte budget** (the real
+memory the key material occupies, not an entry count), with hit/miss/
+eviction counters exposed to :class:`~repro.serve.metrics.ServiceMetrics`.
+Failed jobs are never inserted: only a request that produced a result
+can populate the cache (tested in ``tests/test_serve.py``).
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..align.matrix import AlignmentResult
+from ..align.scoring import ScoringScheme
+from ..baselines.base import ExtensionJob
+from ..seqs.packing import pack
+
+__all__ = ["CacheEntry", "CacheStats", "ResultCache", "cache_key"]
+
+#: Fixed per-entry bookkeeping charge (dict slot, entry object, result).
+_ENTRY_OVERHEAD_BYTES = 96
+
+#: Key header: 5 scoring ints + the two unpacked lengths.
+_HEADER = struct.Struct("<5i2q")
+
+
+def cache_key(job: ExtensionJob, scoring: ScoringScheme) -> bytes:
+    """Content address of one job under one scoring scheme.
+
+    The unpacked lengths are part of the header because 4-bit packing
+    pads to word boundaries: two sequences differing only in trailing
+    length could otherwise pack to identical words.
+    """
+    header = _HEADER.pack(
+        scoring.match, scoring.mismatch, scoring.alpha, scoring.beta,
+        scoring.n_score, job.ref_len, job.query_len,
+    )
+    return (
+        header
+        + pack(job.ref, bits=4).tobytes()
+        + pack(job.query, bits=4).tobytes()
+    )
+
+
+@dataclass
+class CacheEntry:
+    """One cached outcome.
+
+    ``scored`` distinguishes entries holding a real
+    :class:`AlignmentResult` from model-only entries (timing-mode runs
+    cache the *fact* that the job executed, which is enough to skip a
+    re-run, but cannot satisfy a caller who wants scores).
+    """
+
+    result: AlignmentResult | None
+    scored: bool
+    nbytes: int
+
+
+@dataclass
+class CacheStats:
+    """Monotonic counters (snapshot-copied into ServiceMetrics)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """Byte-budgeted LRU over content-addressed alignment results."""
+
+    def __init__(self, max_bytes: int = 16 << 20):
+        if max_bytes < 0:
+            raise ValueError("cache byte budget cannot be negative")
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
+        self._entries: OrderedDict[bytes, CacheEntry] = OrderedDict()
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def current_bytes(self) -> int:
+        return self._bytes
+
+    def get(self, key: bytes, *, scored: bool) -> CacheEntry | None:
+        """Look up *key*; ``scored=True`` demands a scored entry.
+
+        A hit refreshes LRU recency.  A model-only entry cannot serve
+        a scored request (counted as a miss; the subsequent ``put``
+        upgrades the entry in place).
+        """
+        entry = self._entries.get(key)
+        if entry is None or (scored and not entry.scored):
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: bytes, result: AlignmentResult | None, *, scored: bool) -> None:
+        """Insert (or upgrade) an entry, evicting LRU past the budget."""
+        nbytes = len(key) + _ENTRY_OVERHEAD_BYTES
+        if nbytes > self.max_bytes:
+            return  # a single over-budget entry would evict everything
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old.nbytes
+        self._entries[key] = CacheEntry(result=result, scored=scored, nbytes=nbytes)
+        self._bytes += nbytes
+        while self._bytes > self.max_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.nbytes
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0

@@ -1,0 +1,192 @@
+"""Service observability: deterministic counters and latency percentiles.
+
+Every quantity here derives from the *modeled* clock (kernel launch
+times, backoff charges, CPU-fallback costs), so two runs of the same
+request stream with the same seeds produce **bit-identical snapshots**
+— the property the fault-injection tests pin down.  Percentiles use
+the nearest-rank method (no interpolation) for the same reason.
+
+:class:`MetricsRecorder` is the service-side accumulator;
+:meth:`MetricsRecorder.snapshot` freezes it into a
+:class:`ServiceMetrics` value object with a ``to_dict`` for JSON
+export (the ``repro serve-bench --out`` payload).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["LatencySummary", "ServiceMetrics", "MetricsRecorder"]
+
+#: Percentile grid reported for every latency population.
+PERCENTILES = (50, 90, 99)
+
+
+def _nearest_rank(sorted_values: list[float], pct: int) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, -(-pct * len(sorted_values) // 100))  # ceil
+    return sorted_values[rank - 1]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Five-number summary of one latency population (ms)."""
+
+    count: int = 0
+    p50: float = 0.0
+    p90: float = 0.0
+    p99: float = 0.0
+    max: float = 0.0
+
+    @classmethod
+    def of(cls, values: list[float]) -> "LatencySummary":
+        if not values:
+            return cls()
+        ordered = sorted(values)
+        return cls(
+            count=len(ordered),
+            p50=_nearest_rank(ordered, 50),
+            p90=_nearest_rank(ordered, 90),
+            p99=_nearest_rank(ordered, 99),
+            max=ordered[-1],
+        )
+
+    def to_dict(self) -> dict:
+        return {"count": self.count, "p50": self.p50, "p90": self.p90,
+                "p99": self.p99, "max": self.max}
+
+
+@dataclass(frozen=True)
+class ServiceMetrics:
+    """One frozen snapshot of the service's lifetime counters.
+
+    Attributes
+    ----------
+    submitted / completed / failed / rejected:
+        Request dispositions: ``rejected`` counts admission-control
+        refusals (``CapacityExceeded``), which never become requests.
+    queue_depth / queued_cells:
+        Pending work at snapshot time.
+    clock_ms / kernel_ms_total:
+        The modeled service clock, and the part of it spent inside
+        kernel launches (the difference is cache lookups resolving
+        instantly plus retry/fallback overheads folded into batches).
+    wait_ms / service_ms / kernel_ms:
+        Percentile summaries: per-request queue wait, per-request
+        micro-batch duration, and per-batch modeled kernel time.
+    batch_sizes / bin_jobs:
+        Histogram of executed micro-batch sizes and of jobs routed to
+        each length bin (by bin label).
+    cache_hits / cache_misses / cache_hit_rate / cache_evictions / cache_bytes:
+        Result-cache counters; ``coalesced`` counts duplicates that
+        attached to an identical request *within the same round*
+        (served by the leader's execution, not the cache).
+    fallbacks / retries_recovered:
+        Jobs degraded to the CPU reference path, and jobs recovered by
+        retry after transient faults.
+    failure_counts:
+        Quarantined requests by taxonomy class name.
+    """
+
+    submitted: int
+    completed: int
+    failed: int
+    rejected: int
+    queue_depth: int
+    queued_cells: int
+    n_batches: int
+    clock_ms: float
+    kernel_ms_total: float
+    wait_ms: LatencySummary
+    service_ms: LatencySummary
+    kernel_ms: LatencySummary
+    batch_sizes: dict[int, int]
+    bin_jobs: dict[str, int]
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    cache_evictions: int
+    cache_bytes: int
+    coalesced: int
+    fallbacks: int
+    retries_recovered: int
+    failure_counts: dict[str, int]
+
+    def to_dict(self) -> dict:
+        out = {
+            k: v for k, v in self.__dict__.items()
+            if not isinstance(v, LatencySummary)
+        }
+        out["wait_ms"] = self.wait_ms.to_dict()
+        out["service_ms"] = self.service_ms.to_dict()
+        out["kernel_ms"] = self.kernel_ms.to_dict()
+        return out
+
+
+@dataclass
+class MetricsRecorder:
+    """Mutable accumulator behind :meth:`AlignmentService.metrics`."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    n_batches: int = 0
+    kernel_ms_total: float = 0.0
+    coalesced: int = 0
+    fallbacks: int = 0
+    retries_recovered: int = 0
+    wait_ms: list[float] = field(default_factory=list)
+    service_ms: list[float] = field(default_factory=list)
+    kernel_ms: list[float] = field(default_factory=list)
+    batch_sizes: Counter = field(default_factory=Counter)
+    bin_jobs: Counter = field(default_factory=Counter)
+    failure_counts: Counter = field(default_factory=Counter)
+
+    def record_batch(self, size: int, bin_label: str, kernel_ms: float) -> None:
+        self.n_batches += 1
+        self.batch_sizes[size] += 1
+        self.bin_jobs[bin_label] += size
+        self.kernel_ms.append(kernel_ms)
+        self.kernel_ms_total += kernel_ms
+
+    def record_completion(self, wait_ms: float, service_ms: float) -> None:
+        self.completed += 1
+        self.wait_ms.append(wait_ms)
+        self.service_ms.append(service_ms)
+
+    def record_failure(self, error: str, wait_ms: float) -> None:
+        self.failed += 1
+        self.failure_counts[error] += 1
+        self.wait_ms.append(wait_ms)
+
+    def snapshot(self, *, queue_depth: int, queued_cells: int, clock_ms: float,
+                 cache_stats, cache_bytes: int) -> ServiceMetrics:
+        return ServiceMetrics(
+            submitted=self.submitted,
+            completed=self.completed,
+            failed=self.failed,
+            rejected=self.rejected,
+            queue_depth=queue_depth,
+            queued_cells=queued_cells,
+            n_batches=self.n_batches,
+            clock_ms=clock_ms,
+            kernel_ms_total=self.kernel_ms_total,
+            wait_ms=LatencySummary.of(self.wait_ms),
+            service_ms=LatencySummary.of(self.service_ms),
+            kernel_ms=LatencySummary.of(self.kernel_ms),
+            batch_sizes=dict(sorted(self.batch_sizes.items())),
+            bin_jobs=dict(sorted(self.bin_jobs.items())),
+            cache_hits=cache_stats.hits,
+            cache_misses=cache_stats.misses,
+            cache_hit_rate=cache_stats.hit_rate,
+            cache_evictions=cache_stats.evictions,
+            cache_bytes=cache_bytes,
+            coalesced=self.coalesced,
+            fallbacks=self.fallbacks,
+            retries_recovered=self.retries_recovered,
+            failure_counts=dict(sorted(self.failure_counts.items())),
+        )

@@ -1,0 +1,146 @@
+"""Requests and their handles: the service's unit of demultiplexing.
+
+A submission becomes an :class:`AlignmentRequest` (the queued work
+item, stamped with priority, arrival time on the service's modeled
+clock, and an optional queue-wait deadline) plus a
+:class:`RequestHandle` the caller keeps.  The handle is a future-like
+object resolved by the service during :meth:`AlignmentService.drain` /
+``flush``: it ends up holding either an
+:class:`~repro.align.matrix.AlignmentResult` (or ``None`` in
+model-only mode) or a :class:`~repro.resilience.report.FailureRecord`
+— never both, never neither.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..align.matrix import AlignmentResult
+from ..baselines.base import ExtensionJob
+from ..resilience import errors as _errors
+from ..resilience.report import FailureRecord
+
+__all__ = ["AlignmentRequest", "RequestHandle"]
+
+#: Handle lifecycle states.
+PENDING, DONE, FAILED = "pending", "done", "failed"
+
+
+@dataclass
+class RequestHandle:
+    """Caller-side view of one submitted alignment request.
+
+    Attributes
+    ----------
+    request_id:
+        Monotonic id assigned at submission (also the tie-breaker for
+        equal priorities: the service is FIFO within a priority).
+    result_value:
+        The alignment result once resolved (``None`` for model-only
+        service runs and for failed requests).
+    failure:
+        Terminal :class:`FailureRecord` when the request could not be
+        served (its ``job_index`` is the request id).
+    submitted_ms / completed_ms:
+        Modeled service-clock stamps.
+    wait_ms / service_ms:
+        Time spent queued before dispatch, and the modeled duration of
+        the micro-batch (or cache lookup) that resolved the request.
+    from_cache:
+        True when the result was served by the result cache (or
+        coalesced onto an identical in-flight request).
+    """
+
+    request_id: int
+    state: str = PENDING
+    result_value: AlignmentResult | None = None
+    failure: FailureRecord | None = None
+    submitted_ms: float = 0.0
+    completed_ms: float = 0.0
+    wait_ms: float = 0.0
+    service_ms: float = 0.0
+    from_cache: bool = False
+
+    @property
+    def done(self) -> bool:
+        """True once the request resolved (successfully or not)."""
+        return self.state != PENDING
+
+    @property
+    def ok(self) -> bool:
+        return self.state == DONE
+
+    def result(self) -> AlignmentResult | None:
+        """The alignment result; raises the taxonomy error on failure.
+
+        Pending handles raise ``RuntimeError`` — drive the service
+        (``drain``/``flush``) before collecting results.
+        """
+        if self.state == PENDING:
+            raise RuntimeError(
+                f"request {self.request_id} not resolved yet - "
+                "call AlignmentService.flush() first"
+            )
+        if self.state == FAILED:
+            assert self.failure is not None
+            exc_cls = getattr(_errors, self.failure.error, _errors.AlignmentError)
+            raise exc_cls(self.failure.message)
+        return self.result_value
+
+    # ----- resolution (service-side) -----------------------------------
+
+    def _resolve(self, result: AlignmentResult | None, *, completed_ms: float,
+                 wait_ms: float, service_ms: float, from_cache: bool = False) -> None:
+        self.state = DONE
+        self.result_value = result
+        self.completed_ms = completed_ms
+        self.wait_ms = wait_ms
+        self.service_ms = service_ms
+        self.from_cache = from_cache
+
+    def _fail(self, record: FailureRecord, *, completed_ms: float,
+              wait_ms: float) -> None:
+        self.state = FAILED
+        self.failure = record
+        self.completed_ms = completed_ms
+        self.wait_ms = wait_ms
+
+
+@dataclass(frozen=True)
+class AlignmentRequest:
+    """One queued work item, as the admission queue sees it.
+
+    Attributes
+    ----------
+    job:
+        The extension job to run (already encoded and wrapped).
+    handle:
+        The caller's handle, resolved when the request is served.
+    priority:
+        Larger values dispatch first; ties are FIFO by request id.
+    deadline_ms:
+        Maximum *queue wait* on the modeled clock: a request still
+        undispatched ``deadline_ms`` after submission is failed with
+        ``DeadlineExceeded`` instead of being run late (the semantics
+        of a queue timeout; see docs/SERVING.md).
+    """
+
+    job: ExtensionJob
+    handle: RequestHandle = field(compare=False)
+    priority: int = 0
+    deadline_ms: float | None = None
+
+    @property
+    def request_id(self) -> int:
+        return self.handle.request_id
+
+    @property
+    def submitted_ms(self) -> float:
+        return self.handle.submitted_ms
+
+    def expired(self, clock_ms: float) -> bool:
+        """True when the queue-wait deadline has already passed."""
+        return (
+            self.deadline_ms is not None
+            and clock_ms - self.submitted_ms > self.deadline_ms
+        )

@@ -55,7 +55,17 @@ class TestBatchRunner:
         res = runner.run(jobs, compute_scores=True)
         assert not res.completed
         assert len(res.skipped_batches) == 2
-        assert len(res.results) == 10  # placeholders keep alignment
+        assert len(res.results) == 10  # None entries keep alignment
+        # Skipped jobs are None, not fake zero-score alignments.
+        assert all(r is None for r in res.results)
+
+    def test_skipped_batches_distinct_from_zero_scores(self, rng):
+        # A mixed stream: batch 1 fits ADEPT, batch 2 exceeds 1024 bp.
+        jobs = _jobs(rng, 5, 64) + _jobs(rng, 5, 2048)
+        runner = BatchRunner(AdeptKernel(), GTX1650, batch_size=5)
+        res = runner.run(jobs, compute_scores=True)
+        assert all(r is not None for r in res.results[:5])
+        assert all(r is None for r in res.results[5:])
 
     def test_tune_batch_size(self, rng):
         sample = _jobs(rng, 50, 128)
@@ -65,6 +75,17 @@ class TestBatchRunner:
         assert runner.batch_size == best
         # Bigger batches amortize GASAL2's init: the tiny one never wins.
         assert best != 500
+
+    def test_tune_all_candidates_disqualified(self, rng):
+        from repro.resilience import CapacityExceeded
+
+        # Every candidate exceeds ADEPT's 1024 bp structural limit.
+        sample = _jobs(rng, 10, 2048)
+        runner = BatchRunner(AdeptKernel(), GTX1650, batch_size=77)
+        with pytest.raises(CapacityExceeded):
+            runner.tune_batch_size(sample, candidates=(100, 1000))
+        # The current batch size is untouched: tuning did not succeed.
+        assert runner.batch_size == 77
 
     def test_validation(self):
         with pytest.raises(ValueError):
