@@ -1,0 +1,56 @@
+"""Observability benchmark: the ISSUE-3 acceptance measurement.
+
+The tracing layer must (a) export Chrome trace JSON that is
+**byte-identical** across two reruns of the same seeded workload,
+(b) produce a per-stage rollup whose self-times sum to the run's total
+modeled milliseconds, and (c) cover the span taxonomy the docs promise
+(drain rounds down to gpusim phases).  The baseline stage timings are
+persisted as ``benchmarks/results/BENCH_obs.{txt,json}`` so the
+per-stage cost trajectory accumulates across PRs.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.serve.bench import run_obs_bench
+
+#: The acceptance workload: mixed A+B shapes, >=20% duplicates.
+BENCH_KWARGS = dict(n_requests=1200, duplicate_fraction=0.25,
+                    b_fraction=0.12, seed=0)
+
+
+@pytest.fixture(scope="module")
+def res():
+    return run_obs_bench(**BENCH_KWARGS)
+
+
+def test_obs_bench_runs_and_saves(benchmark, res, save_result):
+    run_once(benchmark, run_obs_bench, n_requests=300,
+             duplicate_fraction=0.25, b_fraction=0.12, seed=0)
+    save_result("BENCH_obs", res.text, json_of=res)
+
+
+def test_trace_is_deterministic(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert res.deterministic, "rerun exported different Chrome trace bytes"
+
+
+def test_rollup_sums_to_total(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert res.total_ms > 0
+    assert res.rollup_self_sum_ms == pytest.approx(res.total_ms, rel=1e-9)
+
+
+def test_span_taxonomy_present(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    stages = {row["name"] for row in res.stages}
+    for expected in ("service.drain", "bin.run", "bin.tune", "batch",
+                     "kernel.launch", "phase.main", "phase.prologue",
+                     "phase.epilogue", "phase.overhead"):
+        assert expected in stages, f"stage {expected} missing from rollup"
+
+
+def test_launches_attribute_their_bytes(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    launch = next(r for r in res.stages if r["name"] == "kernel.launch")
+    assert launch["bytes"] > 0, "kernel.launch rows should carry DRAM bytes"

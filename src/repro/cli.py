@@ -15,7 +15,11 @@ Exposes the library's main entry points without writing Python:
 ``map``
     Map reads (FASTA/FASTQ) against a reference FASTA, TSV output.
 ``serve-bench``
-    Benchmark the alignment service layer against naive streaming.
+    Benchmark the alignment service layer against naive streaming
+    (``--trace FILE`` also exports a Chrome trace of the service run).
+``trace``
+    Trace a seeded service workload: per-stage rollup table on stdout,
+    Chrome trace-event JSON (chrome://tracing / Perfetto) to a file.
 ``report``
     Regenerate the full paper-vs-measured comparison document.
 """
@@ -102,6 +106,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--seed", type=int, default=0)
     p_srv.add_argument("--device", default="GTX1650", choices=sorted(known_devices()))
     p_srv.add_argument("--out", default=None, help="write the JSON result here")
+    p_srv.add_argument("--trace", default=None, metavar="FILE",
+                       help="also export a Chrome trace of the service run")
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="trace a seeded service workload (rollup + Chrome trace JSON)",
+    )
+    p_tr.add_argument("--requests", type=int, default=1000,
+                      help="total stream length (duplicates included)")
+    p_tr.add_argument("--dup-rate", type=float, default=0.25,
+                      help="fraction of the stream re-submitting earlier jobs")
+    p_tr.add_argument("--long-read-fraction", type=float, default=0.12,
+                      help="dataset-B-shaped share of the unique jobs")
+    p_tr.add_argument("--seed", type=int, default=0)
+    p_tr.add_argument("--device", default="GTX1650", choices=sorted(known_devices()))
+    p_tr.add_argument("--fault-rate", type=float, default=0.0,
+                      help="inject transient device faults at this rate")
+    p_tr.add_argument("--out", default=None, metavar="FILE",
+                      help="write the Chrome trace-event JSON here")
 
     p_rep = sub.add_parser("report", help="regenerate the comparison report")
     p_rep.add_argument("--quick", action="store_true", help="smaller batches")
@@ -248,24 +271,68 @@ def _cmd_map(args) -> int:
 
 
 def _cmd_serve_bench(args) -> int:
+    from .obs import Tracer, chrome_trace_json
     from .serve.bench import run_serve_bench
 
+    tracer = Tracer() if args.trace else None
     res = run_serve_bench(
         args.requests,
         b_fraction=args.long_read_fraction,
         duplicate_fraction=args.dup_rate,
         seed=args.seed,
         device=known_devices()[args.device],
+        tracer=tracer,
     )
     print(res.text)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(res.to_json() + "\n")
         print(f"wrote {args.out}")
+    if tracer is not None:
+        with open(args.trace, "w") as fh:
+            fh.write(chrome_trace_json(tracer, process_name="repro serve-bench"))
+        print(f"wrote {args.trace} (load in chrome://tracing or ui.perfetto.dev)")
     if not res.scored_identical:
         print("error: service results diverged from the reference path",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .obs import Tracer, chrome_trace_json, rollup
+    from .serve import AlignmentService
+    from .serve.bench import mixed_stream
+
+    stream = mixed_stream(
+        args.requests,
+        b_fraction=args.long_read_fraction,
+        duplicate_fraction=args.dup_rate,
+        seed=args.seed,
+    )
+    fault_plan = None
+    if args.fault_rate:
+        fault_plan = FaultPlan(seed=args.seed, transient_rate=args.fault_rate)
+    tracer = Tracer()
+    service = AlignmentService(
+        device=known_devices()[args.device],
+        compute_scores=False,
+        fault_plan=fault_plan,
+        max_queue_depth=max(len(stream), 1),
+        tracer=tracer,
+    )
+    service.submit_jobs(stream)
+    service.flush()
+    table = rollup(tracer)
+    print(f"{len(stream)} requests on {args.device}, seed {args.seed}"
+          + (f", fault rate {args.fault_rate:g}" if args.fault_rate else ""))
+    print(f"modeled service time: {service.clock_ms:.3f} ms")
+    print()
+    print(table.text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(chrome_trace_json(tracer, process_name="repro trace"))
+        print(f"\nwrote {args.out} (load in chrome://tracing or ui.perfetto.dev)")
     return 0
 
 
@@ -290,6 +357,7 @@ _COMMANDS = {
     "tune": _cmd_tune,
     "map": _cmd_map,
     "serve-bench": _cmd_serve_bench,
+    "trace": _cmd_trace,
     "report": _cmd_report,
 }
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from ..align.matrix import AlignmentResult
 from ..baselines.base import ExtensionJob, ExtensionKernel
 from ..gpusim.device import DeviceProfile
+from ..obs.tracer import NULL_TRACER
 from ..resilience.errors import CapacityExceeded, JobRejected
 from ..resilience.isolation import run_isolated
 from ..resilience.report import FailureRecord, FailureReport
@@ -114,7 +115,8 @@ class BatchRunner:
 
     def run_resilient(self, jobs: list[ExtensionJob], *,
                       compute_scores: bool = False,
-                      deadline_ms: float | None = None) -> StreamResult:
+                      deadline_ms: float | None = None,
+                      tracer=None) -> StreamResult:
         """Stream *jobs* with per-job isolation, retry, and deadlines.
 
         Each device-sized call goes through the
@@ -125,8 +127,14 @@ class BatchRunner:
         overrides the instance default) spans the *whole stream*:
         batches that no longer fit are truncated and the tail
         quarantined as ``DeadlineExceeded`` — no exception escapes.
+
+        A :class:`repro.obs.Tracer` as *tracer* records one
+        ``stream.batch`` span per device-sized call, with the
+        launch/retry/fallback sub-spans from the isolation executor
+        nested inside.
         """
         deadline = self.deadline_ms if deadline_ms is None else deadline_ms
+        tracer = tracer if tracer is not None else NULL_TRACER
         plan = self.plan(len(jobs))
         out = StreamResult(
             kernel=self.kernel.name,
@@ -144,14 +152,18 @@ class BatchRunner:
                     out.failures.quarantine(FailureRecord(
                         i, "DeadlineExceeded",
                         "stream deadline budget exhausted", attempts=0))
+                tracer.instant("fault.quarantine", error="DeadlineExceeded",
+                               jobs=len(jobs) - lo)
                 break
-            outcome = run_isolated(
-                self.kernel, batch, self.device,
-                policy=self.retry_policy,
-                deadline_ms=remaining,
-                compute_scores=compute_scores,
-                scoring=getattr(self.kernel, "scoring", None),
-            )
+            with tracer.span("stream.batch", batch=b, jobs=len(batch)):
+                outcome = run_isolated(
+                    self.kernel, batch, self.device,
+                    policy=self.retry_policy,
+                    deadline_ms=remaining,
+                    compute_scores=compute_scores,
+                    scoring=getattr(self.kernel, "scoring", None),
+                    tracer=tracer,
+                )
             out.failures.merge(outcome.failures, index_offset=lo)
             if outcome.timing is not None:
                 out.per_batch_ms.append(outcome.timing.total_ms)

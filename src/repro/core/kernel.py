@@ -113,6 +113,26 @@ class SalobaKernel(ExtensionKernel):
         # Divergence between co-resident subwarp queues: lanes of
         # faster queues idle until the slowest drains.
         cnt.idle_thread_steps += int(sched.divergence_waste / step_ops * cfg.subwarp_size)
+        # Phase decomposition of the compute stream (Fig. 3): each
+        # chunk ramps up over min(width, height)-1 staggered steps
+        # (prologue), drains symmetrically (epilogue), and spends the
+        # rest in the fully-occupied main loop; lazy-spill bursts are
+        # their own phase.  Exposed to repro.obs as gpusim spans.
+        ramp_steps = main_steps = 0
+        for plan in plans:
+            for chunk in plan.chunks:
+                ramp = min(chunk.width, chunk.height) - 1 if chunk.width else 0
+                ramp_steps += ramp
+                main_steps += chunk.steps - 2 * ramp
+        phase_cycles = {
+            "prologue": ramp_steps * step_ops,
+            "main": main_steps * step_ops,
+            "epilogue": ramp_steps * step_ops,
+            "spill": (
+                sum(p.spill_events for p in plans) * self._spill_event_ops()
+                if cfg.lazy_spill else 0.0
+            ),
+        }
         for job, plan in zip(jobs, plans):
             cnt.cells += job.cells
             cnt.blocks += plan.total_blocks
@@ -156,6 +176,7 @@ class SalobaKernel(ExtensionKernel):
             n_launches=1,
             init_bytes=len(jobs) * 16,  # result structs only
             fixed_overhead_s=cfg.fixed_overhead_s,
+            phase_cycles=phase_cycles,
         )
 
     # ----- exact mode -------------------------------------------------------

@@ -51,6 +51,12 @@ class LaunchTiming:
     overhead_s: float
     schedule: ScheduleResult
     counters: Counters = field(repr=False, default_factory=Counters)
+    #: Named decomposition of the compute stream, in seconds; the parts
+    #: always sum to ``compute_s`` (SALoBa reports prologue / main /
+    #: epilogue / spill, fault injection appends ``stall``, kernels
+    #: without a breakdown carry a single ``main`` phase).  This is
+    #: what the repro.obs tracer renders as gpusim phase spans.
+    phases: tuple[tuple[str, float], ...] = ()
 
     @property
     def total_ms(self) -> float:
@@ -80,11 +86,36 @@ class LaunchTiming:
         if extra_s < 0:
             raise ValueError("dilation cannot be negative")
         compute_s = self.compute_s + extra_s
+        phases = self.phases or (("main", self.compute_s),)
+        if extra_s > 0:
+            phases = phases + (("stall", extra_s),)
         return replace(
             self,
             compute_s=compute_s,
             total_s=max(compute_s, self.memory_s) + self.overhead_s,
+            phases=phases,
         )
+
+
+def _normalize_phases(
+    phase_cycles: dict[str, float] | None, compute_s: float
+) -> tuple[tuple[str, float], ...]:
+    """Scale kernel-reported phase cycle weights onto the scheduled
+    compute time (the schedule includes divergence waste the per-job
+    cycle totals do not, so weights are proportions, not seconds).
+    The last phase absorbs the floating-point remainder so the parts
+    sum to ``compute_s`` exactly."""
+    items = [(n, c) for n, c in (phase_cycles or {}).items() if c > 0]
+    total = sum(c for _, c in items)
+    if total <= 0 or compute_s <= 0:
+        return (("main", compute_s),)
+    phases: list[tuple[str, float]] = []
+    acc = 0.0
+    for i, (name, cycles) in enumerate(items):
+        sec = compute_s - acc if i == len(items) - 1 else compute_s * (cycles / total)
+        phases.append((name, sec))
+        acc += sec
+    return tuple(phases)
 
 
 def assemble_launch(
@@ -97,6 +128,7 @@ def assemble_launch(
     n_launches: int = 1,
     init_bytes: int = 0,
     fixed_overhead_s: float = 0.0,
+    phase_cycles: dict[str, float] | None = None,
 ) -> LaunchTiming:
     """Fuse a kernel's cost components into a :class:`LaunchTiming`.
 
@@ -117,6 +149,10 @@ def assemble_launch(
         intermediate-buffer initialization).
     fixed_overhead_s:
         Any additional serial host-side overhead.
+    phase_cycles:
+        Optional named cycle weights decomposing the compute stream
+        (e.g. prologue/main/epilogue/spill); normalized onto the
+        scheduled compute time and stored as ``LaunchTiming.phases``.
     """
     if n_launches < 1:
         raise ValueError("a kernel runs at least once")
@@ -140,4 +176,5 @@ def assemble_launch(
         overhead_s=overhead_s,
         schedule=sched,
         counters=cnt,
+        phases=_normalize_phases(phase_cycles, compute_s),
     )

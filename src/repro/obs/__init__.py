@@ -1,0 +1,57 @@
+"""repro.obs — deterministic tracing and profiling on the modeled clock.
+
+Where :mod:`repro.serve.metrics` answers "what happened" in aggregate
+counters, this package answers "where did the modeled time go": a
+span-based :class:`Tracer` records the nested structure of every drain
+round (``service.drain`` → ``bin.tune`` / ``bin.run`` → ``batch`` →
+``kernel.launch`` → the gpusim phase spans for prologue/main/epilogue,
+spill bursts, exposed memory time, and injected stalls), with fault,
+retry, and fallback events from the resilience executor attached where
+they occurred on the timeline.
+
+Because every timestamp derives from the *modeled* clock, traces are
+bit-identical across reruns of the same seeded workload — the same
+property :class:`~repro.serve.metrics.ServiceMetrics` already has —
+which makes a trace diffable evidence in a perf regression, not a
+wall-clock noise sample.
+
+Tracing is zero-cost when off: the default :data:`NULL_TRACER` is
+falsy and every method is a no-op, so instrumented code pays one
+attribute check per span site.
+
+Exporters (:mod:`repro.obs.export`):
+
+* :func:`chrome_trace` / :func:`chrome_trace_json` — the Chrome
+  trace-event format, loadable in ``chrome://tracing`` / Perfetto;
+* :func:`rollup` — a per-stage time/bytes table whose exclusive
+  (self-time) column sums exactly to the traced run's total modeled
+  milliseconds.
+
+See docs/OBSERVABILITY.md for the span taxonomy and a trace-viewer
+walkthrough.
+"""
+
+from .export import (
+    Rollup,
+    RollupRow,
+    chrome_trace,
+    chrome_trace_json,
+    rollup,
+    validate_chrome_trace,
+)
+from .tracer import NULL_TRACER, NullTracer, Span, SpanEvent, Tracer, trace_launch
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "SpanEvent",
+    "trace_launch",
+    "chrome_trace",
+    "chrome_trace_json",
+    "validate_chrome_trace",
+    "rollup",
+    "Rollup",
+    "RollupRow",
+]

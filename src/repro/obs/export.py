@@ -1,0 +1,209 @@
+"""Trace exporters: Chrome trace-event JSON and the per-stage rollup.
+
+Both exporters are deterministic functions of the span tree: events
+are emitted in depth-first span order, JSON is dumped with sorted keys
+and fixed separators, and every quantity is modeled (not wall-clock) —
+so two runs of the same seeded workload export byte-identical files.
+
+The Chrome format is the `trace-event` JSON consumed by
+``chrome://tracing`` and https://ui.perfetto.dev: complete events
+(``"ph": "X"``) with microsecond timestamps, instant events
+(``"ph": "i"``) for the fault/retry markers, and a process-name
+metadata record.  :func:`validate_chrome_trace` checks the structural
+rules the viewers rely on; the CI trace-smoke job runs it on a fresh
+export.
+
+The rollup aggregates the tree by span name into per-stage rows with
+inclusive time, exclusive (self) time, and bytes.  Self-times
+telescope: their sum equals the sum of root-span durations exactly, so
+``Rollup.self_sum_ms == Rollup.total_ms`` is an invariant the tests
+assert — a stage table that does not add up is lying about where the
+time went.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from .tracer import Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "chrome_trace_json",
+    "validate_chrome_trace",
+    "RollupRow",
+    "Rollup",
+    "rollup",
+]
+
+
+def _complete_event(span: Span) -> dict:
+    return {
+        "name": span.name,
+        "cat": span.category,
+        "ph": "X",
+        "ts": span.start_ms * 1e3,  # trace-event timestamps are in us
+        "dur": span.duration_ms * 1e3,
+        "pid": 1,
+        "tid": 1,
+        "args": dict(span.attrs),
+    }
+
+
+def _instant_event(span: Span, event) -> dict:
+    return {
+        "name": event.name,
+        "cat": span.category,
+        "ph": "i",
+        "ts": event.ts_ms * 1e3,
+        "s": "t",  # thread-scoped instant
+        "pid": 1,
+        "tid": 1,
+        "args": dict(event.attrs),
+    }
+
+
+def chrome_trace(tracer: Tracer, *, process_name: str = "repro") -> dict:
+    """The trace as a Chrome trace-event JSON object (one process, one
+    modeled-timeline thread)."""
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 1,
+         "args": {"name": process_name}},
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+         "args": {"name": "modeled clock"}},
+    ]
+    for root in tracer.finish():
+        for span in root.walk():
+            events.append(_complete_event(span))
+            for ev in span.events:
+                events.append(_instant_event(span, ev))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(tracer: Tracer, *, process_name: str = "repro") -> str:
+    """Byte-stable JSON text of :func:`chrome_trace` (sorted keys,
+    fixed separators; identical reruns produce identical bytes)."""
+    payload = chrome_trace(tracer, process_name=process_name)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def validate_chrome_trace(payload: dict) -> list[str]:
+    """Structural problems in a trace-event payload ([] = loadable).
+
+    Checks the invariants the viewers depend on: a ``traceEvents``
+    list, required fields per phase type, non-negative microsecond
+    times, and complete events that stay inside their parents is left
+    to the tests (the viewers themselves only need well-formed
+    events).
+    """
+    problems: list[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["payload has no traceEvents list"]
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M"):
+            problems.append(f"event {i} has unsupported phase {ph!r}")
+            continue
+        if "name" not in ev:
+            problems.append(f"event {i} has no name")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i} ({ev.get('name')}) has bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i} ({ev.get('name')}) has bad dur {dur!r}")
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            problems.append(f"event {i} ({ev.get('name')}) has bad scope")
+    return problems
+
+
+@dataclass
+class RollupRow:
+    """Aggregate of every span sharing one name."""
+
+    category: str
+    name: str
+    count: int = 0
+    total_ms: float = 0.0  # inclusive
+    self_ms: float = 0.0  # exclusive
+    bytes: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "category": self.category,
+            "name": self.name,
+            "count": self.count,
+            "total_ms": self.total_ms,
+            "self_ms": self.self_ms,
+            "bytes": self.bytes,
+        }
+
+
+@dataclass
+class Rollup:
+    """Per-stage table; ``self_sum_ms`` equals ``total_ms`` exactly."""
+
+    rows: list[RollupRow]
+    total_ms: float
+
+    @property
+    def self_sum_ms(self) -> float:
+        return sum(r.self_ms for r in self.rows)
+
+    def row(self, name: str) -> RollupRow | None:
+        for r in self.rows:
+            if r.name == name:
+                return r
+        return None
+
+    @property
+    def text(self) -> str:
+        lines = [
+            f"{'stage':<22} {'cat':<10} {'count':>7} {'self ms':>12} "
+            f"{'total ms':>12} {'MB moved':>10}"
+        ]
+        for r in self.rows:
+            lines.append(
+                f"{r.name:<22} {r.category:<10} {r.count:>7} {r.self_ms:>12.4f} "
+                f"{r.total_ms:>12.4f} {r.bytes / 1e6:>10.2f}"
+            )
+        lines.append(
+            f"{'TOTAL (self)':<22} {'':<10} {'':>7} {self.self_sum_ms:>12.4f} "
+            f"{self.total_ms:>12.4f} {sum(r.bytes for r in self.rows) / 1e6:>10.2f}"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "total_ms": self.total_ms,
+            "self_sum_ms": self.self_sum_ms,
+            "stages": [r.to_dict() for r in self.rows],
+        }
+
+
+def rollup(tracer: Tracer) -> Rollup:
+    """Aggregate a closed trace into per-stage rows.
+
+    Rows are keyed by span name, ordered by descending self-time with
+    the name as a deterministic tie-break.
+    """
+    by_name: dict[str, RollupRow] = {}
+    for root in tracer.finish():
+        for span in root.walk():
+            row = by_name.get(span.name)
+            if row is None:
+                row = by_name[span.name] = RollupRow(span.category, span.name)
+            row.count += 1
+            row.total_ms += span.duration_ms
+            row.self_ms += span.self_ms
+            row.bytes += int(span.attrs.get("bytes", 0))
+    rows = sorted(by_name.values(), key=lambda r: (-r.self_ms, r.name))
+    return Rollup(rows=rows, total_ms=tracer.total_ms)

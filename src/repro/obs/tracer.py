@@ -1,0 +1,289 @@
+"""Span tree recording on the modeled clock.
+
+A :class:`Span` is a named interval ``[start_ms, end_ms)`` of modeled
+time with attributes, child spans, and instant events.  The
+:class:`Tracer` maintains a cursor (``now_ms``) and a stack of open
+spans; instrumented code opens spans around units of work and advances
+the cursor by modeled durations (kernel launches, retry backoff, CPU
+fallback charges) — never by wall clock, so the recorded tree is a
+pure function of the workload and its seeds.
+
+Three ways to put a span on the timeline:
+
+* :meth:`Tracer.span` / :meth:`Tracer.begin` + :meth:`Tracer.end` —
+  an open interval around code that advances the cursor itself (a
+  drain round, a bin's batches);
+* :meth:`Tracer.add` — a closed leaf of known duration starting at the
+  cursor (a backoff delay, a CPU-fallback charge); advances the
+  cursor;
+* :meth:`Tracer.mark` — a closed child at an explicit window, cursor
+  untouched (the synthesized gpusim phase spans inside a launch).
+
+:data:`NULL_TRACER` is the do-nothing default: falsy, every method a
+no-op, ``span()`` yielding ``None`` — instrumentation sites stay on
+the hot path at the cost of one truthiness check.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "SpanEvent", "Tracer", "NullTracer", "NULL_TRACER", "trace_launch"]
+
+
+@dataclass
+class SpanEvent:
+    """An instant (zero-duration) event inside a span."""
+
+    name: str
+    ts_ms: float
+    attrs: dict = field(default_factory=dict)
+
+
+@dataclass
+class Span:
+    """One named interval of modeled time.
+
+    ``end_ms`` stays ``None`` while the span is open; every exporter
+    requires a fully closed tree (the tracer's :meth:`Tracer.finish`
+    asserts that).
+    """
+
+    name: str
+    category: str = "service"
+    start_ms: float = 0.0
+    end_ms: float | None = None
+    attrs: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    events: list[SpanEvent] = field(default_factory=list)
+
+    @property
+    def closed(self) -> bool:
+        return self.end_ms is not None
+
+    @property
+    def duration_ms(self) -> float:
+        """Inclusive duration (0.0 while still open)."""
+        return (self.end_ms - self.start_ms) if self.end_ms is not None else 0.0
+
+    @property
+    def self_ms(self) -> float:
+        """Exclusive duration: inclusive minus the children's inclusive.
+
+        Summed over a whole tree the self-times telescope to exactly
+        the sum of root durations, which is what makes the rollup's
+        self column add up to the run's total modeled time.
+        """
+        return self.duration_ms - sum(c.duration_ms for c in self.children)
+
+    def walk(self):
+        """Yield this span then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list["Span"]:
+        """All spans named *name* in this subtree (DFS order)."""
+        return [s for s in self.walk() if s.name == name]
+
+
+class Tracer:
+    """Mutable span-tree recorder; see the module docstring.
+
+    Attributes
+    ----------
+    now_ms:
+        The modeled-clock cursor new spans and events start at.
+    roots:
+        Closed top-level spans, in start order.
+    """
+
+    def __init__(self):
+        self.now_ms = 0.0
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def __bool__(self) -> bool:
+        return True
+
+    # ----- cursor -----------------------------------------------------
+
+    def sync(self, ms: float) -> None:
+        """Pin the cursor to an authoritative modeled-clock value.
+
+        The service calls this with its ``clock_ms`` after charging a
+        batch, so span boundaries it owns are exact even if the
+        fine-grained sub-span durations accumulate floating-point dust
+        in a different summation order.
+        """
+        self.now_ms = ms
+
+    def advance(self, ms: float) -> None:
+        self.now_ms += ms
+
+    # ----- spans ------------------------------------------------------
+
+    @property
+    def active(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def _attach(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+    def begin(self, name: str, *, category: str = "service", **attrs) -> Span:
+        """Open a span at the cursor and push it on the stack."""
+        span = Span(name=name, category=category, start_ms=self.now_ms, attrs=attrs)
+        self._attach(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span, *, end_ms: float | None = None) -> None:
+        """Close *span* (which must be the innermost open span).
+
+        Without *end_ms* the span closes at the cursor; with it the
+        span closes there and the cursor follows.
+        """
+        if not self._stack or self._stack[-1] is not span:
+            raise ValueError(f"span {span.name!r} is not the innermost open span")
+        self._stack.pop()
+        span.end_ms = self.now_ms if end_ms is None else end_ms
+        self.now_ms = span.end_ms
+
+    @contextmanager
+    def span(self, name: str, *, category: str = "service", **attrs):
+        span = self.begin(name, category=category, **attrs)
+        try:
+            yield span
+        finally:
+            self.end(span)
+
+    def add(self, name: str, duration_ms: float, *,
+            category: str = "service", **attrs) -> Span:
+        """Append a closed leaf ``[now, now+duration)``; cursor advances."""
+        span = Span(name=name, category=category, start_ms=self.now_ms,
+                    end_ms=self.now_ms + duration_ms, attrs=attrs)
+        self._attach(span)
+        self.now_ms = span.end_ms
+        return span
+
+    def mark(self, name: str, start_ms: float, duration_ms: float, *,
+             category: str = "service", **attrs) -> Span:
+        """Append a closed child at an explicit window; cursor untouched."""
+        span = Span(name=name, category=category, start_ms=start_ms,
+                    end_ms=start_ms + duration_ms, attrs=attrs)
+        self._attach(span)
+        return span
+
+    def instant(self, name: str, **attrs) -> None:
+        """Record an instant event at the cursor, inside the open span
+        (or as a zero-duration root span when none is open)."""
+        if self._stack:
+            self._stack[-1].events.append(SpanEvent(name, self.now_ms, attrs))
+        else:
+            self.mark(name, self.now_ms, 0.0, **attrs)
+
+    # ----- aggregates -------------------------------------------------
+
+    @property
+    def total_ms(self) -> float:
+        """Sum of closed root-span durations: the traced modeled time."""
+        return sum(r.duration_ms for r in self.roots if r.closed)
+
+    def finish(self) -> list[Span]:
+        """Assert the tree is fully closed and return the roots."""
+        if self._stack:
+            names = [s.name for s in self._stack]
+            raise ValueError(f"unclosed spans at export time: {names}")
+        return self.roots
+
+
+class NullTracer(Tracer):
+    """The zero-cost default: falsy, every method a no-op."""
+
+    def __bool__(self) -> bool:
+        return False
+
+    def sync(self, ms: float) -> None:
+        pass
+
+    def advance(self, ms: float) -> None:
+        pass
+
+    def begin(self, name, *, category="service", **attrs):
+        return None
+
+    def end(self, span, *, end_ms=None) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name, *, category="service", **attrs):
+        yield None
+
+    def add(self, name, duration_ms, *, category="service", **attrs):
+        return None
+
+    def mark(self, name, start_ms, duration_ms, *, category="service", **attrs):
+        return None
+
+    def instant(self, name, **attrs) -> None:
+        pass
+
+
+#: Shared do-nothing tracer; instrumented call sites default to it.
+NULL_TRACER = NullTracer()
+
+
+def trace_launch(tracer: Tracer, timing, *, category: str = "kernel", **attrs) -> Span | None:
+    """Record one kernel launch and its modeled phase decomposition.
+
+    Opens a ``kernel.launch`` span of ``timing.total_ms`` at the
+    cursor and synthesizes gpusim child spans that partition it
+    exactly, mirroring the roofline composition of
+    :func:`repro.gpusim.kernel.assemble_launch`:
+
+    * ``phase.overhead`` — serial launch + buffer-init (+ folded host
+      overheads such as retry backoff when *timing* is a combined
+      multi-attempt timing);
+    * the kernel's compute phases (``phase.prologue`` / ``phase.main``
+      / ``phase.epilogue`` / ``phase.spill`` / ``phase.stall`` for
+      SALoBa; a single ``phase.main`` for kernels that do not break
+      their compute stream down);
+    * ``phase.memory`` — DRAM time *not* hidden behind compute, present
+      only when the launch is memory-bound.
+
+    The launch span carries the counters the paper's figures reduce to
+    (cells, useful/transferred bytes, spills, thread utilization) so
+    the rollup can attribute bytes as well as time per stage.
+    """
+    if not tracer:
+        return None
+    cnt = timing.counters
+    span = tracer.begin(
+        "kernel.launch", category=category,
+        bytes=cnt.global_transferred_bytes,
+        useful_bytes=cnt.global_useful_bytes,
+        cells=cnt.cells,
+        spills=cnt.spills,
+        thread_utilization=cnt.thread_utilization,
+        **attrs,
+    )
+    t = span.start_ms
+    overhead_ms = timing.overhead_s * 1e3
+    if overhead_ms > 0.0:
+        tracer.mark("phase.overhead", t, overhead_ms, category="gpusim")
+        t += overhead_ms
+    phases = timing.phases or (("main", timing.compute_s),)
+    for name, seconds in phases:
+        if seconds > 0.0:
+            tracer.mark(f"phase.{name}", t, seconds * 1e3, category="gpusim")
+            t += seconds * 1e3
+    exposed_s = timing.memory_s - timing.compute_s
+    if exposed_s > 0.0:
+        tracer.mark("phase.memory", t, exposed_s * 1e3, category="gpusim")
+    tracer.end(span, end_ms=span.start_ms + timing.total_ms)
+    return span

@@ -37,6 +37,7 @@ from ..align.matrix import AlignmentResult
 from ..align.scoring import ScoringScheme
 from ..gpusim.counters import Counters
 from ..gpusim.kernel import LaunchTiming
+from ..obs.tracer import NULL_TRACER, trace_launch
 from ..seqs.alphabet import N as _MAX_CODE
 from .report import FailureRecord, FailureReport
 from .retry import RetryPolicy
@@ -88,8 +89,11 @@ def validate_job(job) -> str | None:
 def _combine_timings(timings: list[LaunchTiming], extra_overhead_s: float) -> LaunchTiming:
     """Fold per-attempt timings plus serial host overhead into one."""
     cnt = Counters()
+    phases: dict[str, float] = {}
     for t in timings:
         cnt.merge(t.counters)
+        for name, sec in t.phases or (("main", t.compute_s),):
+            phases[name] = phases.get(name, 0.0) + sec
     return replace(
         timings[0],
         total_s=sum(t.total_s for t in timings) + extra_overhead_s,
@@ -97,6 +101,7 @@ def _combine_timings(timings: list[LaunchTiming], extra_overhead_s: float) -> La
         memory_s=sum(t.memory_s for t in timings),
         overhead_s=sum(t.overhead_s for t in timings) + extra_overhead_s,
         counters=cnt,
+        phases=tuple(phases.items()),
     )
 
 
@@ -130,6 +135,7 @@ def run_isolated(
     compute_scores: bool = False,
     scoring: ScoringScheme | None = None,
     failures: FailureReport | None = None,
+    tracer=None,
 ) -> IsolationOutcome:
     """Run *jobs* through *kernel* with per-job isolation.
 
@@ -138,8 +144,17 @@ def run_isolated(
     pre-filled *failures* report; uncovered placeholders are
     quarantined as ``JobRejected`` here).  See the module docstring
     for the full failure-handling contract.
+
+    With a :class:`repro.obs.Tracer` passed as *tracer*, every kernel
+    attempt becomes a ``kernel.launch`` span (with gpusim phase
+    children), retry backoff and CPU-fallback charges become
+    ``retry.backoff`` / ``cpu.fallback`` spans, and quarantine /
+    recovery decisions are recorded as instant events — all laid out
+    sequentially on the modeled timeline, exactly where their cost is
+    charged.
     """
     policy = policy or RetryPolicy()
+    tracer = tracer if tracer is not None else NULL_TRACER
     failures = failures or FailureReport()
     scoring = scoring or getattr(kernel, "scoring", None) or ScoringScheme()
     n = len(jobs)
@@ -168,6 +183,9 @@ def run_isolated(
         for i in idxs:
             failures.quarantine(FailureRecord(
                 i, "DeadlineExceeded", detail, attempts=attempts_used.get(i, 0)))
+        if idxs and tracer:
+            tracer.instant("fault.quarantine", error="DeadlineExceeded",
+                           jobs=len(idxs), detail=detail)
 
     def terminal(i: int, error: str, msg: str) -> None:
         """A job out of device options: degrade to CPU or quarantine."""
@@ -179,6 +197,7 @@ def run_isolated(
                     i, "DeadlineExceeded",
                     f"{msg}; no budget left for CPU fallback",
                     attempts=attempts_used[i]))
+                tracer.instant("fault.quarantine", error="DeadlineExceeded", job=i)
                 return
             budget.spend(cost)
             state["extra_ms"] += cost
@@ -187,8 +206,11 @@ def run_isolated(
             failures.recover(FailureRecord(
                 i, error, f"{msg}; degraded to CPU reference path",
                 attempts=attempts_used[i], fallback=True))
+            tracer.add("cpu.fallback", cost, category="resilience",
+                       job=i, error=error, cells=job.cells)
         else:
             failures.quarantine(FailureRecord(i, error, msg, attempts=attempts_used[i]))
+            tracer.instant("fault.quarantine", error=error, job=i)
 
     def attempt_waves(idxs: list[int]) -> None:
         """Retry loop over one chunk; recurses to bisect capacity skips."""
@@ -202,6 +224,8 @@ def run_isolated(
             res = kernel.run(batch, device, compute_scores=compute_scores, attempt=attempt)
             state["calls"] += 1
             if not res.ok:
+                tracer.instant("kernel.skip", jobs=len(wave), reason=res.skipped,
+                               attempt=attempt)
                 if len(wave) == 1:
                     attempts_used[wave[0]] += 1
                     terminal(wave[0], "CapacityExceeded", res.skipped)
@@ -212,6 +236,8 @@ def run_isolated(
                 return
             timings.append(res.timing)
             budget.spend(res.timing.total_ms)
+            trace_launch(tracer, res.timing, kernel=kernel.name,
+                         jobs=len(wave), attempt=attempt, faulted=res.n_faulted)
             retry_wave: list[int] = []
             for local, i in enumerate(wave):
                 attempts_used[i] += 1
@@ -224,6 +250,8 @@ def run_isolated(
                             i, "DeviceFault",
                             "recovered by retry after transient fault(s)",
                             attempts=attempts_used[i]))
+                        tracer.instant("fault.recovered", job=i,
+                                       attempts=attempts_used[i])
                 elif dec.transient and attempts_used[i] < policy.max_attempts:
                     retry_wave.append(i)
                 elif dec.transient:
@@ -241,6 +269,8 @@ def run_isolated(
                     return
                 budget.spend(delay)
                 state["extra_ms"] += delay
+                tracer.add("retry.backoff", delay, category="resilience",
+                           jobs=len(retry_wave), attempt=attempt)
             wave = retry_wave
             attempt += 1
 

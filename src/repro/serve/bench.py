@@ -33,9 +33,16 @@ from ..core.config import SalobaConfig
 from ..core.kernel import SalobaKernel
 from ..datasets.profiles import DATASET_A, DATASET_B
 from ..gpusim.device import GTX1650, DeviceProfile
+from ..obs import Tracer, chrome_trace_json, rollup
 from .service import AlignmentService
 
-__all__ = ["ServeBenchResult", "mixed_stream", "run_serve_bench"]
+__all__ = [
+    "ServeBenchResult",
+    "ObsBenchResult",
+    "mixed_stream",
+    "run_serve_bench",
+    "run_obs_bench",
+]
 
 
 def _dataset_a_shaped(rng: np.random.Generator, n: int) -> list[ExtensionJob]:
@@ -189,6 +196,7 @@ def run_serve_bench(
     naive_batch_size: int = 4096,
     scored_pairs: int = 32,
     n_waves: int = 4,
+    tracer=None,
 ) -> ServeBenchResult:
     """Measure the service layer against naive resilient streaming.
 
@@ -196,6 +204,10 @@ def run_serve_bench(
     between them (a front end's accept/serve cadence): duplicates
     inside a wave coalesce onto their leader, duplicates across waves
     are served by the result cache.
+
+    A :class:`repro.obs.Tracer` passed as *tracer* records the
+    service phase's span tree (the naive baseline and the fidelity
+    check are not traced — they are reference measurements).
     """
     scoring = scoring or ScoringScheme()
     config = config or SalobaConfig()
@@ -214,6 +226,7 @@ def run_serve_bench(
         scoring, config, device,
         compute_scores=False,
         max_queue_depth=max(len(stream), 1),
+        tracer=tracer,
     )
     tuning = service.tune(stream[: min(len(stream), 512)])
     wave = -(-len(stream) // max(n_waves, 1))
@@ -239,4 +252,121 @@ def run_serve_bench(
         scored_identical=scored_identical,
         tuning=tuning,
         metrics=service.metrics().to_dict(),
+    )
+
+
+@dataclass
+class ObsBenchResult:
+    """What the tracing benchmark measured (JSON-exportable).
+
+    ``stages`` is the per-stage rollup (self-times summing exactly to
+    ``total_ms``); ``deterministic`` records whether two identical
+    seeded runs exported byte-identical Chrome trace JSON — the
+    property the CI trace-smoke job re-checks on every push.
+    """
+
+    n_requests: int
+    seed: int
+    device: str
+    total_ms: float
+    rollup_self_sum_ms: float
+    n_spans: int
+    n_events: int
+    trace_bytes: int
+    deterministic: bool
+    stages: list = field(default_factory=list)
+    rollup_text: str = ""
+
+    @property
+    def text(self) -> str:
+        lines = [
+            f"obs-bench on {self.device}: {self.n_requests} requests, "
+            f"seed {self.seed}",
+            f"  modeled total          : {self.total_ms:10.3f} ms",
+            f"  rollup self-time sum   : {self.rollup_self_sum_ms:10.3f} ms",
+            f"  spans / instant events : {self.n_spans} / {self.n_events}",
+            f"  chrome trace           : {self.trace_bytes} bytes, "
+            f"rerun {'byte-identical' if self.deterministic else 'DIVERGED'}",
+            "",
+            self.rollup_text,
+        ]
+        return "\n".join(lines)
+
+    def to_json(self, **dumps_kwargs) -> str:
+        dumps_kwargs.setdefault("indent", 2)
+        dumps_kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.__dict__, **dumps_kwargs)
+
+
+def _traced_service_run(
+    n_requests: int, *, b_fraction: float, duplicate_fraction: float,
+    seed: int, device: DeviceProfile, scoring: ScoringScheme,
+    config: SalobaConfig, n_waves: int,
+) -> tuple[Tracer, float]:
+    """One seeded traced service run (the obs bench's unit of work)."""
+    stream = mixed_stream(
+        n_requests, b_fraction=b_fraction,
+        duplicate_fraction=duplicate_fraction, seed=seed,
+    )
+    tracer = Tracer()
+    service = AlignmentService(
+        scoring, config, device,
+        compute_scores=False,
+        max_queue_depth=max(len(stream), 1),
+        tracer=tracer,
+    )
+    wave = -(-len(stream) // max(n_waves, 1))
+    for lo in range(0, len(stream), wave):
+        service.submit_jobs(stream[lo : lo + wave])
+        service.flush()
+    return tracer, service.clock_ms
+
+
+def run_obs_bench(
+    n_requests: int = 1000,
+    *,
+    b_fraction: float = 0.12,
+    duplicate_fraction: float = 0.25,
+    seed: int = 0,
+    device: DeviceProfile = GTX1650,
+    scoring: ScoringScheme | None = None,
+    config: SalobaConfig | None = None,
+    n_waves: int = 4,
+) -> ObsBenchResult:
+    """Trace a seeded service workload and audit the trace itself.
+
+    Runs the same workload **twice** and compares the exported Chrome
+    trace JSON byte-for-byte (the determinism guarantee), then rolls
+    the first run's span tree up into the per-stage table whose
+    self-times must sum to the run's total modeled milliseconds.
+    """
+    scoring = scoring or ScoringScheme()
+    config = config or SalobaConfig()
+    kwargs = dict(
+        b_fraction=b_fraction, duplicate_fraction=duplicate_fraction,
+        seed=seed, device=device, scoring=scoring, config=config,
+        n_waves=n_waves,
+    )
+    tracer, clock_ms = _traced_service_run(n_requests, **kwargs)
+    tracer2, _ = _traced_service_run(n_requests, **kwargs)
+    trace_json = chrome_trace_json(tracer)
+    deterministic = trace_json == chrome_trace_json(tracer2)
+    table = rollup(tracer)
+    n_spans = n_events = 0
+    for root in tracer.roots:
+        for span in root.walk():
+            n_spans += 1
+            n_events += len(span.events)
+    return ObsBenchResult(
+        n_requests=n_requests,
+        seed=seed,
+        device=device.name,
+        total_ms=clock_ms,
+        rollup_self_sum_ms=table.self_sum_ms,
+        n_spans=n_spans,
+        n_events=n_events,
+        trace_bytes=len(trace_json.encode()),
+        deterministic=deterministic,
+        stages=[r.to_dict() for r in table.rows],
+        rollup_text=table.text,
     )

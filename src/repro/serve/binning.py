@@ -27,7 +27,8 @@ from ..core.batching import BatchRunner
 from ..core.config import SUBWARP_SIZES, SalobaConfig
 from ..core.kernel import SalobaKernel
 from ..gpusim.device import DeviceProfile
-from ..resilience.errors import CapacityExceeded
+from ..obs.tracer import NULL_TRACER
+from ..resilience.errors import AlignmentError, CapacityExceeded
 from ..resilience.faults import FaultPlan
 
 __all__ = ["DEFAULT_BIN_EDGES", "LengthBinner", "BinTuner"]
@@ -87,6 +88,7 @@ class BinTuner:
         fault_plan: FaultPlan | None = None,
         sample_cap: int = 64,
         autotune: bool = True,
+        tracer=None,
     ):
         self.scoring = scoring
         self.config = config
@@ -94,6 +96,7 @@ class BinTuner:
         self.fault_plan = fault_plan
         self.sample_cap = sample_cap
         self.autotune = autotune
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._kernels: dict[int, SalobaKernel] = {}
         self.chosen_subwarps: dict[int, int] = {}
 
@@ -104,23 +107,63 @@ class BinTuner:
             fault_plan=self.fault_plan,
         )
 
+    def _probe_kernel(self, subwarp_size: int) -> SalobaKernel:
+        """A fault-free twin for tuning probes.
+
+        The explicit disabled plan masks any plan installed on the
+        *device* profile too — probes are timing-model measurements,
+        not production launches, so injected faults must neither bias
+        them (stall dilation) nor abort them (capacity skips raising
+        out of :meth:`AlignmentService.drain` after requests were
+        already popped from the admission queue).
+        """
+        return SalobaKernel(
+            self.scoring,
+            self.config.with_(subwarp_size=subwarp_size),
+            fault_plan=FaultPlan(),
+        )
+
     def kernel_for(self, bin_index: int, sample: list[ExtensionJob]) -> SalobaKernel:
-        """The bin's kernel, tuning it on *sample* at first sight."""
+        """The bin's kernel, tuning it on *sample* at first sight.
+
+        Tuning never raises: probes run fault-free (see
+        :meth:`_probe_kernel`), candidates the device cannot fit are
+        skipped, and if *every* candidate fails the bin falls back to
+        ``config.subwarp_size`` — capacity problems then surface as
+        per-job failure records from the isolation executor, not as an
+        exception that strands queued requests.
+        """
         kernel = self._kernels.get(bin_index)
         if kernel is not None:
             return kernel
-        if not self.autotune or not sample:
-            best = self.config.subwarp_size
-        else:
+        best = self.config.subwarp_size
+        probed_ms: dict[int, float] = {}
+        skipped: list[int] = []
+        if self.autotune and sample:
             probe = sample[: self.sample_cap]
-            best, best_t = self.config.subwarp_size, float("inf")
+            best_t = float("inf")
             for s in SUBWARP_SIZES:
-                t = self._make_kernel(s).run(probe, self.device).total_ms
+                try:
+                    res = self._probe_kernel(s).run(probe, self.device)
+                except AlignmentError:
+                    skipped.append(s)
+                    continue
+                if not res.ok:
+                    skipped.append(s)
+                    continue
+                t = res.timing.total_ms
+                probed_ms[s] = t
                 if t < best_t:
                     best, best_t = s, t
         kernel = self._make_kernel(best)
         self._kernels[bin_index] = kernel
         self.chosen_subwarps[bin_index] = best
+        if self.tracer:
+            self.tracer.add(
+                "bin.tune", 0.0, bin=bin_index, chosen=best,
+                candidates_ms={str(s): t for s, t in probed_ms.items()},
+                skipped=skipped, sample=min(len(sample), self.sample_cap),
+            )
         return kernel
 
     def tune_batch_size(

@@ -90,6 +90,10 @@ class ResultCache:
             raise ValueError("cache byte budget cannot be negative")
         self.max_bytes = max_bytes
         self.stats = CacheStats()
+        #: Bumped by every :meth:`clear`; lets a metrics consumer tell
+        #: "fresh cache, epoch 2" apart from "never cleared, epoch 0"
+        #: after the stats reset.
+        self.epoch = 0
         self._entries: OrderedDict[bytes, CacheEntry] = OrderedDict()
         self._bytes = 0
 
@@ -131,5 +135,14 @@ class ResultCache:
             self.stats.evictions += 1
 
     def clear(self) -> None:
+        """Drop every entry AND reset the hit/miss/eviction counters.
+
+        The stats describe the entry population they were measured
+        over; keeping them across a clear would blend the dead
+        population's hit rate into the fresh one's.  ``epoch`` records
+        how many resets have happened.
+        """
         self._entries.clear()
         self._bytes = 0
+        self.stats = CacheStats()
+        self.epoch += 1

@@ -41,6 +41,7 @@ from ..align.scoring import ScoringScheme
 from ..baselines.base import ExtensionJob
 from ..core.config import SalobaConfig
 from ..gpusim.device import GTX1650, DeviceProfile
+from ..obs.tracer import NULL_TRACER
 from ..resilience.errors import AlignmentError, CapacityExceeded
 from ..resilience.faults import FaultPlan
 from ..resilience.isolation import run_isolated
@@ -91,6 +92,13 @@ class AlignmentService:
         larger neighbour for the round, so sparse length classes do
         not each pay a full kernel-launch overhead.  1 disables
         merging (every nonempty bin launches its own micro-batch).
+    tracer:
+        A :class:`repro.obs.Tracer` to record the span tree of every
+        drain round on the modeled clock (``service.drain`` ->
+        ``bin.tune``/``bin.run`` -> ``batch`` -> ``kernel.launch`` ->
+        gpusim phases).  Defaults to the no-op
+        :data:`~repro.obs.NULL_TRACER`; tracing off costs one
+        truthiness check per site.
 
     Examples
     --------
@@ -119,6 +127,7 @@ class AlignmentService:
         cache_bytes: int = 16 << 20,
         coalesce_window: int = 8192,
         min_bin_fill: int = 32,
+        tracer=None,
     ):
         if max_batch_jobs < 1:
             raise ValueError("max_batch_jobs must be positive")
@@ -131,11 +140,13 @@ class AlignmentService:
         self.device = device
         self.compute_scores = compute_scores
         self.retry_policy = retry_policy or RetryPolicy()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.queue = AdmissionQueue(max_depth=max_queue_depth, max_cells=max_queued_cells)
         self.binner = LengthBinner(bin_edges)
         self.tuner = BinTuner(
             self.scoring, self.config, device,
             fault_plan=fault_plan, autotune=autotune_subwarp,
+            tracer=self.tracer,
         )
         self.cache = ResultCache(max_bytes=cache_bytes) if cache_bytes else None
         self.max_batch_jobs = max_batch_jobs
@@ -219,19 +230,38 @@ class AlignmentService:
 
         Returns the number of requests resolved this round.  Requests
         beyond the coalescing window stay queued for the next round.
+
+        The window counts **executable** jobs: requests resolved
+        without touching the device — queue-deadline expiries and
+        cache hits — do not consume the batching budget, so a round
+        following a hot-cache burst still composes full micro-batches
+        instead of launching a sliver.  The refill loop is bounded by
+        the queue depth (every iteration pops exactly one request) and
+        pops in the same priority order as a bulk pop, so rounds stay
+        deterministic.
         """
         window = self.coalesce_window if max_requests is None else max_requests
-        batch = self.queue.pop_upto(window)
-        if not batch:
+        if not self.queue.depth:
             return 0
-        resolved = 0
+        tr = self.tracer
+        span = None
+        if tr:
+            tr.sync(self.clock_ms)
+            span = tr.begin("service.drain")
+        popped = cache_hits = expired = executable = resolved = 0
         bins: dict[int, list[tuple[AlignmentRequest, bytes | None]]] = {}
-        for req in batch:
+        while executable < window:
+            got = self.queue.pop_upto(1)
+            if not got:
+                break
+            req = got[0]
+            popped += 1
             if req.expired(self.clock_ms):
                 self._fail_request(
                     req, "DeadlineExceeded",
                     f"request waited past its {req.deadline_ms:g} ms queue deadline",
                 )
+                expired += 1
                 resolved += 1
                 continue
             key = None
@@ -246,11 +276,20 @@ class AlignmentService:
                         service_ms=0.0, from_cache=True,
                     )
                     self._recorder.record_completion(wait, 0.0)
+                    cache_hits += 1
                     resolved += 1
                     continue
             bins.setdefault(self.binner.bin_index(req.job), []).append((req, key))
+            executable += 1
         for bin_index, members in self._merge_sparse_bins(bins):
             resolved += self._run_bin(bin_index, members)
+        if span is not None:
+            span.attrs.update(
+                popped=popped, cache_hits=cache_hits, expired=expired,
+                executable=executable, resolved=resolved,
+            )
+            tr.sync(self.clock_ms)
+            tr.end(span)
         return resolved
 
     def _merge_sparse_bins(
@@ -324,20 +363,34 @@ class AlignmentService:
         # batch start ms, batch ms) for leader i — followers read it.
         settled: list[tuple[FailureRecord | None, AlignmentResult | None,
                             float, float, float]] = []
+        tr = self.tracer
+        bin_span = None
+        if tr:
+            bin_span = tr.begin(
+                "bin.run", bin=bin_index, label=self.binner.label(bin_index),
+                requests=len(members), leaders=len(leaders),
+                followers=len(followers),
+            )
         cap = self._bin_batch_sizes.get(bin_index, self.max_batch_jobs)
         for lo in range(0, len(leaders), cap):
             chunk = leaders[lo : lo + cap]
             jobs = [req.job for req, _ in chunk]
+            batch_span = tr.begin("batch", bin=bin_index, jobs=len(jobs)) if tr else None
             kernel = self.tuner.kernel_for(bin_index, jobs)
             outcome = run_isolated(
                 kernel, jobs, self.device,
                 policy=self.retry_policy,
                 compute_scores=self.compute_scores,
                 scoring=self.scoring,
+                tracer=tr,
             )
             start_ms = self.clock_ms
             batch_ms = outcome.total_ms
             self.clock_ms += batch_ms
+            if batch_span is not None:
+                batch_span.attrs["batch_ms"] = batch_ms
+                tr.sync(self.clock_ms)
+                tr.end(batch_span)
             self._recorder.record_batch(
                 len(jobs), self.binner.label(bin_index), batch_ms
             )
@@ -363,6 +416,8 @@ class AlignmentService:
             self._settle(req, rec, result, completed_ms=completed_ms,
                          start_ms=start_ms, batch_ms=batch_ms,
                          key=None, from_cache=True)
+        if bin_span is not None:
+            tr.end(bin_span)
         return len(members)
 
     def _settle(self, req: AlignmentRequest, rec: FailureRecord | None,

@@ -1,0 +1,338 @@
+"""Tests for repro.obs: the span tracer, its exporters, and the serve
+wiring — traces are bit-identical across reruns, span trees nest under
+faults and retries, the rollup's self-times sum to the modeled clock,
+and the ISSUE-3 serve-layer bugfixes (fault-isolated tuning probes,
+cache-clear stats reset, executable-counting drain refill) hold."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_jobs
+from repro.core import SalobaConfig, SalobaKernel
+from repro.gpusim import GTX1650
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    chrome_trace,
+    chrome_trace_json,
+    rollup,
+    trace_launch,
+    validate_chrome_trace,
+)
+from repro.resilience import FaultPlan, RetryPolicy
+from repro.resilience.isolation import run_isolated
+from repro.serve import AlignmentService, ResultCache, cache_key
+from repro.serve.bench import mixed_stream, run_obs_bench
+from repro.align import ScoringScheme
+
+
+def _pairs(rng, n, lo=24, hi=40):
+    return [
+        (rng.integers(0, 4, int(rng.integers(lo, hi))).astype(np.uint8),
+         rng.integers(0, 4, int(rng.integers(lo, hi))).astype(np.uint8))
+        for _ in range(n)
+    ]
+
+
+# ----- tracer core ----------------------------------------------------
+
+
+def test_span_nesting_and_self_time():
+    tr = Tracer()
+    outer = tr.begin("outer")
+    tr.add("leaf", 2.0)
+    with tr.span("mid") as mid:
+        tr.add("inner", 3.0)
+    tr.end(outer)
+    assert outer.closed and outer.duration_ms == 5.0
+    assert [c.name for c in outer.children] == ["leaf", "mid"]
+    assert mid.children[0].duration_ms == 3.0
+    # self-times telescope to the root duration
+    total_self = sum(s.self_ms for s in outer.walk())
+    assert total_self == pytest.approx(outer.duration_ms)
+    assert tr.total_ms == 5.0
+
+
+def test_end_requires_innermost():
+    tr = Tracer()
+    outer = tr.begin("outer")
+    tr.begin("inner")
+    with pytest.raises(ValueError, match="innermost"):
+        tr.end(outer)
+
+
+def test_finish_rejects_open_spans():
+    tr = Tracer()
+    tr.begin("open")
+    with pytest.raises(ValueError, match="unclosed"):
+        tr.finish()
+
+
+def test_instant_attaches_to_open_span_or_becomes_root():
+    tr = Tracer()
+    with tr.span("work"):
+        tr.instant("ping", detail=1)
+    tr.instant("orphan")
+    assert tr.roots[0].events[0].name == "ping"
+    assert tr.roots[1].name == "orphan" and tr.roots[1].duration_ms == 0.0
+
+
+def test_null_tracer_is_falsy_noop():
+    assert not NULL_TRACER
+    assert isinstance(NULL_TRACER, NullTracer)
+    assert NULL_TRACER.begin("x") is None
+    assert NULL_TRACER.add("x", 1.0) is None
+    with NULL_TRACER.span("x") as s:
+        assert s is None
+    NULL_TRACER.instant("x")
+    NULL_TRACER.sync(5.0)
+    assert NULL_TRACER.now_ms == 0.0
+    assert NULL_TRACER.roots == []
+
+
+def test_trace_launch_phases_partition_the_launch():
+    rng = np.random.default_rng(0)
+    jobs = make_jobs(_pairs(rng, 16, 60, 100))
+    kernel = SalobaKernel()
+    res = kernel.run(jobs, GTX1650)
+    tr = Tracer()
+    span = trace_launch(tr, res.timing, kernel=kernel.name)
+    assert span.name == "kernel.launch"
+    assert span.duration_ms == pytest.approx(res.timing.total_ms)
+    child_names = [c.name for c in span.children]
+    assert child_names[0] == "phase.overhead"
+    assert "phase.main" in child_names and "phase.prologue" in child_names
+    # the synthesized phases tile the launch span exactly
+    assert sum(c.duration_ms for c in span.children) == pytest.approx(
+        span.duration_ms, rel=1e-9)
+    assert span.attrs["bytes"] > 0 and span.attrs["cells"] > 0
+    assert trace_launch(NULL_TRACER, res.timing) is None
+
+
+def test_launch_timing_phases_sum_to_compute():
+    rng = np.random.default_rng(1)
+    jobs = make_jobs(_pairs(rng, 8, 40, 120))
+    timing = SalobaKernel().run(jobs, GTX1650).timing
+    assert timing.phases
+    assert sum(s for _, s in timing.phases) == pytest.approx(
+        timing.compute_s, rel=1e-9)
+    dilated = timing.with_compute_dilation(1e-4)
+    assert dilated.phases[-1] == ("stall", 1e-4)
+    assert sum(s for _, s in dilated.phases) == pytest.approx(
+        dilated.compute_s, rel=1e-9)
+
+
+# ----- exporters ------------------------------------------------------
+
+
+def test_chrome_trace_structure_and_validation():
+    tr = Tracer()
+    with tr.span("outer", category="service", k=1):
+        tr.add("leaf", 1.5, category="kernel")
+        tr.instant("mark", job=3)
+    payload = chrome_trace(tr, process_name="t")
+    assert validate_chrome_trace(payload) == []
+    phs = [e["ph"] for e in payload["traceEvents"]]
+    # DFS: outer's X and its instant, then the leaf child's X
+    assert phs == ["M", "M", "X", "i", "X"]
+    leaf = payload["traceEvents"][4]
+    assert leaf["ts"] == 0.0 and leaf["dur"] == 1500.0  # microseconds
+    assert validate_chrome_trace({}) == ["payload has no traceEvents list"]
+    assert validate_chrome_trace(
+        {"traceEvents": [{"ph": "Q", "name": "x"}]}) != []
+
+
+def test_rollup_aggregates_and_sums():
+    tr = Tracer()
+    with tr.span("round"):
+        tr.add("step", 1.0, bytes=100)
+        tr.add("step", 2.0, bytes=50)
+    table = rollup(tr)
+    step = table.row("step")
+    assert step.count == 2 and step.total_ms == 3.0 and step.bytes == 150
+    assert table.row("round").self_ms == pytest.approx(0.0)
+    assert table.self_sum_ms == pytest.approx(table.total_ms)
+    assert "TOTAL" in table.text
+
+
+# ----- resilience + serve wiring -------------------------------------
+
+
+def _faulty_service(tracer=None, *, seed=3):
+    return AlignmentService(
+        compute_scores=False,
+        fault_plan=FaultPlan(seed=7, transient_rate=0.02, overflow_rate=0.005),
+        retry_policy=RetryPolicy(max_attempts=3),
+        max_queue_depth=10_000,
+        tracer=tracer,
+    )
+
+
+def _traced_faulty_run(n=200, seed=3):
+    tr = Tracer()
+    svc = _faulty_service(tr, seed=seed)
+    svc.submit_jobs(mixed_stream(n, seed=seed))
+    svc.flush()
+    return tr, svc
+
+
+def test_serve_trace_is_byte_identical_across_reruns():
+    j1 = chrome_trace_json(_traced_faulty_run()[0])
+    j2 = chrome_trace_json(_traced_faulty_run()[0])
+    assert j1 == j2
+    assert validate_chrome_trace(json.loads(j1)) == []
+
+
+def test_serve_trace_nests_faults_and_retries():
+    tr, svc = _traced_faulty_run()
+    names = [s.name for r in tr.roots for s in r.walk()]
+    events = [e.name for r in tr.roots for s in r.walk() for e in s.events]
+    assert names.count("service.drain") >= 1
+    assert "bin.run" in names and "batch" in names and "bin.tune" in names
+    assert "kernel.launch" in names
+    assert "retry.backoff" in names or "cpu.fallback" in names
+    assert "fault.recovered" in events or "fault.quarantine" in events
+    # retries produce more launches than batches
+    assert names.count("kernel.launch") > names.count("batch")
+    # every launch span nests inside a batch span
+    for root in tr.roots:
+        for span in root.walk():
+            if span.name == "batch":
+                assert all(c.category in ("kernel", "resilience", "service")
+                           for c in span.children)
+    # rollup telescopes exactly to the service clock even with faults
+    assert rollup(tr).self_sum_ms == pytest.approx(svc.clock_ms, rel=1e-9)
+    assert tr.total_ms == pytest.approx(svc.clock_ms, rel=1e-9)
+
+
+def test_untraced_service_matches_traced_clock():
+    tr, traced = _traced_faulty_run()
+    plain = _faulty_service(None)
+    plain.submit_jobs(mixed_stream(200, seed=3))
+    plain.flush()
+    assert plain.clock_ms == traced.clock_ms
+    assert plain.metrics() == traced.metrics()
+
+
+def test_run_isolated_accepts_tracer():
+    rng = np.random.default_rng(2)
+    jobs = make_jobs(_pairs(rng, 12))
+    tr = Tracer()
+    out = run_isolated(SalobaKernel(), jobs, GTX1650, tracer=tr)
+    assert out.failures.ok
+    launches = [s for r in tr.roots for s in r.walk() if s.name == "kernel.launch"]
+    assert len(launches) == out.n_kernel_calls
+    assert launches[0].attrs["jobs"] == len(jobs)
+
+
+def test_obs_bench_contract():
+    res = run_obs_bench(150, seed=1)
+    assert res.deterministic
+    assert res.rollup_self_sum_ms == pytest.approx(res.total_ms, rel=1e-9)
+    assert res.n_spans > 0 and res.trace_bytes > 0
+    assert "TOTAL" in res.text
+    parsed = json.loads(res.to_json())
+    assert parsed["n_requests"] == 150
+
+
+# ----- ISSUE-3 bugfix regressions -------------------------------------
+
+
+def test_tuner_probe_faults_do_not_strand_requests():
+    """A fault plan that aborts tuning probes must not leak out of
+    drain(): probes run fault-free, so requests still resolve."""
+    svc = AlignmentService(
+        compute_scores=False,
+        # every probe launch would overflow under this plan
+        fault_plan=FaultPlan(seed=0, overflow_rate=1.0),
+        retry_policy=RetryPolicy(max_attempts=2, cpu_fallback=True),
+        max_queue_depth=1000,
+    )
+    handles = svc.submit_jobs(make_jobs(_pairs(np.random.default_rng(5), 40)))
+    svc.flush()  # must not raise
+    assert all(h.done for h in handles)
+    # probes were clean, so tuning still chose per-bin subwarps
+    assert svc.tuner.chosen_subwarps
+
+
+def test_tuner_skips_over_capacity_candidates_and_falls_back():
+    """When *every* probe candidate exceeds the device, kernel_for
+    falls back to config.subwarp_size instead of raising."""
+    tiny = dataclasses.replace(GTX1650, device_mem_gb=1e-9)
+    svc = AlignmentService(
+        device=tiny, compute_scores=False,
+        retry_policy=RetryPolicy(max_attempts=1, cpu_fallback=True),
+        max_queue_depth=1000,
+    )
+    handles = svc.submit_jobs(make_jobs(_pairs(np.random.default_rng(6), 6)))
+    svc.flush()  # must not raise CapacityExceeded
+    assert all(h.done for h in handles)
+    assert set(svc.tuner.chosen_subwarps.values()) == {
+        svc.config.subwarp_size}
+
+
+def test_tuner_production_kernel_keeps_live_fault_plan():
+    plan = FaultPlan(seed=1, transient_rate=0.5)
+    svc = _faulty_service()
+    jobs = [j for j in make_jobs(_pairs(np.random.default_rng(7), 8))]
+    kernel = svc.tuner.kernel_for(0, jobs)
+    assert kernel.fault_plan is svc.tuner.fault_plan
+    probe = svc.tuner._probe_kernel(8)
+    assert not probe.fault_plan.enabled
+
+
+def test_cache_clear_resets_stats_and_bumps_epoch():
+    cache = ResultCache(max_bytes=1 << 16)
+    scoring = ScoringScheme()
+    jobs = make_jobs(_pairs(np.random.default_rng(8), 4))
+    for job in jobs:
+        key = cache_key(job, scoring)
+        cache.get(key, scored=False)          # miss
+        cache.put(key, None, scored=False)
+        cache.get(key, scored=False)          # hit
+    assert cache.stats.hits == 4 and cache.stats.misses == 4
+    assert cache.epoch == 0
+    cache.clear()
+    assert len(cache) == 0 and cache.current_bytes == 0
+    assert cache.stats.hits == cache.stats.misses == cache.stats.evictions == 0
+    assert cache.stats.hit_rate == 0.0
+    assert cache.epoch == 1
+    cache.clear()
+    assert cache.epoch == 2
+
+
+def test_drain_refills_window_past_cache_hits():
+    """Cache hits must not consume the coalescing window: after a
+    warm-up round, a window-2 drain over 6 hits + 2 fresh jobs serves
+    everything in one round."""
+    rng = np.random.default_rng(9)
+    warm = make_jobs(_pairs(rng, 6))
+    fresh = make_jobs(_pairs(rng, 2))
+    svc = AlignmentService(compute_scores=False, max_queue_depth=1000,
+                           coalesce_window=2, min_bin_fill=1)
+    svc.submit_jobs(warm[:2])
+    assert svc.drain() == 2  # populates the cache
+    svc.submit_jobs(warm[:2] + warm[2:4])
+    assert svc.drain() == 4  # 2 hits + 2 executable, one round
+    # hits beyond the window would previously have stalled the round
+    svc.submit_jobs(warm[:4] + fresh)
+    resolved = svc.drain()
+    assert resolved == 6
+    m = svc.metrics()
+    assert m.cache_hits >= 6
+
+
+def test_drain_refill_is_bounded_and_leaves_excess_queued():
+    rng = np.random.default_rng(10)
+    jobs = make_jobs(_pairs(rng, 5))
+    svc = AlignmentService(compute_scores=False, max_queue_depth=1000,
+                           coalesce_window=2, min_bin_fill=1)
+    svc.submit_jobs(jobs)
+    assert svc.drain() == 2
+    assert svc.pending == 3
+    svc.flush()
+    assert svc.pending == 0
