@@ -19,9 +19,12 @@ Public API highlights
 - :mod:`repro.bench` — regenerates every table and figure of the paper.
 - :mod:`repro.serve` — the in-process alignment service: admission
   control, length-binned dynamic batching, result caching, metrics.
+- :mod:`repro.cluster` — the service sharded over N modeled workers:
+  routing policies, work stealing, replica failover, cluster metrics.
 """
 
 from .align import ScoringScheme, bwa_mem_scoring, sw_align, sw_score, sw_traceback
+from .cluster import AlignmentCluster, WorkerSpec
 from .core import SalobaAligner, SalobaConfig, SalobaKernel
 from .gpusim import GTX1650, RTX3090, DeviceProfile
 from .resilience import AlignmentError, FailureReport, FaultPlan, RetryPolicy
@@ -40,6 +43,8 @@ __all__ = [
     "SalobaKernel",
     "AlignmentService",
     "ServiceMetrics",
+    "AlignmentCluster",
+    "WorkerSpec",
     "DeviceProfile",
     "GTX1650",
     "RTX3090",

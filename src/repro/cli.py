@@ -20,6 +20,10 @@ Exposes the library's main entry points without writing Python:
 ``trace``
     Trace a seeded service workload: per-stage rollup table on stdout,
     Chrome trace-event JSON (chrome://tracing / Perfetto) to a file.
+``cluster-bench``
+    Compare cluster routing policies x work stealing on a skewed
+    stream (``--out`` writes the byte-stable JSON artifact the CI
+    smoke job compares across reruns).
 ``report``
     Regenerate the full paper-vs-measured comparison document.
 """
@@ -125,6 +129,29 @@ def build_parser() -> argparse.ArgumentParser:
                       help="inject transient device faults at this rate")
     p_tr.add_argument("--out", default=None, metavar="FILE",
                       help="write the Chrome trace-event JSON here")
+
+    p_cl = sub.add_parser(
+        "cluster-bench",
+        help="compare cluster routing policies x work stealing",
+    )
+    p_cl.add_argument("--requests", type=int, default=1500,
+                      help="total stream length (duplicates included)")
+    p_cl.add_argument("--workers", type=int, default=4,
+                      help="cluster size (identical devices)")
+    p_cl.add_argument("--policy", default=None, metavar="NAME",
+                      help="benchmark only this routing policy "
+                           "(default: all registered policies)")
+    p_cl.add_argument("--dup-rate", type=float, default=0.25,
+                      help="fraction of the stream re-submitting earlier jobs")
+    p_cl.add_argument("--long-read-fraction", type=float, default=0.25,
+                      help="dataset-B-shaped share of the unique jobs "
+                           "(the skew that unbalances hash placement)")
+    p_cl.add_argument("--seed", type=int, default=0)
+    p_cl.add_argument("--device", default="GTX1650", choices=sorted(known_devices()))
+    p_cl.add_argument("--scored-pairs", type=int, default=24,
+                      help="scored fidelity-check workload size (0 skips it)")
+    p_cl.add_argument("--out", default=None, metavar="FILE",
+                      help="write the JSON result here (byte-stable across reruns)")
 
     p_rep = sub.add_parser("report", help="regenerate the comparison report")
     p_rep.add_argument("--quick", action="store_true", help="smaller batches")
@@ -336,6 +363,42 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_cluster_bench(args) -> int:
+    from .cluster import ROUTING_POLICIES
+    from .cluster.bench import run_cluster_bench
+
+    policies = ROUTING_POLICIES
+    if args.policy is not None:
+        if args.policy not in ROUTING_POLICIES:
+            print(
+                f"error: unknown policy {args.policy!r}; "
+                f"choose one of {', '.join(ROUTING_POLICIES)}",
+                file=sys.stderr,
+            )
+            return 2
+        policies = (args.policy,)
+    res = run_cluster_bench(
+        args.requests,
+        args.workers,
+        b_fraction=args.long_read_fraction,
+        duplicate_fraction=args.dup_rate,
+        seed=args.seed,
+        device=known_devices()[args.device],
+        policies=policies,
+        scored_pairs=args.scored_pairs,
+    )
+    print(res.text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(res.to_json() + "\n")
+        print(f"wrote {args.out}")
+    if not res.scored_identical:
+        print("error: cluster results diverged from the reference path",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_report(args) -> int:
     from .bench.report import full_report
 
@@ -358,6 +421,7 @@ _COMMANDS = {
     "map": _cmd_map,
     "serve-bench": _cmd_serve_bench,
     "trace": _cmd_trace,
+    "cluster-bench": _cmd_cluster_bench,
     "report": _cmd_report,
 }
 

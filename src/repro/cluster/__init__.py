@@ -1,0 +1,56 @@
+"""repro.cluster: a sharded multi-worker alignment cluster.
+
+The serve layer (:mod:`repro.serve`) runs one alignment service on one
+modeled device.  This package shards that service N ways and makes the
+*inter-worker* schedule a first-class, deterministic object of study —
+the cluster-level analogue of the paper's intra-kernel workload-balance
+story (subwarp packing inside a warp; Discussion VII-C's multi-GPU
+sketch between devices):
+
+* :class:`~repro.cluster.worker.ClusterWorker` /
+  :class:`~repro.cluster.worker.WorkerSpec` — one device + private
+  :class:`~repro.serve.service.AlignmentService` (own cache, tuner,
+  fault plan, tracer) + a per-length-bin backlog and a local modeled
+  clock;
+* :class:`~repro.cluster.router.Router` — pluggable placement policies
+  (``static_hash`` for cache affinity, ``round_robin``,
+  ``least_loaded``, ``cost_aware``);
+* :class:`~repro.cluster.stealing.WorkStealer` — idle workers steal
+  whole length-bins (steal-half, affinity-penalized) from the most
+  backlogged worker;
+* :class:`~repro.cluster.failover.SettlementLedger` /
+  :class:`~repro.cluster.failover.FailoverCoordinator` — exactly-once
+  settlement and replica failover for worker-level ``device_down``
+  faults;
+* :class:`~repro.cluster.metrics.ClusterMetrics` — deterministic
+  rollup (makespan, utilization, imbalance, steals, failovers);
+* :class:`~repro.cluster.cluster.AlignmentCluster` — the facade tying
+  it together in a discrete-event loop on the shared modeled clock.
+
+See docs/CLUSTER.md for the scheduling semantics and the determinism
+contract, and ``repro cluster-bench`` / benchmarks/bench_cluster.py
+for the policy comparison.
+"""
+
+from .cluster import AlignmentCluster
+from .failover import FailoverCoordinator, SettlementLedger
+from .metrics import ClusterMetrics, WorkerReport
+from .router import ROUTING_POLICIES, Router
+from .stealing import StealOutcome, WorkStealer
+from .worker import ClusterRequest, ClusterWorker, StepOutcome, WorkerSpec
+
+__all__ = [
+    "AlignmentCluster",
+    "ClusterMetrics",
+    "ClusterRequest",
+    "ClusterWorker",
+    "FailoverCoordinator",
+    "ROUTING_POLICIES",
+    "Router",
+    "SettlementLedger",
+    "StealOutcome",
+    "StepOutcome",
+    "WorkStealer",
+    "WorkerReport",
+    "WorkerSpec",
+]

@@ -1,0 +1,278 @@
+"""The cluster facade: route, steal, step, fail over, settle.
+
+:class:`AlignmentCluster` shards one request stream over N
+:class:`~repro.cluster.worker.ClusterWorker`\\ s and runs a
+discrete-event loop on the shared **modeled** timeline:
+
+1. ``submit`` routes every request immediately through the
+   :class:`~repro.cluster.router.Router` (policy chosen at
+   construction) onto a live worker's backlog;
+2. ``run`` repeatedly lets idle workers steal
+   (:class:`~repro.cluster.stealing.WorkStealer`), then steps the
+   *earliest* busy worker — the worker whose local clock is furthest
+   behind — one micro-batch forward.  Worker clocks only advance while
+   executing, so "earliest clock" is exactly "next event on the wall
+   timeline" and the interleaving is deterministic (ties break toward
+   the lower worker index);
+3. every served request settles **exactly once** through the
+   :class:`~repro.cluster.failover.SettlementLedger`; a worker dying
+   mid-run (``WorkerSpec.down_at_ms``) hands its orphans to the
+   :class:`~repro.cluster.failover.FailoverCoordinator`, which re-routes
+   them onto the surviving replicas.
+
+Because execution order never affects alignment *scores* (the DP
+result depends only on the sequences), every routing policy — and
+stealing on or off — produces bit-identical results; only the modeled
+schedule (makespan, utilization, cache hits) changes.  The tests pin
+both properties down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..align.scoring import ScoringScheme
+from ..baselines.base import ExtensionJob
+from ..core.config import SalobaConfig
+from ..obs.export import merged_chrome_trace_json
+from ..obs.tracer import Tracer
+from ..resilience.errors import AlignmentError, CapacityExceeded
+from ..resilience.faults import job_key
+from ..resilience.report import FailureRecord
+from ..resilience.retry import RetryPolicy
+from ..seqs.alphabet import encode
+from ..serve.request import RequestHandle
+from .failover import FailoverCoordinator, SettlementLedger
+from .metrics import ClusterMetrics, aggregate
+from .router import Router
+from .stealing import WorkStealer
+from .worker import ClusterRequest, ClusterWorker, WorkerSpec
+
+__all__ = ["AlignmentCluster"]
+
+
+class AlignmentCluster:
+    """A sharded multi-worker alignment service on one modeled clock.
+
+    Parameters
+    ----------
+    specs:
+        One :class:`WorkerSpec` per worker (devices may differ).
+    scoring / config / compute_scores / retry_policy:
+        Forwarded to every worker's private
+        :class:`~repro.serve.service.AlignmentService`.
+    policy:
+        Routing policy name (see :data:`~repro.cluster.router.ROUTING_POLICIES`).
+    stealing:
+        Enable work stealing between workers (default True).
+    steal_penalty_ms_per_job:
+        Modeled migration charge per stolen request on the thief's
+        clock (sequence re-transfer; the cold thief cache is implicit).
+    trace:
+        Give every worker its own :class:`~repro.obs.Tracer`;
+        :meth:`merged_trace_json` then exports one chrome trace with a
+        thread lane per worker.
+
+    Examples
+    --------
+    >>> from repro.cluster import AlignmentCluster, WorkerSpec
+    >>> cl = AlignmentCluster([WorkerSpec("w0"), WorkerSpec("w1")])
+    >>> h = cl.submit("ACGTACGTAC", "ACGTACGTAC")
+    >>> m = cl.run()
+    >>> h.result().score
+    10
+    >>> m.completed
+    1
+    """
+
+    def __init__(
+        self,
+        specs: list[WorkerSpec],
+        *,
+        scoring: ScoringScheme | None = None,
+        config: SalobaConfig | None = None,
+        compute_scores: bool = True,
+        policy: str = "least_loaded",
+        stealing: bool = True,
+        steal_penalty_ms_per_job: float = 0.002,
+        trace: bool = False,
+        retry_policy: RetryPolicy | None = None,
+    ):
+        if not specs:
+            raise ValueError("a cluster needs at least one worker spec")
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"worker names must be unique, got {names}")
+        self.scoring = scoring or ScoringScheme()
+        self.workers = [
+            ClusterWorker(
+                i, spec,
+                scoring=self.scoring, config=config,
+                compute_scores=compute_scores, retry_policy=retry_policy,
+                tracer=Tracer() if trace else None,
+            )
+            for i, spec in enumerate(specs)
+        ]
+        self.router = Router(policy)
+        self.stealer = (
+            WorkStealer(penalty_ms_per_job=steal_penalty_ms_per_job)
+            if stealing else None
+        )
+        self.ledger = SettlementLedger()
+        self.failover = FailoverCoordinator(self.router, self.ledger)
+        self._next_id = 0
+        self._submitted = 0
+        self.handles: list[RequestHandle] = []
+
+    # ----- submission ------------------------------------------------------
+
+    @property
+    def policy(self) -> str:
+        return self.router.policy
+
+    @property
+    def stealing(self) -> bool:
+        return self.stealer is not None
+
+    def _new_handle(self) -> RequestHandle:
+        handle = RequestHandle(self._next_id)
+        self._next_id += 1
+        return handle
+
+    def submit(self, query, ref) -> RequestHandle:
+        """Route one ``(query, reference)`` pair onto a worker.
+
+        Malformed sequences resolve the handle immediately as failed
+        (``JobRejected`` taxonomy), mirroring the single-service
+        behaviour; a cluster with no live worker fails the request
+        with ``CapacityExceeded`` instead of raising.
+        """
+        self._submitted += 1
+        handle = self._new_handle()
+        self.handles.append(handle)
+        try:
+            job = ExtensionJob(ref=encode(ref), query=encode(query))
+        except (AlignmentError, ValueError, TypeError) as exc:
+            name = type(exc).__name__ if isinstance(exc, AlignmentError) else "JobRejected"
+            self.ledger.settle_fail_handle(
+                handle,
+                FailureRecord(handle.request_id, name, str(exc), attempts=0),
+                completed_ms=0.0,
+            )
+            return handle
+        self._place_job(job, handle)
+        return handle
+
+    def submit_jobs(self, jobs: list[ExtensionJob]) -> list[RequestHandle]:
+        """Bulk-route pre-built extension jobs (the benchmark path)."""
+        out = []
+        for job in jobs:
+            self._submitted += 1
+            handle = self._new_handle()
+            self.handles.append(handle)
+            self._place_job(job, handle)
+            out.append(handle)
+        return out
+
+    def _place_job(self, job: ExtensionJob, handle: RequestHandle) -> None:
+        req = ClusterRequest(
+            job=job, handle=handle, key=job_key(job), est_cells=job.cells
+        )
+        try:
+            self.router.place(req, self.workers)
+        except CapacityExceeded as exc:
+            self.ledger.settle_fail(
+                req,
+                FailureRecord(req.request_id, "CapacityExceeded", str(exc), attempts=0),
+                completed_ms=0.0,
+            )
+
+    # ----- the discrete-event loop -----------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Requests placed on live workers but not yet resolved."""
+        return sum(w.backlog_n for w in self.workers if w.alive)
+
+    def _next_worker(self) -> ClusterWorker | None:
+        """The earliest-clock live worker holding work (= next event)."""
+        busy = [w for w in self.workers if w.alive and w.backlog_n > 0]
+        if not busy:
+            return None
+        return min(busy, key=lambda w: (w.clock_ms, w.index))
+
+    def _steal_round(self) -> None:
+        """Let every idle live worker attempt one steal, earliest
+        clock first — idle thieves are exactly the workers the next
+        batch would otherwise leave behind the makespan."""
+        idle = sorted(
+            (w for w in self.workers if w.alive and w.backlog_n == 0),
+            key=lambda w: (w.clock_ms, w.index),
+        )
+        for thief in idle:
+            self.stealer.try_steal(thief, self.workers)
+
+    def _settle_served(self, worker: ClusterWorker, served: list[ClusterRequest]) -> None:
+        """Resolve cluster handles from the worker-service outcomes."""
+        for req in served:
+            sh = req.service_handle
+            assert sh is not None and sh.done
+            if sh.ok:
+                self.ledger.settle_ok(
+                    req, sh.result_value,
+                    completed_ms=worker.clock_ms,
+                    service_ms=sh.service_ms,
+                    from_cache=sh.from_cache,
+                )
+            else:
+                assert sh.failure is not None
+                record = replace(
+                    sh.failure, job_index=req.request_id,
+                    attempts=max(sh.failure.attempts, req.hops + 1),
+                )
+                self.ledger.settle_fail(req, record, completed_ms=worker.clock_ms)
+
+    def run(self) -> ClusterMetrics:
+        """Drive the cluster until every placed request has resolved.
+
+        Returns the final :meth:`metrics` snapshot.  Deterministic for
+        a deterministic submission stream: the loop's only inputs are
+        worker clocks, indices, and backlog contents.
+        """
+        while True:
+            if self.stealer is not None and len(self.workers) > 1:
+                self._steal_round()
+            worker = self._next_worker()
+            if worker is None:
+                break
+            outcome = worker.step()
+            if outcome.died:
+                self.failover.handle_device_down(
+                    worker, outcome.orphans, self.workers, now_ms=worker.clock_ms
+                )
+            else:
+                self._settle_served(worker, outcome.served)
+        return self.metrics()
+
+    # ----- observability ---------------------------------------------------
+
+    def metrics(self) -> ClusterMetrics:
+        """Deterministic aggregate snapshot (see :mod:`.metrics`)."""
+        return aggregate(
+            policy=self.policy,
+            stealing=self.stealing,
+            workers=self.workers,
+            ledger=self.ledger,
+            stealer=self.stealer,
+            failover=self.failover,
+            n_requests=self._submitted,
+        )
+
+    def merged_trace_json(self) -> str:
+        """One chrome trace with a thread lane per traced worker."""
+        traced = [(w.name, w.tracer) for w in self.workers if w.tracer is not None]
+        if not traced:
+            raise ValueError(
+                "cluster was built with trace=False; no tracers to export"
+            )
+        return merged_chrome_trace_json(traced)

@@ -1,0 +1,121 @@
+"""Replica failover and exactly-once settlement.
+
+Two pieces keep a cluster with dying workers honest:
+
+:class:`SettlementLedger`
+    The single gate through which a caller-visible
+    :class:`~repro.serve.request.RequestHandle` is resolved.  Every
+    settlement attempt passes the ledger; the first wins, later ones
+    are dropped and counted (``duplicate_drops``) — at-most-once per
+    attempt, and because the cluster loop runs every orphaned request
+    somewhere (or terminally fails it), exactly-once overall.  The
+    tests pin this down: with a ``device_down`` injected, no request
+    is lost and none settles twice.
+
+:class:`FailoverCoordinator`
+    What happens when a worker's ``device_down`` fires mid-run: the
+    in-flight batch's results are discarded (the device died before
+    returning them), and those requests — plus the dead worker's whole
+    queued backlog — are re-routed through the normal router onto the
+    surviving replicas, with a re-dispatch charge per request.  When no
+    replica is left, the orphans settle as failed with the
+    :class:`~repro.resilience.errors.DeviceDown` taxonomy class, so a
+    caller draining handles still sees every request resolve.
+"""
+
+from __future__ import annotations
+
+from ..resilience.report import FailureRecord
+from .router import Router
+from .worker import ClusterRequest, ClusterWorker
+
+__all__ = ["SettlementLedger", "FailoverCoordinator"]
+
+
+class SettlementLedger:
+    """Exactly-once resolution guard over cluster request handles."""
+
+    def __init__(self):
+        self._settled: set[int] = set()
+        self.completed = 0
+        self.failed = 0
+        self.duplicate_drops = 0
+
+    @property
+    def settled(self) -> int:
+        return len(self._settled)
+
+    def _claim(self, request_id: int) -> bool:
+        if request_id in self._settled:
+            self.duplicate_drops += 1
+            return False
+        self._settled.add(request_id)
+        return True
+
+    def settle_ok(self, req: ClusterRequest, result, *, completed_ms: float,
+                  service_ms: float, from_cache: bool) -> bool:
+        if not self._claim(req.request_id):
+            return False
+        req.handle._resolve(
+            result,
+            completed_ms=completed_ms,
+            wait_ms=completed_ms - service_ms,
+            service_ms=service_ms,
+            from_cache=from_cache,
+        )
+        self.completed += 1
+        return True
+
+    def settle_fail(self, req: ClusterRequest, record: FailureRecord, *,
+                    completed_ms: float) -> bool:
+        return self.settle_fail_handle(req.handle, record, completed_ms=completed_ms)
+
+    def settle_fail_handle(self, handle, record: FailureRecord, *,
+                           completed_ms: float) -> bool:
+        """Fail a bare handle (requests that never became routable —
+        malformed submissions, or orphans with no live replica)."""
+        if not self._claim(handle.request_id):
+            return False
+        handle._fail(record, completed_ms=completed_ms, wait_ms=completed_ms)
+        self.failed += 1
+        return True
+
+
+class FailoverCoordinator:
+    """Re-homes a dead worker's orphans onto the surviving replicas."""
+
+    def __init__(self, router: Router, ledger: SettlementLedger):
+        self.router = router
+        self.ledger = ledger
+        self.failovers = 0  # requests successfully re-routed
+        self.unroutable = 0  # requests failed: no live replica left
+        self.workers_lost = 0
+
+    def handle_device_down(
+        self, dead: ClusterWorker, orphans: list[ClusterRequest],
+        workers: list[ClusterWorker], *, now_ms: float,
+    ) -> int:
+        """Re-route *orphans*; returns how many found a new home."""
+        self.workers_lost += 1
+        live = [w for w in workers if w.alive]
+        rerouted = 0
+        for req in orphans:
+            req.service_handle = None  # any prior attempt's outcome is void
+            if live:
+                req.hops += 1
+                self.router.place(req, workers)
+                rerouted += 1
+            else:
+                self.ledger.settle_fail(
+                    req,
+                    FailureRecord(
+                        req.request_id, "DeviceDown",
+                        f"worker {dead.name!r} went down at "
+                        f"{dead.clock_ms:g} ms and no live replica remains",
+                        attempts=req.hops + 1,
+                    ),
+                    completed_ms=now_ms,
+                )
+        self.failovers += rerouted
+        self.unroutable += len(orphans) - rerouted
+        return rerouted

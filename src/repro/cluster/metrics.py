@@ -1,0 +1,166 @@
+"""Cluster-level metrics: per-worker reports and the aggregate rollup.
+
+Everything here derives from the per-worker *modeled* clocks and the
+per-worker :class:`~repro.serve.metrics.ServiceMetrics` snapshots, so
+— like the serve and obs layers below it — two runs of the same seeded
+workload produce **byte-identical** exports (``to_json`` uses sorted
+keys and fixed separators; the CI ``cluster-smoke`` job ``cmp``\\ s two
+fresh exports on every push).
+
+The headline quantities generalize the paper's balance vocabulary to
+the inter-worker level:
+
+* ``makespan_ms`` — the cluster finishes when its slowest worker does
+  (exactly :class:`~repro.core.multi_gpu.MultiGpuResult` one level up);
+* ``imbalance`` — max/mean of per-worker busy time over the workers
+  that did work, 1.0 = perfect balance (the warp-retires-with-its-
+  slowest-subwarp effect, between devices);
+* ``utilization`` — per-worker busy/makespan;
+* steal and failover counters from the scheduling layers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["WorkerReport", "ClusterMetrics"]
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """One worker's contribution to the cluster rollup."""
+
+    name: str
+    device: str
+    busy_ms: float
+    utilization: float
+    served: int
+    steals_initiated: int
+    jobs_stolen_in: int
+    jobs_stolen_out: int
+    steal_penalty_ms: float
+    dead: bool
+    down_at_ms: float | None
+    lost_in_flight: int
+    service: dict  # the worker's ServiceMetrics.to_dict()
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass(frozen=True)
+class ClusterMetrics:
+    """Frozen aggregate snapshot of one cluster run."""
+
+    policy: str
+    stealing: bool
+    n_workers: int
+    n_requests: int
+    completed: int
+    failed: int
+    duplicate_drops: int
+    makespan_ms: float
+    total_busy_ms: float
+    imbalance: float
+    steal_count: int
+    jobs_stolen: int
+    failovers: int
+    unroutable: int
+    workers_lost: int
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    coalesced: int
+    workers: tuple[WorkerReport, ...] = field(default_factory=tuple)
+
+    @property
+    def resolved(self) -> int:
+        return self.completed + self.failed
+
+    def to_dict(self) -> dict:
+        out = {k: v for k, v in self.__dict__.items() if k != "workers"}
+        out["workers"] = [w.to_dict() for w in self.workers]
+        return out
+
+    def to_json(self, **dumps_kwargs) -> str:
+        dumps_kwargs.setdefault("indent", 2)
+        dumps_kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @property
+    def text(self) -> str:
+        lines = [
+            f"cluster[{self.policy}{'+steal' if self.stealing else ''}] "
+            f"{self.n_workers} workers, {self.n_requests} requests: "
+            f"makespan {self.makespan_ms:.3f} ms, "
+            f"imbalance {self.imbalance:.3f}, "
+            f"cache hit rate {self.cache_hit_rate:.1%}",
+            f"  resolved {self.resolved} ({self.completed} ok, {self.failed} failed), "
+            f"steals {self.steal_count} ({self.jobs_stolen} jobs), "
+            f"failovers {self.failovers}, lost workers {self.workers_lost}",
+        ]
+        for w in self.workers:
+            status = "DOWN" if w.dead else "up"
+            lines.append(
+                f"    {w.name:<10} [{status:>4}] busy {w.busy_ms:10.3f} ms "
+                f"(util {w.utilization:5.1%}) served {w.served:>6} "
+                f"stolen in/out {w.jobs_stolen_in}/{w.jobs_stolen_out}"
+            )
+        return "\n".join(lines)
+
+
+def aggregate(
+    *, policy: str, stealing: bool, workers, ledger, stealer, failover,
+    n_requests: int,
+) -> ClusterMetrics:
+    """Fold the run's live objects into a frozen :class:`ClusterMetrics`."""
+    reports = []
+    makespan = max((w.clock_ms for w in workers), default=0.0)
+    busy = [w.clock_ms for w in workers]
+    cache_hits = cache_misses = coalesced = 0
+    for w in workers:
+        sm = w.service.metrics()
+        cache_hits += sm.cache_hits
+        cache_misses += sm.cache_misses
+        coalesced += sm.coalesced
+        reports.append(WorkerReport(
+            name=w.name,
+            device=w.spec.device.name,
+            busy_ms=w.clock_ms,
+            utilization=w.clock_ms / makespan if makespan else 0.0,
+            served=w.served,
+            steals_initiated=w.steals_initiated,
+            jobs_stolen_in=w.jobs_stolen_in,
+            jobs_stolen_out=w.jobs_stolen_out,
+            steal_penalty_ms=w.steal_penalty_ms,
+            dead=w.dead,
+            down_at_ms=w.spec.down_at_ms,
+            lost_in_flight=w.lost_in_flight,
+            service=sm.to_dict(),
+        ))
+    active = [t for t in busy if t > 0.0]
+    mean_busy = sum(active) / len(active) if active else 0.0
+    lookups = cache_hits + cache_misses
+    return ClusterMetrics(
+        policy=policy,
+        stealing=stealing,
+        n_workers=len(workers),
+        n_requests=n_requests,
+        completed=ledger.completed,
+        failed=ledger.failed,
+        duplicate_drops=ledger.duplicate_drops,
+        makespan_ms=makespan,
+        total_busy_ms=sum(busy),
+        imbalance=(max(active) / mean_busy) if mean_busy else 1.0,
+        steal_count=stealer.steal_count if stealer else 0,
+        jobs_stolen=stealer.jobs_stolen if stealer else 0,
+        failovers=failover.failovers,
+        unroutable=failover.unroutable,
+        workers_lost=failover.workers_lost,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        cache_hit_rate=cache_hits / lookups if lookups else 0.0,
+        coalesced=coalesced,
+        workers=tuple(reports),
+    )

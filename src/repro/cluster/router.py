@@ -1,0 +1,83 @@
+"""Request placement: pluggable routing policies over live workers.
+
+The router is the cluster's continuous-scheduling half of the paper's
+balance story: where subwarp scheduling balances *threads inside a
+warp* (Sec. IV-C) and ``repro.core.multi_gpu`` splits *one batch* over
+the GPUs of a machine (Discussion VII-C), the router places an open-
+ended request stream worker by worker, trading cache affinity against
+load balance:
+
+``static_hash``
+    Content-keyed placement (``job_key % n_live``): duplicates of one
+    extension job always land on the same worker, so that worker's
+    private result cache serves them.  Best locality, worst balance —
+    hash placement ignores job cost entirely (the cluster-level
+    analogue of arrival-order warp packing).
+``round_robin``
+    Cyclic placement over live workers: balanced counts, no affinity,
+    still cost-blind.
+``least_loaded``
+    Place on the worker with the earliest *finish estimate* (local
+    clock + estimated backlog drain time) — backlog measured in
+    modeled milliseconds, not request counts, so one multi-kbp PacBio
+    extension weighs as much as the hundreds of short reads it costs.
+``cost_aware``
+    ``least_loaded`` plus the placed job's own estimated cost *on each
+    candidate device* (:meth:`DeviceProfile.estimate_cells_ms` from
+    the gpusim cost model): on heterogeneous clusters this steers
+    long jobs toward fast devices instead of merely idle ones.
+
+Every policy is deterministic: ties break toward the lower worker
+index, and dead workers are skipped at placement time.
+"""
+
+from __future__ import annotations
+
+from ..resilience.errors import CapacityExceeded
+from .worker import ClusterRequest, ClusterWorker
+
+__all__ = ["ROUTING_POLICIES", "Router"]
+
+#: Registered policy names, in documentation order.
+ROUTING_POLICIES = ("static_hash", "round_robin", "least_loaded", "cost_aware")
+
+
+class Router:
+    """Places :class:`ClusterRequest`\\ s on live workers by policy."""
+
+    def __init__(self, policy: str = "least_loaded"):
+        if policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {policy!r}; choose one of {ROUTING_POLICIES}"
+            )
+        self.policy = policy
+        self._rr_next = 0
+        self.placements = 0
+
+    def pick(self, req: ClusterRequest, workers: list[ClusterWorker]) -> ClusterWorker:
+        """The worker *req* should run on (raises when none is live)."""
+        live = [w for w in workers if w.alive]
+        if not live:
+            raise CapacityExceeded(
+                "no live workers left in the cluster to place the request on"
+            )
+        if self.policy == "static_hash":
+            return live[req.key % len(live)]
+        if self.policy == "round_robin":
+            w = live[self._rr_next % len(live)]
+            self._rr_next += 1
+            return w
+        if self.policy == "least_loaded":
+            return min(live, key=lambda w: (w.finish_estimate_ms, w.index))
+        # cost_aware: earliest finish *including this job's* device cost.
+        return min(
+            live,
+            key=lambda w: (w.finish_estimate_ms + w.estimate_ms(req.job), w.index),
+        )
+
+    def place(self, req: ClusterRequest, workers: list[ClusterWorker]) -> ClusterWorker:
+        """Pick a worker and enqueue *req* on its backlog."""
+        w = self.pick(req, workers)
+        w.place(req)
+        self.placements += 1
+        return w

@@ -1,0 +1,153 @@
+"""Work stealing: idle workers take length-bins from backlogged ones.
+
+This is the paper's balance technique lifted one level up.  Inside a
+kernel, a warp retires with its slowest subwarp, so SALoBa packs
+near-equal jobs per warp; inside a cluster, the *makespan* retires
+with the slowest worker, so idle workers must be able to relieve the
+most backlogged one instead of watching it run alone (the situation
+``static_hash`` routing manufactures whenever the hash concentrates
+long jobs).
+
+Mechanics (all deterministic):
+
+* **Victim** — the live worker with the largest estimated backlog in
+  modeled milliseconds, ties toward the lower worker index.
+* **Steal-half, whole bins** — the thief takes whole length-bins from
+  the victim (largest first) until it holds about half the victim's
+  backlog.  Whole bins keep micro-batches homogeneous on the thief and
+  keep in-round duplicates together.  When a single bin *is* most of
+  the backlog, the thief takes the newest half of that bin's queue
+  instead (the victim keeps its oldest work FIFO).
+* **Affinity-penalized** — stolen work pays twice: an explicit
+  migration charge on the thief's clock (modeled sequence re-transfer,
+  ``penalty_ms_per_job``), and an implicit one — the thief's result
+  cache is cold for content routed elsewhere, so duplicates of stolen
+  jobs miss.  A steal only happens when it still wins: the thief must
+  finish the stolen work (penalty included) strictly before the victim
+  would have finished its whole backlog unaided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .worker import ClusterRequest, ClusterWorker
+
+__all__ = ["StealOutcome", "WorkStealer"]
+
+
+@dataclass(frozen=True)
+class StealOutcome:
+    """One successful steal, for the cluster's metrics and log."""
+
+    thief: int
+    victim: int
+    bins: tuple[int, ...]
+    n_jobs: int
+    stolen_ms: float
+    penalty_ms: float
+
+
+class WorkStealer:
+    """Steal-half scheduling between cluster workers."""
+
+    def __init__(self, *, penalty_ms_per_job: float = 0.002,
+                 min_backlog_ms: float = 0.0):
+        if penalty_ms_per_job < 0.0:
+            raise ValueError("steal penalty cannot be negative")
+        self.penalty_ms_per_job = penalty_ms_per_job
+        self.min_backlog_ms = min_backlog_ms
+        self.log: list[StealOutcome] = []
+
+    @property
+    def steal_count(self) -> int:
+        return len(self.log)
+
+    @property
+    def jobs_stolen(self) -> int:
+        return sum(s.n_jobs for s in self.log)
+
+    def _choose_victim(
+        self, thief: ClusterWorker, workers: list[ClusterWorker]
+    ) -> ClusterWorker | None:
+        candidates = [
+            w for w in workers
+            if w.alive and w is not thief and w.backlog_n > 0
+            and w.backlog_ms > self.min_backlog_ms
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda w: (w.backlog_ms, -w.index))
+
+    def _select_bins(
+        self, victim: ClusterWorker
+    ) -> list[tuple[int, int]]:
+        """``(bin_index, n_to_take)`` picks totalling ~half the backlog.
+
+        Whole bins, largest estimated cells first; if the largest bin
+        alone exceeds half, split that bin instead (newest half).
+        """
+        bins = victim.bin_backlog()  # (bin, n, cells), ascending bin order
+        if not bins:
+            return []
+        by_cells = sorted(bins, key=lambda t: (-t[2], t[0]))
+        total_cells = sum(t[2] for t in bins)
+        half = total_cells / 2.0
+        picks: list[tuple[int, int]] = []
+        taken = 0.0
+        for b, n, cells in by_cells:
+            if taken >= half:
+                break
+            if not picks and cells > half:
+                # One dominant bin: steal its newest half (>=1 job),
+                # but never the whole queue when it can be split.
+                n_take = max(n // 2, 1) if n > 1 else 1
+                picks.append((b, n_take))
+                break
+            if taken + cells > half and picks:
+                break
+            picks.append((b, n))
+            taken += cells
+        return picks
+
+    def try_steal(
+        self, thief: ClusterWorker, workers: list[ClusterWorker]
+    ) -> StealOutcome | None:
+        """Attempt one steal into idle *thief*; None when not worth it."""
+        if not thief.alive or thief.backlog_n > 0:
+            return None
+        victim = self._choose_victim(thief, workers)
+        if victim is None:
+            return None
+        picks = self._select_bins(victim)
+        if not picks:
+            return None
+        stolen: list[ClusterRequest] = []
+        for b, n_take in picks:
+            stolen.extend(victim.take_from_bin(b, n_take, tail=True))
+        if not stolen:
+            return None
+        stolen_cells = sum(r.est_cells for r in stolen)
+        stolen_ms = thief.spec.device.estimate_cells_ms(stolen_cells)
+        penalty_ms = self.penalty_ms_per_job * len(stolen)
+        # Net-win guard: the thief must beat the victim's unaided
+        # finish, or the steal is churn (and could ping-pong forever).
+        unaided = victim.finish_estimate_ms + victim.spec.device.estimate_cells_ms(
+            stolen_cells
+        )
+        if thief.clock_ms + penalty_ms + stolen_ms >= unaided:
+            for r in stolen:  # put it back, newest at the tail again
+                victim.place(r)
+            return None
+        victim.jobs_stolen_out += len(stolen)
+        thief.receive_stolen(stolen, penalty_ms)
+        outcome = StealOutcome(
+            thief=thief.index,
+            victim=victim.index,
+            bins=tuple(b for b, _ in picks),
+            n_jobs=len(stolen),
+            stolen_ms=stolen_ms,
+            penalty_ms=penalty_ms,
+        )
+        self.log.append(outcome)
+        return outcome

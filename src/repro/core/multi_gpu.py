@@ -49,7 +49,17 @@ class MultiGpuResult:
 
     @property
     def imbalance(self) -> float:
-        mean = sum(self.per_device_ms) / len(self.per_device_ms)
+        """``max/mean - 1`` over the devices that received work.
+
+        Idle devices (empty shards when ``n_devices > len(jobs)``)
+        report 0.0 ms but are excluded from the mean: a perfect split
+        of 2 jobs across 5 devices is balanced work, not a 150%
+        imbalance among three idle cards.
+        """
+        active = [t for t in self.per_device_ms if t > 0.0]
+        if not active:
+            return 0.0
+        mean = sum(active) / len(active)
         return self.makespan_ms / mean - 1.0 if mean else 0.0
 
 
@@ -71,7 +81,9 @@ def split_jobs(
             buckets[i % n_devices].append(j)
     else:  # sorted: greedy longest-first onto least-loaded
         costs = np.array([j.cells for j in jobs], dtype=np.int64)
-        order = np.argsort(costs)[::-1]
+        # Stable sort on negated cost: equal-cost jobs keep their input
+        # order, so reruns (and re-shardings) are reproducible.
+        order = np.argsort(-costs, kind="stable")
         load = [0] * n_devices
         for i in order:
             d = int(np.argmin(load))

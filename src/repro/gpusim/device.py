@@ -129,6 +129,21 @@ class DeviceProfile:
         """Convert SM cycles to wall seconds at the profile clock."""
         return cycles / (self.clock_ghz * 1e9)
 
+    def estimate_cells_ms(self, cells: float) -> float:
+        """Closed-form estimate of the time to align *cells* DP cells.
+
+        A compute-roofline-only approximation — cells times the shared
+        per-cell ALU budget over peak integer throughput — used by
+        schedulers that need a *ranking* of devices and backlogs (the
+        cluster's ``least_loaded``/``cost_aware`` routing and steal
+        victim selection) without paying for a full timing-model run
+        per request.  It deliberately ignores occupancy, memory, and
+        launch overhead: relative ordering, not absolute fidelity.
+        """
+        from .costs import DEFAULT_COSTS  # leaf module; avoids import-order knots
+
+        return cells * DEFAULT_COSTS.ops_per_cell / self.peak_int_ops_per_s * 1e3
+
     def scaled(self, *, name: str | None = None, compute: float = 1.0,
                bandwidth: float = 1.0, memory: float = 1.0) -> "DeviceProfile":
         """A hypothetical derivative of this device.

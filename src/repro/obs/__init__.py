@@ -36,6 +36,8 @@ from .export import (
     RollupRow,
     chrome_trace,
     chrome_trace_json,
+    merged_chrome_trace,
+    merged_chrome_trace_json,
     rollup,
     validate_chrome_trace,
 )
@@ -50,6 +52,8 @@ __all__ = [
     "trace_launch",
     "chrome_trace",
     "chrome_trace_json",
+    "merged_chrome_trace",
+    "merged_chrome_trace_json",
     "validate_chrome_trace",
     "rollup",
     "Rollup",

@@ -31,6 +31,8 @@ from .tracer import Span, Tracer
 __all__ = [
     "chrome_trace",
     "chrome_trace_json",
+    "merged_chrome_trace",
+    "merged_chrome_trace_json",
     "validate_chrome_trace",
     "RollupRow",
     "Rollup",
@@ -38,7 +40,7 @@ __all__ = [
 ]
 
 
-def _complete_event(span: Span) -> dict:
+def _complete_event(span: Span, tid: int = 1) -> dict:
     return {
         "name": span.name,
         "cat": span.category,
@@ -46,12 +48,12 @@ def _complete_event(span: Span) -> dict:
         "ts": span.start_ms * 1e3,  # trace-event timestamps are in us
         "dur": span.duration_ms * 1e3,
         "pid": 1,
-        "tid": 1,
+        "tid": tid,
         "args": dict(span.attrs),
     }
 
 
-def _instant_event(span: Span, event) -> dict:
+def _instant_event(span: Span, event, tid: int = 1) -> dict:
     return {
         "name": event.name,
         "cat": span.category,
@@ -59,7 +61,7 @@ def _instant_event(span: Span, event) -> dict:
         "ts": event.ts_ms * 1e3,
         "s": "t",  # thread-scoped instant
         "pid": 1,
-        "tid": 1,
+        "tid": tid,
         "args": dict(event.attrs),
     }
 
@@ -85,6 +87,46 @@ def chrome_trace_json(tracer: Tracer, *, process_name: str = "repro") -> str:
     """Byte-stable JSON text of :func:`chrome_trace` (sorted keys,
     fixed separators; identical reruns produce identical bytes)."""
     payload = chrome_trace(tracer, process_name=process_name)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def merged_chrome_trace(
+    tracers: list[tuple[str, Tracer]], *, process_name: str = "repro cluster"
+) -> dict:
+    """Several tracers as one trace: one named thread per tracer.
+
+    The cluster exporter: every worker records its own span tree on
+    its own modeled timeline, and the merged view lays them out as
+    parallel threads of one process so a trace viewer shows the
+    cluster schedule the way a real multi-GPU timeline tool would —
+    steals and failovers visible as gaps and migrations between
+    threads.  Tracers are emitted in list order with ``tid`` 1..N, so
+    the export is a deterministic function of the input.
+    """
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 1,
+         "args": {"name": process_name}},
+    ]
+    for i, (name, _) in enumerate(tracers):
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": i + 1,
+             "args": {"name": name}}
+        )
+    for i, (_, tracer) in enumerate(tracers):
+        tid = i + 1
+        for root in tracer.finish():
+            for span in root.walk():
+                events.append(_complete_event(span, tid))
+                for ev in span.events:
+                    events.append(_instant_event(span, ev, tid))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def merged_chrome_trace_json(
+    tracers: list[tuple[str, Tracer]], *, process_name: str = "repro cluster"
+) -> str:
+    """Byte-stable JSON text of :func:`merged_chrome_trace`."""
+    payload = merged_chrome_trace(tracers, process_name=process_name)
     return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
 
 

@@ -20,6 +20,7 @@ from .errors import (
     AlignmentError,
     CapacityExceeded,
     DeadlineExceeded,
+    DeviceDown,
     DeviceFault,
     InputError,
     JobRejected,
@@ -43,7 +44,7 @@ def __getattr__(name: str):
 
 __all__ = [
     "AlignmentError", "JobRejected", "InputError",
-    "DeviceFault", "CapacityExceeded", "DeadlineExceeded",
+    "DeviceFault", "DeviceDown", "CapacityExceeded", "DeadlineExceeded",
     "FaultPlan", "FaultDecision", "job_key",
     "RetryPolicy",
     "FailureRecord", "FailureReport",

@@ -84,3 +84,17 @@ class CapacityExceeded(AlignmentError, ValueError):
 class DeadlineExceeded(AlignmentError, TimeoutError):
     """Work was abandoned because the per-call deadline budget ran out
     before it could be (re)scheduled."""
+
+
+class DeviceDown(DeviceFault):
+    """A whole (modeled) device left the pool mid-run.
+
+    Unlike a per-job :class:`DeviceFault`, this is a *worker-level*
+    fault: every job queued on or in flight to the device is affected
+    at once.  The cluster layer responds by re-routing the orphaned
+    requests to replica workers (see ``repro.cluster.failover``);
+    requests that cannot be re-homed anywhere surface with this class.
+    """
+
+    def __init__(self, message: str, *, kind: str = "device_down"):
+        super().__init__(message, transient=False, kind=kind)

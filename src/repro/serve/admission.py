@@ -52,19 +52,28 @@ class AdmissionQueue:
     def queued_cells(self) -> int:
         return self._cells
 
-    def admits(self, request: AlignmentRequest) -> str | None:
-        """Why *request* must be rejected (None = admitted)."""
+    def admits_job(self, job) -> str | None:
+        """Why a request for *job* must be rejected (None = admitted).
+
+        Takes the bare job so callers can check admission *before*
+        minting a request id / handle: a rejected submission must not
+        consume any identifier or metrics slot.
+        """
         if len(self._heap) >= self.max_depth:
             return (
                 f"admission queue full ({self.max_depth} pending requests); "
                 "drain the service or raise max_queue_depth"
             )
-        if self.max_cells is not None and self._cells + request.job.cells > self.max_cells:
+        if self.max_cells is not None and self._cells + job.cells > self.max_cells:
             return (
                 f"admission queue work budget full ({self._cells} of "
                 f"{self.max_cells} DP cells pending)"
             )
         return None
+
+    def admits(self, request: AlignmentRequest) -> str | None:
+        """Why *request* must be rejected (None = admitted)."""
+        return self.admits_job(request.job)
 
     def offer(self, request: AlignmentRequest) -> None:
         """Enqueue *request* or raise :class:`CapacityExceeded`."""

@@ -191,27 +191,31 @@ class AlignmentService:
                             deadline_ms=deadline_ms, reject_raises=False)
 
     def _submit(self, query, ref, *, priority, deadline_ms, reject_raises):
-        self._recorder.submitted += 1
-        handle = self._new_handle()
         try:
             job = ExtensionJob(ref=encode(ref), query=encode(query))
         except (AlignmentError, ValueError, TypeError) as exc:
             name = type(exc).__name__ if isinstance(exc, AlignmentError) else "JobRejected"
+            self._recorder.submitted += 1
+            handle = self._new_handle()
             record = FailureRecord(handle.request_id, name, str(exc), attempts=0)
             handle._fail(record, completed_ms=self.clock_ms, wait_ms=0.0)
             self._recorder.record_failure(name, 0.0)
             return handle
-        request = AlignmentRequest(
-            job=job, handle=handle, priority=priority, deadline_ms=deadline_ms
-        )
-        why = self.queue.admits(request)
+        # Admission is checked before any id or metrics slot is
+        # allocated: a rejected submission never becomes a request, so
+        # the accepted subset of a stream gets the same ids whether or
+        # not rejections were interleaved.
+        why = self.queue.admits_job(job)
         if why is not None:
             self._recorder.rejected += 1
-            self._recorder.submitted -= 1  # never became a request
-            self._next_id -= 1
             if reject_raises:
                 raise CapacityExceeded(why)
             return None
+        self._recorder.submitted += 1
+        handle = self._new_handle()
+        request = AlignmentRequest(
+            job=job, handle=handle, priority=priority, deadline_ms=deadline_ms
+        )
         self.queue.offer(request)
         return handle
 

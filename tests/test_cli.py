@@ -24,6 +24,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--subwarp", "5"])
 
+    def test_cluster_bench_args(self):
+        args = build_parser().parse_args(
+            ["cluster-bench", "--workers", "3", "--policy", "static_hash"]
+        )
+        assert args.command == "cluster-bench"
+        assert args.workers == 3 and args.policy == "static_hash"
+
 
 class TestCommands:
     def test_align(self, capsys):
@@ -53,6 +60,21 @@ class TestCommands:
     def test_experiment_table2(self, capsys):
         assert main(["experiment", "table2"]) == 0
         assert "TABLE II" in capsys.readouterr().out
+
+    def test_cluster_bench_small(self, tmp_path, capsys):
+        out_path = tmp_path / "cluster.json"
+        assert main([
+            "cluster-bench", "--requests", "120", "--workers", "2",
+            "--policy", "static_hash", "--scored-pairs", "4",
+            "--out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out and "static_hash" in out
+        assert out_path.exists()
+
+    def test_cluster_bench_unknown_policy(self, capsys):
+        assert main(["cluster-bench", "--policy", "nope"]) == 2
+        assert "unknown policy" in capsys.readouterr().err
 
     def test_tune_fasta(self, tmp_path, capsys, rng):
         reads = [(f"r{i}", rng.integers(0, 4, 150).astype(np.uint8)) for i in range(40)]

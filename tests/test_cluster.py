@@ -1,0 +1,441 @@
+"""Tests for repro.cluster: routing, stealing, failover, and the
+determinism contract (scores never depend on the schedule; metric
+snapshots are byte-identical across reruns; with a worker dying
+mid-run every request still resolves exactly once)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ROUTING_POLICIES,
+    AlignmentCluster,
+    Router,
+    SettlementLedger,
+    WorkerSpec,
+    WorkStealer,
+)
+from repro.cluster.bench import run_cluster_bench
+from repro.cluster.cluster import ClusterRequest
+from repro.cluster.worker import ClusterWorker
+from repro.gpusim import GTX1650, RTX3090
+from repro.resilience import CapacityExceeded, DeviceDown, FaultPlan, JobRejected
+from repro.resilience.report import FailureRecord
+from repro.serve.bench import mixed_stream
+from repro.serve.request import RequestHandle
+
+
+def _pairs(rng, n, lo=24, hi=60):
+    return [
+        (rng.integers(0, 4, int(rng.integers(lo, hi))).astype(np.uint8),
+         rng.integers(0, 4, int(rng.integers(lo, hi))).astype(np.uint8))
+        for _ in range(n)
+    ]
+
+
+def _with_duplicates(rng, pairs, n_dups):
+    return pairs + [pairs[int(i)] for i in rng.integers(0, len(pairs), n_dups)]
+
+
+def _specs(n, **kw):
+    return [WorkerSpec(f"w{i}", **kw) for i in range(n)]
+
+
+def _submit_all(cluster, pairs):
+    return [cluster.submit(q, r) for q, r in pairs]
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: schedule-independence of results
+# ---------------------------------------------------------------------------
+
+
+class TestScoreFidelity:
+    def test_scores_bit_identical_across_policies_and_stealing(self, rng):
+        pairs = _with_duplicates(rng, _pairs(rng, 30), 15)
+        reference = None
+        for policy in ROUTING_POLICIES:
+            for stealing in (False, True):
+                cl = AlignmentCluster(
+                    _specs(3), policy=policy, stealing=stealing
+                )
+                handles = _submit_all(cl, pairs)
+                m = cl.run()
+                assert m.completed == len(pairs) and m.failed == 0
+                scores = [h.result().score for h in handles]
+                ends = [(h.result().ref_end, h.result().query_end) for h in handles]
+                if reference is None:
+                    reference = (scores, ends)
+                else:
+                    assert (scores, ends) == reference, (policy, stealing)
+
+    def test_single_worker_matches_service_semantics(self, rng):
+        cl = AlignmentCluster([WorkerSpec("solo")], stealing=False)
+        h = cl.submit("ACGTACGTAC", "ACGTACGTAC")
+        m = cl.run()
+        assert h.result().score == 10
+        assert m.completed == 1 and m.makespan_ms > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: exactly-once settlement under device_down
+# ---------------------------------------------------------------------------
+
+
+class TestFailover:
+    def test_device_down_every_request_resolves_exactly_once(self, rng):
+        pairs = _with_duplicates(rng, _pairs(rng, 40), 20)
+        cl = AlignmentCluster(
+            [WorkerSpec("w0", down_at_ms=0.02), WorkerSpec("w1"), WorkerSpec("w2")],
+            policy="static_hash", stealing=True,
+        )
+        handles = _submit_all(cl, pairs)
+        m = cl.run()
+        assert all(h.done for h in handles)  # none lost
+        assert m.completed + m.failed == len(pairs)
+        assert m.duplicate_drops == 0  # none settled twice
+        assert cl.ledger.settled == len(pairs)
+        assert m.workers_lost == 1 and m.failovers > 0
+        assert m.workers[0].dead
+        # the dead worker's in-flight batch was discarded, not settled
+        assert m.workers[0].lost_in_flight > 0
+        assert m.workers[0].busy_ms == pytest.approx(0.02)
+
+    def test_failed_over_scores_match_healthy_run(self, rng):
+        pairs = _with_duplicates(rng, _pairs(rng, 25), 10)
+        healthy = AlignmentCluster(_specs(3), policy="static_hash")
+        hs = _submit_all(healthy, pairs)
+        healthy.run()
+        want = [h.result().score for h in hs]
+
+        cl = AlignmentCluster(
+            [WorkerSpec("w0", down_at_ms=0.01), WorkerSpec("w1"), WorkerSpec("w2")],
+            policy="static_hash",
+        )
+        hs2 = _submit_all(cl, pairs)
+        m = cl.run()
+        assert m.failed == 0
+        assert [h.result().score for h in hs2] == want
+
+    def test_all_workers_down_fails_everything_once(self, rng):
+        pairs = _pairs(rng, 12)
+        cl = AlignmentCluster(
+            [WorkerSpec("a", down_at_ms=0.001), WorkerSpec("b", down_at_ms=0.001)]
+        )
+        handles = _submit_all(cl, pairs)
+        m = cl.run()
+        assert all(h.done and not h.ok for h in handles)
+        assert m.failed == len(pairs) and m.completed == 0
+        assert m.duplicate_drops == 0 and m.unroutable > 0
+        with pytest.raises(DeviceDown):
+            handles[0].result()
+
+    def test_dead_on_arrival_worker_gets_no_placements(self, rng):
+        pairs = _pairs(rng, 10)
+        cl = AlignmentCluster(
+            [WorkerSpec("dead", down_at_ms=0.0), WorkerSpec("live")],
+            policy="round_robin",
+        )
+        _submit_all(cl, pairs)
+        m = cl.run()
+        assert m.completed == len(pairs)
+        assert m.workers[0].served == 0 and m.workers[1].served == len(pairs)
+
+    def test_no_live_workers_at_submit_fails_with_capacity(self):
+        cl = AlignmentCluster([WorkerSpec("dead", down_at_ms=0.0)])
+        h = cl.submit("ACGT", "ACGT")
+        assert h.done and not h.ok
+        with pytest.raises(CapacityExceeded):
+            h.result()
+
+    def test_worker_faults_compose_with_cluster(self, rng):
+        # Per-job transient faults (resilience layer) recover inside
+        # the worker's service; the cluster still settles everything.
+        pairs = _pairs(rng, 16)
+        cl = AlignmentCluster(
+            [WorkerSpec("f", fault_plan=FaultPlan(seed=3, transient_rate=0.5)),
+             WorkerSpec("ok")],
+            policy="round_robin",
+        )
+        handles = _submit_all(cl, pairs)
+        m = cl.run()
+        assert all(h.done for h in handles)
+        assert m.completed + m.failed == len(pairs)
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: deterministic snapshots
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def _run(self):
+        jobs = mixed_stream(250, b_fraction=0.25, duplicate_fraction=0.3, seed=5)
+        cl = AlignmentCluster(
+            _specs(4), compute_scores=False,
+            policy="least_loaded", stealing=True, trace=True,
+        )
+        cl.submit_jobs(jobs)
+        cl.run()
+        return cl
+
+    def test_metrics_snapshot_byte_identical_across_reruns(self):
+        a, b = self._run(), self._run()
+        assert a.metrics().to_json() == b.metrics().to_json()
+
+    def test_merged_trace_byte_identical_across_reruns(self):
+        a, b = self._run(), self._run()
+        ta, tb = a.merged_trace_json(), b.merged_trace_json()
+        assert ta == tb
+        events = json.loads(ta)["traceEvents"]
+        # one named thread lane per worker
+        names = {e["args"]["name"] for e in events if e.get("name") == "thread_name"}
+        assert names == {f"w{i}" for i in range(4)}
+
+    def test_untraced_cluster_has_no_trace(self):
+        cl = AlignmentCluster(_specs(2))
+        with pytest.raises(ValueError, match="trace=False"):
+            cl.merged_trace_json()
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: stealing closes the static_hash imbalance gap
+# ---------------------------------------------------------------------------
+
+
+class TestStealingWins:
+    def test_stealing_reduces_makespan_and_imbalance_vs_static_hash(self):
+        jobs = mixed_stream(300, b_fraction=0.25, duplicate_fraction=0.25, seed=7)
+
+        def run(stealing):
+            cl = AlignmentCluster(
+                _specs(4), compute_scores=False,
+                policy="static_hash", stealing=stealing,
+            )
+            cl.submit_jobs(jobs)
+            return cl.run()
+
+        base, stolen = run(False), run(True)
+        assert base.completed == stolen.completed == len(jobs)
+        assert stolen.steal_count > 0
+        assert stolen.makespan_ms < base.makespan_ms
+        assert stolen.imbalance < base.imbalance
+
+    def test_stealing_noop_on_balanced_single_worker(self, rng):
+        cl = AlignmentCluster([WorkerSpec("solo")], stealing=True)
+        _submit_all(cl, _pairs(rng, 8))
+        m = cl.run()
+        assert m.steal_count == 0 and m.completed == 8
+
+
+# ---------------------------------------------------------------------------
+# Unit: router
+# ---------------------------------------------------------------------------
+
+
+def _bare_worker(i, name=None, device=GTX1650, **kw):
+    return ClusterWorker(i, WorkerSpec(name or f"w{i}", device=device, **kw),
+                         compute_scores=False)
+
+
+def _req(rng, request_id, n=32, key=None):
+    from repro.baselines.base import ExtensionJob
+
+    job = ExtensionJob(
+        ref=rng.integers(0, 4, n).astype(np.uint8),
+        query=rng.integers(0, 4, n).astype(np.uint8),
+    )
+    return ClusterRequest(
+        job=job, handle=RequestHandle(request_id),
+        key=key if key is not None else request_id,
+        est_cells=job.cells,
+    )
+
+
+class TestRouter:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown routing policy"):
+            Router("fastest_first")
+
+    def test_static_hash_is_affine(self, rng):
+        workers = [_bare_worker(i) for i in range(3)]
+        r = Router("static_hash")
+        picks = {r.pick(_req(rng, i, key=42), workers).index for i in range(5)}
+        assert len(picks) == 1  # same content key -> same worker, always
+
+    def test_round_robin_cycles_live_workers(self, rng):
+        workers = [_bare_worker(i) for i in range(3)]
+        workers[1].dead = True
+        r = Router("round_robin")
+        seq = [r.pick(_req(rng, i), workers).index for i in range(4)]
+        assert seq == [0, 2, 0, 2]
+
+    def test_least_loaded_prefers_earliest_finish(self, rng):
+        workers = [_bare_worker(0), _bare_worker(1)]
+        workers[0].clock_ms = 5.0
+        r = Router("least_loaded")
+        assert r.pick(_req(rng, 0), workers).index == 1
+
+    def test_cost_aware_prefers_faster_device_when_idle(self, rng):
+        slow = _bare_worker(0, device=GTX1650)
+        fast = _bare_worker(1, device=RTX3090)
+        r = Router("cost_aware")
+        # Both idle: the job itself is cheaper on the faster device.
+        assert r.pick(_req(rng, 0, n=500), [slow, fast]) is fast
+
+    def test_no_live_workers_raises(self, rng):
+        w = _bare_worker(0)
+        w.dead = True
+        with pytest.raises(CapacityExceeded):
+            Router("least_loaded").pick(_req(rng, 0), [w])
+
+
+# ---------------------------------------------------------------------------
+# Unit: work stealer
+# ---------------------------------------------------------------------------
+
+
+class TestWorkStealer:
+    def test_idle_thief_steals_about_half(self, rng):
+        victim, thief = _bare_worker(0), _bare_worker(1)
+        for i in range(20):
+            victim.place(_req(rng, i, n=64))
+        # tiny test jobs need a tiny migration charge, or the net-win
+        # guard (correctly) rejects the steal as pure overhead
+        out = WorkStealer(penalty_ms_per_job=1e-9).try_steal(thief, [victim, thief])
+        assert out is not None
+        assert out.victim == 0 and out.thief == 1
+        assert 1 <= thief.backlog_n <= victim.backlog_n + 1
+        assert victim.backlog_n + thief.backlog_n == 20
+        assert thief.steal_penalty_ms > 0.0
+        assert thief.clock_ms == pytest.approx(out.penalty_ms)
+
+    def test_busy_thief_does_not_steal(self, rng):
+        victim, thief = _bare_worker(0), _bare_worker(1)
+        for i in range(10):
+            victim.place(_req(rng, i))
+        thief.place(_req(rng, 99))
+        assert WorkStealer().try_steal(thief, [victim, thief]) is None
+
+    def test_net_win_guard_blocks_pointless_steal(self, rng):
+        victim, thief = _bare_worker(0), _bare_worker(1)
+        for i in range(4):
+            victim.place(_req(rng, i, n=32))
+        thief.clock_ms = 1e6  # far ahead: stealing can't beat the victim
+        assert WorkStealer().try_steal(thief, [victim, thief]) is None
+        assert victim.backlog_n == 4  # put back untouched
+
+    def test_victim_keeps_oldest_work(self, rng):
+        victim, thief = _bare_worker(0), _bare_worker(1)
+        reqs = [_req(rng, i, n=40) for i in range(8)]
+        for r in reqs:
+            victim.place(r)
+        WorkStealer(penalty_ms_per_job=1e-9).try_steal(thief, [victim, thief])
+        kept = [r.request_id for b, n, _ in victim.bin_backlog()
+                for r in victim.take_from_bin(b, n, tail=False)]
+        # stolen requests are the newest: the kept ids are a prefix
+        assert kept == list(range(len(kept)))
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            WorkStealer(penalty_ms_per_job=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Unit: settlement ledger
+# ---------------------------------------------------------------------------
+
+
+class TestSettlementLedger:
+    def test_second_settlement_is_dropped(self, rng):
+        ledger = SettlementLedger()
+        req = _req(rng, 7)
+        assert ledger.settle_ok(req, None, completed_ms=1.0,
+                                service_ms=0.5, from_cache=False)
+        assert not ledger.settle_fail(
+            req, FailureRecord(7, "DeviceDown", "late duplicate"),
+            completed_ms=2.0,
+        )
+        assert req.handle.ok  # first settlement won
+        assert ledger.completed == 1 and ledger.failed == 0
+        assert ledger.duplicate_drops == 1 and ledger.settled == 1
+
+    def test_fail_then_ok_keeps_failure(self, rng):
+        ledger = SettlementLedger()
+        req = _req(rng, 3)
+        ledger.settle_fail(req, FailureRecord(3, "DeviceDown", "gone"),
+                           completed_ms=1.0)
+        assert not ledger.settle_ok(req, None, completed_ms=2.0,
+                                    service_ms=0.1, from_cache=False)
+        assert not req.handle.ok and ledger.duplicate_drops == 1
+
+
+# ---------------------------------------------------------------------------
+# Cluster facade edges
+# ---------------------------------------------------------------------------
+
+
+class TestClusterEdges:
+    def test_needs_workers(self):
+        with pytest.raises(ValueError, match="at least one worker"):
+            AlignmentCluster([])
+
+    def test_worker_names_must_be_unique(self):
+        with pytest.raises(ValueError, match="unique"):
+            AlignmentCluster([WorkerSpec("w"), WorkerSpec("w")])
+
+    def test_malformed_submission_fails_immediately(self):
+        cl = AlignmentCluster(_specs(2))
+        h = cl.submit(np.array([9, 9], dtype=np.int64), "ACGT")
+        assert h.done and not h.ok
+        with pytest.raises(JobRejected):
+            h.result()
+        m = cl.run()
+        assert m.failed == 1 and m.duplicate_drops == 0
+
+    def test_empty_sequence_quarantined_at_dispatch(self):
+        cl = AlignmentCluster(_specs(2))
+        h = cl.submit("", "ACGT")
+        cl.run()
+        assert h.done and not h.ok and h.failure.error == "JobRejected"
+
+    def test_run_idempotent_when_drained(self, rng):
+        cl = AlignmentCluster(_specs(2))
+        _submit_all(cl, _pairs(rng, 4))
+        m1 = cl.run()
+        m2 = cl.run()  # nothing pending: a no-op snapshot
+        assert m1.to_json() == m2.to_json()
+
+    def test_duplicates_coalesce_under_static_hash(self, rng):
+        pairs = _pairs(rng, 10)
+        cl = AlignmentCluster(_specs(3), policy="static_hash", stealing=False)
+        _submit_all(cl, pairs + pairs)  # every job twice
+        m = cl.run()
+        assert m.completed == 20
+        # affinity keeps both copies on one worker: they dedup there
+        assert m.coalesced + m.cache_hits == 10
+
+
+# ---------------------------------------------------------------------------
+# Benchmark harness
+# ---------------------------------------------------------------------------
+
+
+class TestClusterBench:
+    def test_bench_runs_and_is_deterministic(self):
+        kw = dict(n_workers=3, seed=1, scored_pairs=6)
+        a = run_cluster_bench(200, **kw)
+        b = run_cluster_bench(200, **kw)
+        assert a.scored_identical
+        assert len(a.rows) == 2 * len(ROUTING_POLICIES)
+        assert all(r["completed"] == a.n_requests for r in a.rows)
+        assert a.to_json() == b.to_json()
+
+    def test_bench_single_policy_subset(self):
+        res = run_cluster_bench(
+            120, n_workers=2, seed=0, scored_pairs=0,
+            policies=("static_hash",),
+        )
+        assert [r["policy"] for r in res.rows] == ["static_hash"] * 2
+        assert res.scored_checked == 0 and res.scored_identical

@@ -29,6 +29,35 @@ class TestMultiGpuErrors:
         assert len(res.per_device_ms) == 4
         assert res.per_device_ms.count(0.0) == 2  # two devices idle
 
+    def test_idle_devices_do_not_skew_imbalance(self, rng):
+        # Two identical jobs on five devices is a perfect split of the
+        # available work; the three idle cards must not drag the mean
+        # down and report a phantom 150% imbalance.
+        jobs = make_jobs([(rng.integers(0, 4, 64).astype(np.uint8),) * 2 for _ in range(2)])
+        res = run_multi_gpu(SalobaKernel(), jobs, [GTX1650] * 5, policy="round_robin")
+        assert res.per_device_ms.count(0.0) == 3
+        assert res.imbalance == pytest.approx(0.0)
+        assert res.makespan_ms == max(res.per_device_ms)
+
+    def test_empty_batch_reports_zero_imbalance(self):
+        res = run_multi_gpu(SalobaKernel(), [], [GTX1650] * 3)
+        assert res.makespan_ms == 0.0 and res.imbalance == 0.0
+
+    def test_sorted_policy_tie_break_is_stable(self, rng):
+        from repro.core import split_jobs
+
+        # Equal-cost jobs: the stable sort keeps input order, so the
+        # greedy deal is a plain round-robin over the input — the same
+        # sharding on every rerun.
+        jobs = make_jobs(
+            [(rng.integers(0, 4, 64).astype(np.uint8),) * 2 for _ in range(8)]
+        )
+        idx = {id(j): i for i, j in enumerate(jobs)}
+        buckets = split_jobs(jobs, 3, policy="sorted")
+        assert [[idx[id(j)] for j in b] for b in buckets] == [
+            [0, 3, 6], [1, 4, 7], [2, 5],
+        ]
+
 
 class TestExperimentResult:
     def test_str_is_text(self):

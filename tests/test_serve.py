@@ -145,6 +145,36 @@ class TestService:
         with pytest.raises(DeadlineExceeded):
             timed.result()
 
+    def test_submit_jobs_propagates_priority_across_bins(self, rng):
+        # Bulk submissions carry their priority through binning: the
+        # high-priority batch dispatches first even though its jobs
+        # land in different length bins (and thus different
+        # micro-batches inside the round).
+        svc = AlignmentService(coalesce_window=2)
+        short = make_jobs(_pairs(rng, 3))
+        long_job = make_jobs(
+            [(rng.integers(0, 4, 600).astype(np.uint8),
+              rng.integers(0, 4, 620).astype(np.uint8))]
+        )[0]
+        low = svc.submit_jobs(short[:2], priority=0)
+        high = svc.submit_jobs([short[2], long_job], priority=5)
+        assert svc.binner.bin_index(short[2]) != svc.binner.bin_index(long_job)
+        svc.drain()
+        assert all(h.done for h in high)
+        assert not any(h.done for h in low)
+        svc.flush()
+        assert all(h.done for h in low)
+
+    def test_submit_jobs_propagates_deadline(self, rng):
+        svc = AlignmentService(coalesce_window=1)
+        jobs = make_jobs(_pairs(rng, 2))
+        svc.submit_jobs(jobs[:1], priority=1)
+        timed = svc.submit_jobs(jobs[1:], priority=0, deadline_ms=1e-9)
+        svc.drain()  # serves the priority-1 job, advancing the clock
+        svc.drain()
+        assert timed[0].done and not timed[0].ok
+        assert timed[0].failure.error == "DeadlineExceeded"
+
     def test_wait_and_service_times_accumulate(self, rng):
         svc = AlignmentService(coalesce_window=1)
         handles = _submit_pairs(svc, _pairs(rng, 3))
@@ -185,6 +215,22 @@ class TestAdmission:
             svc.submit("A" * 400, "C" * 400)
         assert small is not None
         assert svc.metrics().rejected == 1
+
+    def test_rejected_try_submit_consumes_no_request_id(self, rng):
+        # A rejected submission must leave no trace beyond the
+        # rejection counter: the accepted subset of a stream gets the
+        # same request ids whether or not rejections were interleaved.
+        pairs = _pairs(rng, 4)
+        svc = AlignmentService(max_queue_depth=2)
+        accepted = _submit_pairs(svc, pairs[:2])
+        q, r = pairs[2]
+        assert svc.try_submit(q, r) is None
+        m = svc.metrics()
+        assert m.rejected == 1 and m.submitted == 2
+        svc.flush()
+        q, r = pairs[3]
+        late = svc.submit(q, r)
+        assert [h.request_id for h in accepted + [late]] == [0, 1, 2]
 
 
 # ---------------------------------------------------------------------------
