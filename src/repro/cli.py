@@ -40,6 +40,7 @@ from .align import ScoringScheme, align_with_traceback, sw_align
 from .baselines import all_baselines, make_jobs
 from .bench.experiments import EXPERIMENTS, run_experiment
 from .core import SUBWARP_SIZES, SalobaConfig, SalobaKernel
+from .engine import engine_names
 from .gpusim import known_devices
 from .resilience import AlignmentError, FaultPlan
 from .seqs import read_fasta, read_fastq
@@ -109,6 +110,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dataset-B-shaped share of the unique jobs")
     p_srv.add_argument("--seed", type=int, default=0)
     p_srv.add_argument("--device", default="GTX1650", choices=sorted(known_devices()))
+    p_srv.add_argument("--engine", default="reference", choices=engine_names(),
+                       help="exact-scoring backend for the service run "
+                            "(scores identical either way; see repro.engine)")
     p_srv.add_argument("--out", default=None, help="write the JSON result here")
     p_srv.add_argument("--trace", default=None, metavar="FILE",
                        help="also export a Chrome trace of the service run")
@@ -148,6 +152,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "(the skew that unbalances hash placement)")
     p_cl.add_argument("--seed", type=int, default=0)
     p_cl.add_argument("--device", default="GTX1650", choices=sorted(known_devices()))
+    p_cl.add_argument("--engine", default="reference", choices=engine_names(),
+                      help="exact-scoring backend on every worker "
+                           "(scores identical either way; see repro.engine)")
     p_cl.add_argument("--scored-pairs", type=int, default=24,
                       help="scored fidelity-check workload size (0 skips it)")
     p_cl.add_argument("--out", default=None, metavar="FILE",
@@ -309,6 +316,7 @@ def _cmd_serve_bench(args) -> int:
         seed=args.seed,
         device=known_devices()[args.device],
         tracer=tracer,
+        engine=args.engine,
     )
     print(res.text)
     if args.out:
@@ -386,6 +394,7 @@ def _cmd_cluster_bench(args) -> int:
         device=known_devices()[args.device],
         policies=policies,
         scored_pairs=args.scored_pairs,
+        engine=args.engine,
     )
     print(res.text)
     if args.out:

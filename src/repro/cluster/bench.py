@@ -104,6 +104,7 @@ def _fidelity_check(
     n_workers: int,
     n: int,
     seed: int,
+    engine=None,
 ) -> tuple[int, bool]:
     """Scores must be bit-identical under every schedule.
 
@@ -132,6 +133,7 @@ def _fidelity_check(
             [WorkerSpec(f"w{i}", device=device) for i in range(n_workers)],
             scoring=scoring, config=config,
             policy=policy, stealing=stealing,
+            engine=engine,
         )
         handles = cl.submit_jobs(jobs)
         cl.run()
@@ -156,6 +158,7 @@ def run_cluster_bench(
     policies: tuple[str, ...] = ROUTING_POLICIES,
     steal_penalty_ms_per_job: float = 0.002,
     scored_pairs: int = 24,
+    engine=None,
 ) -> ClusterBenchResult:
     """Compare routing policies x stealing on one skewed workload."""
     if n_workers < 1:
@@ -207,7 +210,7 @@ def run_cluster_bench(
 
     checked, identical = _fidelity_check(
         scoring, config, device, combos,
-        n_workers=n_workers, n=scored_pairs, seed=seed,
+        n_workers=n_workers, n=scored_pairs, seed=seed, engine=engine,
     )
     return ClusterBenchResult(
         n_requests=len(stream),

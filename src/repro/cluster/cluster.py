@@ -72,6 +72,12 @@ class AlignmentCluster:
         Give every worker its own :class:`~repro.obs.Tracer`;
         :meth:`merged_trace_json` then exports one chrome trace with a
         thread lane per worker.
+    engine:
+        Cluster-wide default exact-scoring backend (see
+        :mod:`repro.engine`); any worker whose spec sets its own
+        ``engine`` overrides it.  Scores and the modeled schedule are
+        engine-independent, so heterogeneous-engine clusters stay
+        bit-identical to homogeneous ones.
 
     Examples
     --------
@@ -97,6 +103,7 @@ class AlignmentCluster:
         steal_penalty_ms_per_job: float = 0.002,
         trace: bool = False,
         retry_policy: RetryPolicy | None = None,
+        engine=None,
     ):
         if not specs:
             raise ValueError("a cluster needs at least one worker spec")
@@ -110,6 +117,7 @@ class AlignmentCluster:
                 scoring=self.scoring, config=config,
                 compute_scores=compute_scores, retry_policy=retry_policy,
                 tracer=Tracer() if trace else None,
+                engine=engine,
             )
             for i, spec in enumerate(specs)
         ]

@@ -63,6 +63,12 @@ class WorkerSpec:
         the worker is dead on arrival and receives no placements.
     cache_bytes / max_batch_jobs:
         Forwarded to the worker's private :class:`AlignmentService`.
+    engine:
+        Per-worker exact-scoring backend (:mod:`repro.engine` name or
+        instance).  ``None`` defers to the cluster-wide default
+        (:class:`~repro.cluster.cluster.AlignmentCluster`'s ``engine``
+        argument).  Heterogeneous clusters may mix engines freely:
+        scores and the modeled schedule are engine-independent.
     """
 
     name: str
@@ -71,6 +77,7 @@ class WorkerSpec:
     down_at_ms: float | None = None
     cache_bytes: int = 16 << 20
     max_batch_jobs: int = 4096
+    engine: object | None = None
 
 
 @dataclass
@@ -124,6 +131,7 @@ class ClusterWorker:
         compute_scores: bool = True,
         retry_policy: RetryPolicy | None = None,
         tracer=None,
+        engine=None,
     ):
         self.index = index
         self.spec = spec
@@ -137,6 +145,7 @@ class ClusterWorker:
             cache_bytes=spec.cache_bytes,
             max_batch_jobs=spec.max_batch_jobs,
             tracer=tracer,
+            engine=spec.engine if spec.engine is not None else engine,
         )
         self.clock_ms = 0.0
         self.dead = spec.down_at_ms is not None and spec.down_at_ms <= 0.0

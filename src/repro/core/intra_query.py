@@ -50,6 +50,23 @@ def slot_word_addresses(slots: np.ndarray, cell: int, lanes: np.ndarray) -> np.n
     return (np.asarray(cell) * 32 + np.asarray(lanes)) * 4 + 0 * np.asarray(slots)
 
 
+def _stagger_schedule(h: int, q: int) -> list[tuple[list[int], list[int]]]:
+    """Anti-diagonal membership per wavefront step of an ``h x q`` chunk.
+
+    Step ``t`` activates threads ``k`` with ``0 <= t - k < q``, thread
+    ``k`` working column ``t - k`` — i.e. ``ks = [k for k in range(h)
+    if 0 <= t - k < q]``.  The membership depends only on the chunk
+    shape, so it is computed once here instead of by re-scanning all
+    ``h`` threads on every step of every chunk (chunks share at most
+    two distinct heights: ``s`` and the tail remainder).
+    """
+    schedule = []
+    for t in range(q + h - 1):
+        ks = list(range(max(0, t - q + 1), min(h - 1, t) + 1))
+        schedule.append((ks, [t - k for k in ks]))
+    return schedule
+
+
 @dataclass
 class SpillAudit:
     """Protocol bookkeeping for one job's execution.
@@ -114,8 +131,12 @@ def saloba_extend_exact(
     best, best_i, best_j = 0, 0, 0
     row0 = 0
     chunk_idx = 0
+    schedules: dict[int, list[tuple[list[int], list[int]]]] = {}
     while row0 < r:
         h = min(s, r - row0)
+        schedule = schedules.get(h)
+        if schedule is None:
+            schedule = schedules[h] = _stagger_schedule(h, q)
         shm_h = np.zeros((n_slots, BLOCK), dtype=np.int32)
         shm_f = np.zeros((n_slots, BLOCK), dtype=np.int32)
         shm_written_at = np.full(n_slots, -1, dtype=np.int64)  # audit
@@ -126,9 +147,7 @@ def saloba_extend_exact(
         new_bottom_f = np.empty((q, BLOCK), dtype=np.int32)
         pending: list[int] = []  # last-thread columns awaiting flush
 
-        for t in range(q + h - 1):
-            ks = [k for k in range(h) if 0 <= t - k < q]
-            cols = [t - k for k in ks]
+        for t, (ks, cols) in enumerate(schedule):
             top_h = np.empty((len(ks), BLOCK), dtype=np.int32)
             top_f = np.empty((len(ks), BLOCK), dtype=np.int32)
             for idx, (k, j) in enumerate(zip(ks, cols)):

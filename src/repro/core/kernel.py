@@ -21,6 +21,7 @@ from __future__ import annotations
 from ..align.blocks import BLOCK
 from ..align.matrix import AlignmentResult
 from ..baselines.base import ExtensionJob, ExtensionKernel
+from ..engine.base import resolve_engine
 from ..gpusim.counters import Counters
 from ..gpusim.device import WARP_SIZE, DeviceProfile
 from ..gpusim.kernel import LaunchTiming, assemble_launch
@@ -28,7 +29,6 @@ from ..gpusim.memory import AccessPattern, MemoryModel
 from ..gpusim.scheduler import WarpJob
 from ..gpusim.sharedmem import SharedAllocation
 from .config import SalobaConfig
-from .intra_query import saloba_extend_exact
 from .layout import JobPlan, plan_job
 from .subwarp import schedule_subwarps
 
@@ -44,7 +44,7 @@ class SalobaKernel(ExtensionKernel):
 
     def __init__(self, scoring=None, config: SalobaConfig | None = None, *,
                  sort_jobs: bool = False, costs=None, packing=None,
-                 fault_plan=None):
+                 fault_plan=None, engine=None):
         kwargs = {}
         if costs is not None:
             kwargs["costs"] = costs
@@ -53,6 +53,11 @@ class SalobaKernel(ExtensionKernel):
         #: Discussion VII-C: optionally sort queries by cost before
         #: packing warps, trading preprocessing for balance.
         self.sort_jobs = sort_jobs
+        #: Exact-scoring backend (:mod:`repro.engine`).  Engines only
+        #: change how fast the host computes scores: the modeled
+        #: timing below never consults it, so every engine charges the
+        #: identical gpusim cost.
+        self.engine = resolve_engine(engine)
         if self.config.subwarp_size != WARP_SIZE:
             self.name = f"SALoBa(s={self.config.subwarp_size})"
         if self.config.band:
@@ -183,15 +188,12 @@ class SalobaKernel(ExtensionKernel):
 
     def _exact_scores(self, jobs: list[ExtensionJob]) -> list[AlignmentResult]:
         if self.config.band:
+            # Banded mode computes a different (band-restricted) score,
+            # which no full-table engine reproduces; it keeps its own
+            # per-pair reference path regardless of the engine.
             from ..align.banded import banded_sw_align
 
             return [
                 banded_sw_align(j.ref, j.query, self.config.band, self.scoring) for j in jobs
             ]
-        results = []
-        for j in jobs:
-            res, audit = saloba_extend_exact(j.ref, j.query, self.scoring, self.config)
-            if not audit.consistent:
-                raise AssertionError(f"lazy-spill audit failed: {audit}")
-            results.append(res)
-        return results
+        return self.engine.score_batch(jobs, self.scoring, config=self.config)

@@ -84,7 +84,10 @@ def schedule_subwarps(
     queues: list[list[int]] = [[] for _ in range(n_queues)]
     loads = np.zeros(n_queues, dtype=np.float64)
     if sort_jobs:
-        order = np.argsort(job_cycles)[::-1]
+        # Stable descending sort: reversing an unstable ascending
+        # argsort also reverses the order *within* ties, so equal-cost
+        # jobs would deal onto queues in a platform-dependent order.
+        order = np.argsort(-np.asarray(job_cycles, dtype=np.float64), kind="stable")
         for i in order:
             k = int(np.argmin(loads))
             queues[k].append(int(i))

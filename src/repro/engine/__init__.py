@@ -1,0 +1,35 @@
+"""Pluggable exact-scoring execution engines.
+
+See :mod:`repro.engine.base` for the contract and
+:mod:`repro.engine.batched` for the cross-query batched anti-diagonal
+sweep that motivates the package.  Engines change how fast the host
+process computes exact scores; they never change the scores themselves
+nor a single modeled millisecond.
+"""
+
+from .base import ExecutionEngine, engine_names, register_engine, resolve_engine
+from .batched import BatchedWavefrontEngine, batched_sw_align
+from .reference import ReferenceEngine
+
+__all__ = [
+    "ExecutionEngine",
+    "ReferenceEngine",
+    "BatchedWavefrontEngine",
+    "EngineBenchResult",
+    "batched_sw_align",
+    "engine_names",
+    "register_engine",
+    "resolve_engine",
+    "run_engine_bench",
+]
+
+
+def __getattr__(name):
+    # The bench submodule imports the serve layer, which imports
+    # repro.core.kernel, which imports this package — so the bench
+    # exports resolve lazily to keep the package import acyclic.
+    if name in ("EngineBenchResult", "run_engine_bench"):
+        from . import bench
+
+        return getattr(bench, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

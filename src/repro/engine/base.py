@@ -1,0 +1,119 @@
+"""Execution-engine contract: pluggable exact-scoring backends.
+
+The timing side of a kernel (:meth:`ExtensionKernel._model`) and its
+functional side (:meth:`ExtensionKernel._exact_scores`) are separable:
+the modeled gpusim cost of a launch depends only on the job geometry
+and the device, never on *how* the host process happens to compute the
+scores.  An :class:`ExecutionEngine` exploits that split — it owns the
+functional side only, so swapping engines changes wall-clock speed but
+leaves every modeled millisecond, counter, metric snapshot, and trace
+byte identical (``tests/test_engine.py`` pins the invariant).
+
+Two engines ship:
+
+``reference``
+    The per-pair faithful dataflow executor
+    (:func:`repro.core.intra_query.saloba_extend_exact`, spill audit
+    included) — one Python wavefront per job, exactly the path every
+    kernel used before the engine abstraction existed.
+``batched``
+    The cross-query batched anti-diagonal sweep
+    (:class:`repro.engine.batched.BatchedWavefrontEngine`): the whole
+    micro-batch is padded into one ``batch x lane`` array pair and
+    scored with a handful of ``np.maximum`` passes per anti-diagonal,
+    AnySeq/GPU-style.
+
+Select one by name wherever a kernel is built (``AlignmentService``,
+``WorkerSpec``/``AlignmentCluster``, ``--engine`` on the bench CLIs)
+or pass an instance for a custom backend.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..align.matrix import AlignmentResult
+from ..align.scoring import ScoringScheme
+
+__all__ = ["ExecutionEngine", "resolve_engine", "engine_names", "register_engine"]
+
+
+class ExecutionEngine(ABC):
+    """Functional scoring backend for a micro-batch of extension jobs.
+
+    Engines compute **scores only** — they must be bit-identical to
+    the reference oracle (:func:`repro.align.smith_waterman.sw_align_slow`)
+    on the score, while end coordinates may point at any equal-scoring
+    cell (the library-wide tie-break caveat).  Engines never touch the
+    timing model: modeled cost is charged by the kernel identically
+    whichever engine runs.
+    """
+
+    #: Registry name; also used in benchmark/CLI output.
+    name: str = "abstract"
+
+    @abstractmethod
+    def score_batch(
+        self,
+        jobs,
+        scoring: ScoringScheme,
+        *,
+        config=None,
+    ) -> list[AlignmentResult]:
+        """Exact local-alignment results for every job in the batch.
+
+        *config* carries the :class:`~repro.core.config.SalobaConfig`
+        of the calling kernel; engines that do not model the dataflow
+        (the batched sweep) may ignore it.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+_REGISTRY: dict[str, type[ExecutionEngine]] = {}
+
+
+def register_engine(cls: type[ExecutionEngine]) -> type[ExecutionEngine]:
+    """Class decorator adding an engine to the by-name registry."""
+    if not cls.name or cls.name == "abstract":
+        raise ValueError("engine classes must define a concrete name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in engine modules (registration side effect).
+
+    Callers may reach the registry through :mod:`repro.core.kernel`
+    without ever importing the :mod:`repro.engine` package itself.
+    """
+    if "reference" not in _REGISTRY:
+        from . import batched, reference  # noqa: F401
+
+
+def engine_names() -> tuple[str, ...]:
+    """Registered engine names, sorted (CLI ``choices=``)."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_engine(spec) -> ExecutionEngine:
+    """Turn an engine spec into an instance.
+
+    ``None`` means the reference engine (the pre-engine behaviour);
+    a string is looked up in the registry; an instance passes through.
+    """
+    if spec is None:
+        spec = "reference"
+    if isinstance(spec, ExecutionEngine):
+        return spec
+    if isinstance(spec, str):
+        _ensure_builtins()
+        try:
+            return _REGISTRY[spec]()
+        except KeyError:
+            raise ValueError(
+                f"unknown engine {spec!r}; registered: {', '.join(engine_names())}"
+            ) from None
+    raise TypeError(f"engine must be None, a name, or an ExecutionEngine, got {type(spec)}")

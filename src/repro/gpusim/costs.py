@@ -6,6 +6,13 @@ what the paper's techniques change — is *memory behaviour*, *thread
 utilization*, and *synchronization*, which the kernels express through
 these unit costs.  Values are issue-slot counts per warp (SIMT lanes
 execute together, so a per-thread instruction costs one warp issue).
+
+Modeled costs are charged from job geometry and these constants alone
+— never from how the host process happens to compute the exact scores.
+That is the invariant the pluggable execution engines
+(:mod:`repro.engine`) rely on: swapping the functional backend changes
+wall-clock speed only, leaving every modeled millisecond, counter, and
+trace byte identical.
 """
 
 from __future__ import annotations

@@ -89,6 +89,7 @@ class BinTuner:
         sample_cap: int = 64,
         autotune: bool = True,
         tracer=None,
+        engine=None,
     ):
         self.scoring = scoring
         self.config = config
@@ -97,6 +98,9 @@ class BinTuner:
         self.sample_cap = sample_cap
         self.autotune = autotune
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Exact-scoring backend shared by every bin kernel (see
+        #: :mod:`repro.engine`); model-only tuning probes never run it.
+        self.engine = engine
         self._kernels: dict[int, SalobaKernel] = {}
         self.chosen_subwarps: dict[int, int] = {}
 
@@ -105,6 +109,7 @@ class BinTuner:
             self.scoring,
             self.config.with_(subwarp_size=subwarp_size),
             fault_plan=self.fault_plan,
+            engine=self.engine,
         )
 
     def _probe_kernel(self, subwarp_size: int) -> SalobaKernel:

@@ -120,13 +120,23 @@ class ResultCache:
         return entry
 
     def put(self, key: bytes, result: AlignmentResult | None, *, scored: bool) -> None:
-        """Insert (or upgrade) an entry, evicting LRU past the budget."""
+        """Insert (or upgrade) an entry, evicting LRU past the budget.
+
+        A model-only ``put`` over an existing *scored* entry must not
+        downgrade it: the scored result is strictly stronger (it can
+        serve both scored and model-only lookups), so the old entry is
+        kept and only its recency refreshed.
+        """
         nbytes = len(key) + _ENTRY_OVERHEAD_BYTES
         if nbytes > self.max_bytes:
             return  # a single over-budget entry would evict everything
         old = self._entries.pop(key, None)
         if old is not None:
             self._bytes -= old.nbytes
+            if old.scored and not scored:
+                self._entries[key] = old
+                self._bytes += old.nbytes
+                return
         self._entries[key] = CacheEntry(result=result, scored=scored, nbytes=nbytes)
         self._bytes += nbytes
         while self._bytes > self.max_bytes:

@@ -40,6 +40,7 @@ from ..align.matrix import AlignmentResult
 from ..align.scoring import ScoringScheme
 from ..baselines.base import ExtensionJob
 from ..core.config import SalobaConfig
+from ..engine.base import resolve_engine
 from ..gpusim.device import GTX1650, DeviceProfile
 from ..obs.tracer import NULL_TRACER
 from ..resilience.errors import AlignmentError, CapacityExceeded
@@ -99,6 +100,14 @@ class AlignmentService:
         gpusim phases).  Defaults to the no-op
         :data:`~repro.obs.NULL_TRACER`; tracing off costs one
         truthiness check per site.
+    engine:
+        Exact-scoring execution backend (:mod:`repro.engine`): a
+        registered name (``"reference"`` per-pair dataflow — the
+        default; ``"batched"`` cross-query anti-diagonal sweep) or an
+        :class:`~repro.engine.ExecutionEngine` instance.  Engines only
+        change host wall-clock speed in ``compute_scores=True`` mode:
+        scores stay bit-identical and the modeled clock, metrics, and
+        traces are byte-identical whichever engine runs.
 
     Examples
     --------
@@ -128,6 +137,7 @@ class AlignmentService:
         coalesce_window: int = 8192,
         min_bin_fill: int = 32,
         tracer=None,
+        engine=None,
     ):
         if max_batch_jobs < 1:
             raise ValueError("max_batch_jobs must be positive")
@@ -141,12 +151,13 @@ class AlignmentService:
         self.compute_scores = compute_scores
         self.retry_policy = retry_policy or RetryPolicy()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.engine = resolve_engine(engine)
         self.queue = AdmissionQueue(max_depth=max_queue_depth, max_cells=max_queued_cells)
         self.binner = LengthBinner(bin_edges)
         self.tuner = BinTuner(
             self.scoring, self.config, device,
             fault_plan=fault_plan, autotune=autotune_subwarp,
-            tracer=self.tracer,
+            tracer=self.tracer, engine=self.engine,
         )
         self.cache = ResultCache(max_bytes=cache_bytes) if cache_bytes else None
         self.max_batch_jobs = max_batch_jobs
