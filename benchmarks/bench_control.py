@@ -1,0 +1,112 @@
+"""Control-plane benchmark: the ISSUE-6 acceptance measurement.
+
+Under an injected storm — one worker's device dies mid-run, another
+suffers a persistent 6x degradation — with a 2x-healthy-makespan
+deadline on every request, the self-healing control plane must beat
+the unattended cluster on **both** headline metrics (modeled makespan
+and failed-request count), keep every completed score bit-identical to
+a fault-free run, carry an accepting shadow-verify verdict on every
+applied remediation, and export a byte-identical audit trail across
+reruns.  The result persists as
+``benchmarks/results/BENCH_control.{txt,json}``.
+
+Also runnable directly (the CI ``control-smoke`` path)::
+
+    PYTHONPATH=src python benchmarks/bench_control.py --quick --out /tmp/c.json
+
+which exits nonzero when any healing gate fails and writes the
+deterministic JSON artifact for the rerun ``cmp``.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.control.bench import run_control_bench
+
+#: The acceptance-bar storm (see repro.control.bench for the knobs).
+BENCH_KWARGS = dict(n_requests=240, b_fraction=0.1, duplicate_fraction=0.3,
+                    seed=7, b_max_length=600, check_determinism=True)
+
+#: The CI smoke workload: half the stream, no in-process determinism
+#: re-run (the CI job cmp's two whole process runs instead).
+QUICK_KWARGS = dict(n_requests=120, b_fraction=0.1, duplicate_fraction=0.3,
+                    seed=7, b_max_length=500, check_determinism=False)
+
+
+@pytest.fixture(scope="module")
+def res():
+    return run_control_bench(**BENCH_KWARGS)
+
+
+def _row(res, run):
+    return next(r for r in res.rows if r["run"] == run)
+
+
+def test_control_bench_runs_and_saves(benchmark, res, save_result):
+    run_once(benchmark, run_control_bench, **QUICK_KWARGS)
+    save_result("BENCH_control", res.text, json_of=res)
+
+
+def test_healing_beats_unattended_on_both_metrics(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    off, on = _row(res, "healing_off"), _row(res, "healing_on")
+    assert off["failed"] > 0, "the storm must actually hurt the unattended run"
+    assert on["failed"] < off["failed"], (on["failed"], off["failed"])
+    assert on["makespan_ms"] < off["makespan_ms"], (
+        f"healing-on makespan {on['makespan_ms']:.3f} ms did not beat "
+        f"healing-off {off['makespan_ms']:.3f} ms"
+    )
+    assert res.makespan_gain > 0.0 and res.failures_avoided > 0
+
+
+def test_storm_scores_bit_identical_to_fault_free(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert res.scores_checked > 0
+    assert res.scores_identical, (
+        "a remediation changed an alignment score vs the fault-free run"
+    )
+
+
+def test_every_applied_remediation_was_shadow_verified(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    entries = res.audit["entries"]
+    applied = [e for e in entries if e["applied"]]
+    rejected = [e for e in entries if not e["applied"]]
+    assert applied, "the storm must trigger at least one applied remediation"
+    for e in applied:
+        assert e["verdict"]["accepted"] is True, e
+        assert e["verdict"]["fidelity_ok"] and e["verdict"]["slo_ok"], e
+    # rejected proposals are recorded, never applied
+    assert rejected, "expected at least one shadow-rejected proposal on record"
+
+
+def test_audit_trail_is_byte_deterministic(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert res.audit_deterministic is True
+
+
+def _main(argv=None) -> int:
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke sizing (half stream, no re-run)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the deterministic JSON artifact here")
+    args = parser.parse_args(argv)
+    result = run_control_bench(**(QUICK_KWARGS if args.quick else BENCH_KWARGS))
+    print(result.text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(result.to_json() + "\n")
+        print(f"wrote {args.out}")
+    if not result.ok:
+        print("error: a healing acceptance gate failed (see text above)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

@@ -23,7 +23,14 @@ Exposes the library's main entry points without writing Python:
 ``cluster-bench``
     Compare cluster routing policies x work stealing on a skewed
     stream (``--out`` writes the byte-stable JSON artifact the CI
-    smoke job compares across reruns).
+    smoke job compares across reruns).  ``--self-heal`` runs the
+    fault-storm scenario with the closed-loop control plane attached
+    instead (see ``repro.control``); exit 1 flags a failed healing
+    acceptance gate.
+``heal-report``
+    Run the self-healing storm benchmark and print the full audit
+    trail — every detect / propose / shadow-verify / apply decision
+    (``--audit-out`` writes the byte-deterministic audit JSON).
 ``report``
     Regenerate the full paper-vs-measured comparison document.
 """
@@ -159,6 +166,38 @@ def build_parser() -> argparse.ArgumentParser:
                       help="scored fidelity-check workload size (0 skips it)")
     p_cl.add_argument("--out", default=None, metavar="FILE",
                       help="write the JSON result here (byte-stable across reruns)")
+    p_cl.add_argument("--self-heal", action="store_true",
+                      help="run the fault-storm scenario with the self-healing "
+                           "control plane instead of the policy sweep")
+    p_cl.add_argument("--audit-out", default=None, metavar="FILE",
+                      help="with --self-heal: write the byte-deterministic "
+                           "audit-trail JSON here")
+
+    p_heal = sub.add_parser(
+        "heal-report",
+        help="self-healing storm benchmark with the full audit trail",
+    )
+    p_heal.add_argument("--requests", type=int, default=240,
+                        help="total stream length (duplicates included)")
+    p_heal.add_argument("--workers", type=int, default=4,
+                        help="fleet size (the storm kills one worker and "
+                             "degrades another; at least 3)")
+    p_heal.add_argument("--dup-rate", type=float, default=0.3,
+                        help="fraction of the stream re-submitting earlier jobs")
+    p_heal.add_argument("--long-read-fraction", type=float, default=0.1,
+                        help="dataset-B-shaped share of the unique jobs")
+    p_heal.add_argument("--seed", type=int, default=7)
+    p_heal.add_argument("--degrade-factor", type=float, default=6.0,
+                        help="clock dilation of the degraded replica")
+    p_heal.add_argument("--deadline-factor", type=float, default=2.0,
+                        help="per-request deadline as a multiple of the "
+                             "healthy makespan")
+    p_heal.add_argument("--quick", action="store_true",
+                        help="skip the in-process determinism re-run")
+    p_heal.add_argument("--out", default=None, metavar="FILE",
+                        help="write the full JSON result here")
+    p_heal.add_argument("--audit-out", default=None, metavar="FILE",
+                        help="write the byte-deterministic audit-trail JSON here")
 
     p_rep = sub.add_parser("report", help="regenerate the comparison report")
     p_rep.add_argument("--quick", action="store_true", help="smaller batches")
@@ -371,10 +410,44 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _write_heal_artifacts(result, out: str | None, audit_out: str | None) -> int:
+    """Shared tail of the healing commands: artifacts + exit taxonomy."""
+    import json
+
+    if out:
+        with open(out, "w") as fh:
+            fh.write(result.to_json() + "\n")
+        print(f"wrote {out}")
+    if audit_out:
+        with open(audit_out, "w") as fh:
+            fh.write(json.dumps(result.audit, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {audit_out}")
+    if not result.ok:
+        print("error: a healing acceptance gate failed (see text above)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_cluster_bench(args) -> int:
     from .cluster import ROUTING_POLICIES
     from .cluster.bench import run_cluster_bench
 
+    if args.self_heal:
+        from .control.bench import run_control_bench
+
+        result = run_control_bench(
+            args.requests,
+            n_workers=args.workers,
+            b_fraction=args.long_read_fraction,
+            duplicate_fraction=args.dup_rate,
+            seed=args.seed,
+        )
+        print(result.text)
+        return _write_heal_artifacts(result, args.out, args.audit_out)
+    if args.audit_out:
+        print("error: --audit-out requires --self-heal", file=sys.stderr)
+        return 2
     policies = ROUTING_POLICIES
     if args.policy is not None:
         if args.policy not in ROUTING_POLICIES:
@@ -408,6 +481,28 @@ def _cmd_cluster_bench(args) -> int:
     return 0
 
 
+def _cmd_heal_report(args) -> int:
+    from .control.bench import run_control_bench
+    from .control.controller import AuditTrail
+
+    result = run_control_bench(
+        args.requests,
+        n_workers=args.workers,
+        b_fraction=args.long_read_fraction,
+        duplicate_fraction=args.dup_rate,
+        seed=args.seed,
+        degrade_factor=args.degrade_factor,
+        deadline_factor=args.deadline_factor,
+        check_determinism=not args.quick,
+    )
+    print(result.text)
+    print()
+    trail = AuditTrail()
+    trail.entries = result.audit["entries"]
+    print(trail.text)
+    return _write_heal_artifacts(result, args.out, args.audit_out)
+
+
 def _cmd_report(args) -> int:
     from .bench.report import full_report
 
@@ -431,6 +526,7 @@ _COMMANDS = {
     "serve-bench": _cmd_serve_bench,
     "trace": _cmd_trace,
     "cluster-bench": _cmd_cluster_bench,
+    "heal-report": _cmd_heal_report,
     "report": _cmd_report,
 }
 

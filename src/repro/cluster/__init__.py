@@ -34,7 +34,7 @@ for the policy comparison.
 
 from .cluster import AlignmentCluster
 from .failover import FailoverCoordinator, SettlementLedger
-from .metrics import ClusterMetrics, WorkerReport
+from .metrics import ClusterMetrics, WindowSnapshot, WorkerReport, WorkerWindow
 from .router import ROUTING_POLICIES, Router
 from .stealing import StealOutcome, WorkStealer
 from .worker import ClusterRequest, ClusterWorker, StepOutcome, WorkerSpec
@@ -50,7 +50,9 @@ __all__ = [
     "SettlementLedger",
     "StealOutcome",
     "StepOutcome",
+    "WindowSnapshot",
     "WorkStealer",
     "WorkerReport",
     "WorkerSpec",
+    "WorkerWindow",
 ]

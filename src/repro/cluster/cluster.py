@@ -25,6 +25,26 @@ result depends only on the sequences), every routing policy — and
 stealing on or off — produces bit-identical results; only the modeled
 schedule (makespan, utilization, cache hits) changes.  The tests pin
 both properties down.
+
+Two additions serve the self-healing control plane (:mod:`repro.control`):
+
+**Windowed metrics.** ``run(window_ms=W, on_window=f)`` slices the
+wall timeline into fixed-width windows and emits a
+:class:`~repro.cluster.metrics.WindowSnapshot` (counter deltas +
+per-worker rates + the jobs settled in the window) at each boundary —
+the boundary is crossed exactly when the next event's clock passes it,
+so window emission never perturbs the schedule.  The callback may
+*reconfigure the cluster mid-run* through the methods below.
+
+**Mid-run reconfiguration.** :meth:`add_worker`, :meth:`retire_worker`,
+:meth:`replace_worker`, :meth:`reshard`, :meth:`set_policy`,
+:meth:`resize_cache`, and :meth:`set_engine` mutate a *running*
+cluster deterministically: joining workers start their clock at the
+reconfiguration instant, retirement re-routes the backlog through the
+normal router (counted in ``rebalanced``, not ``failovers``), and
+every mutation is itself a pure function of the call arguments — two
+runs applying the same remediations at the same boundaries stay
+byte-identical.
 """
 
 from __future__ import annotations
@@ -43,7 +63,7 @@ from ..resilience.retry import RetryPolicy
 from ..seqs.alphabet import encode
 from ..serve.request import RequestHandle
 from .failover import FailoverCoordinator, SettlementLedger
-from .metrics import ClusterMetrics, aggregate
+from .metrics import ClusterMetrics, WindowSnapshot, WorkerWindow, aggregate
 from .router import Router
 from .stealing import WorkStealer
 from .worker import ClusterRequest, ClusterWorker, WorkerSpec
@@ -111,15 +131,17 @@ class AlignmentCluster:
         if len(set(names)) != len(names):
             raise ValueError(f"worker names must be unique, got {names}")
         self.scoring = scoring or ScoringScheme()
+        # Construction parameters are kept: mid-run reconfiguration
+        # (and the control plane's shadow replays) build new workers
+        # and whole shadow clusters from them.
+        self.config = config
+        self.compute_scores = compute_scores
+        self.retry_policy = retry_policy
+        self.traced = trace
+        self.default_engine = engine
+        self.steal_penalty_ms_per_job = steal_penalty_ms_per_job
         self.workers = [
-            ClusterWorker(
-                i, spec,
-                scoring=self.scoring, config=config,
-                compute_scores=compute_scores, retry_policy=retry_policy,
-                tracer=Tracer() if trace else None,
-                engine=engine,
-            )
-            for i, spec in enumerate(specs)
+            self._build_worker(i, spec) for i, spec in enumerate(specs)
         ]
         self.router = Router(policy)
         self.stealer = (
@@ -131,6 +153,22 @@ class AlignmentCluster:
         self._next_id = 0
         self._submitted = 0
         self.handles: list[RequestHandle] = []
+        #: Requests re-homed by voluntary reconfiguration (retirement,
+        #: resharding) — deliberate moves, not failure recovery.
+        self.rebalanced = 0
+        #: WindowSnapshots of the most recent windowed :meth:`run`.
+        self.windows: list[WindowSnapshot] = []
+        self._window_jobs: list[ExtensionJob] = []
+
+    def _build_worker(self, index: int, spec: WorkerSpec) -> ClusterWorker:
+        return ClusterWorker(
+            index, spec,
+            scoring=self.scoring, config=self.config,
+            compute_scores=self.compute_scores,
+            retry_policy=self.retry_policy,
+            tracer=Tracer() if self.traced else None,
+            engine=self.default_engine,
+        )
 
     # ----- submission ------------------------------------------------------
 
@@ -147,13 +185,17 @@ class AlignmentCluster:
         self._next_id += 1
         return handle
 
-    def submit(self, query, ref) -> RequestHandle:
+    def submit(self, query, ref, *, deadline_ms: float | None = None) -> RequestHandle:
         """Route one ``(query, reference)`` pair onto a worker.
 
-        Malformed sequences resolve the handle immediately as failed
-        (``JobRejected`` taxonomy), mirroring the single-service
-        behaviour; a cluster with no live worker fails the request
-        with ``CapacityExceeded`` instead of raising.
+        ``deadline_ms`` is an absolute instant on the shared wall
+        timeline: a request still queued when its worker's clock
+        passes it is dropped as ``DeadlineExceeded`` instead of
+        executed (the cluster-level SLO).  Malformed sequences resolve
+        the handle immediately as failed (``JobRejected`` taxonomy),
+        mirroring the single-service behaviour; a cluster with no live
+        worker fails the request with ``CapacityExceeded`` instead of
+        raising.
         """
         self._submitted += 1
         handle = self._new_handle()
@@ -168,23 +210,26 @@ class AlignmentCluster:
                 completed_ms=0.0,
             )
             return handle
-        self._place_job(job, handle)
+        self._place_job(job, handle, deadline_ms=deadline_ms)
         return handle
 
-    def submit_jobs(self, jobs: list[ExtensionJob]) -> list[RequestHandle]:
+    def submit_jobs(self, jobs: list[ExtensionJob], *,
+                    deadline_ms: float | None = None) -> list[RequestHandle]:
         """Bulk-route pre-built extension jobs (the benchmark path)."""
         out = []
         for job in jobs:
             self._submitted += 1
             handle = self._new_handle()
             self.handles.append(handle)
-            self._place_job(job, handle)
+            self._place_job(job, handle, deadline_ms=deadline_ms)
             out.append(handle)
         return out
 
-    def _place_job(self, job: ExtensionJob, handle: RequestHandle) -> None:
+    def _place_job(self, job: ExtensionJob, handle: RequestHandle, *,
+                   deadline_ms: float | None = None) -> None:
         req = ClusterRequest(
-            job=job, handle=handle, key=job_key(job), est_cells=job.cells
+            job=job, handle=handle, key=job_key(job), est_cells=job.cells,
+            deadline_ms=deadline_ms,
         )
         try:
             self.router.place(req, self.workers)
@@ -201,6 +246,15 @@ class AlignmentCluster:
     def pending(self) -> int:
         """Requests placed on live workers but not yet resolved."""
         return sum(w.backlog_n for w in self.workers if w.alive)
+
+    @property
+    def frontier_ms(self) -> float:
+        """The wall instant of the next event (earliest busy clock),
+        falling back to the latest clock when no work is pending."""
+        busy = [w.clock_ms for w in self.workers if w.alive and w.backlog_n > 0]
+        if busy:
+            return min(busy)
+        return max((w.clock_ms for w in self.workers), default=0.0)
 
     def _next_worker(self) -> ClusterWorker | None:
         """The earliest-clock live worker holding work (= next event)."""
@@ -225,6 +279,7 @@ class AlignmentCluster:
         for req in served:
             sh = req.service_handle
             assert sh is not None and sh.done
+            self._window_jobs.append(req.job)
             if sh.ok:
                 self.ledger.settle_ok(
                     req, sh.result_value,
@@ -240,27 +295,276 @@ class AlignmentCluster:
                 )
                 self.ledger.settle_fail(req, record, completed_ms=worker.clock_ms)
 
-    def run(self) -> ClusterMetrics:
+    def _settle_expired(self, worker: ClusterWorker,
+                        expired: list[ClusterRequest]) -> None:
+        """Fail requests whose wall-clock deadline passed in queue."""
+        for req in expired:
+            self._window_jobs.append(req.job)
+            self.ledger.settle_fail(
+                req,
+                FailureRecord(
+                    req.request_id, "DeadlineExceeded",
+                    f"request was still queued on worker {worker.name!r} at "
+                    f"{worker.clock_ms:g} ms, past its cluster deadline of "
+                    f"{req.deadline_ms:g} ms",
+                    attempts=req.hops,
+                ),
+                completed_ms=worker.clock_ms,
+            )
+
+    def run(self, *, window_ms: float | None = None,
+            on_window=None) -> ClusterMetrics:
         """Drive the cluster until every placed request has resolved.
 
         Returns the final :meth:`metrics` snapshot.  Deterministic for
         a deterministic submission stream: the loop's only inputs are
         worker clocks, indices, and backlog contents.
+
+        With ``window_ms`` set, the run also emits a
+        :class:`WindowSnapshot` every ``window_ms`` of wall time
+        (collected on :attr:`windows`), passing each to *on_window*
+        right at the boundary.  Window emission itself never perturbs
+        the schedule; the callback, however, may reconfigure the
+        cluster (add/retire workers, swap policy, ...) and thereby
+        steer the rest of the run — that is the control plane's
+        entry point.
         """
+        windowed = window_ms is not None
+        if windowed:
+            if window_ms <= 0:
+                raise ValueError("window_ms must be positive")
+            self.windows = []
+            self._window_jobs = []
+            mark = self._window_mark()
+            boundary = window_ms
         while True:
             if self.stealer is not None and len(self.workers) > 1:
                 self._steal_round()
             worker = self._next_worker()
             if worker is None:
                 break
+            if windowed and worker.clock_ms >= boundary:
+                # Every event before the boundary has happened: close
+                # the window, let the control plane act, then resume.
+                mark = self._emit_window(boundary - window_ms, boundary,
+                                         mark, on_window)
+                boundary += window_ms
+                continue
             outcome = worker.step()
+            if outcome.expired:
+                self._settle_expired(worker, outcome.expired)
             if outcome.died:
                 self.failover.handle_device_down(
                     worker, outcome.orphans, self.workers, now_ms=worker.clock_ms
                 )
-            else:
+            elif outcome.served:
                 self._settle_served(worker, outcome.served)
+        if windowed:
+            # Close the trailing partial window at the makespan so the
+            # windows partition the whole run.
+            start = boundary - window_ms
+            end = max((w.clock_ms for w in self.workers), default=start)
+            self._emit_window(start, max(end, start), mark, on_window)
         return self.metrics()
+
+    # ----- windowed rollups ------------------------------------------------
+
+    def _window_mark(self) -> dict:
+        """Cumulative counter values a window's deltas are taken from."""
+        return {
+            "completed": self.ledger.completed,
+            "failed": self.ledger.failed,
+            "deadline_misses": self.ledger.failure_counts.get("DeadlineExceeded", 0),
+            "steals": self.stealer.steal_count if self.stealer else 0,
+            "jobs_stolen": self.stealer.jobs_stolen if self.stealer else 0,
+            "failovers": self.failover.failovers,
+            "unroutable": self.failover.unroutable,
+            "workers_lost": self.failover.workers_lost,
+            "workers": {
+                w.name: (
+                    w.clock_ms, w.steal_penalty_ms, w.service.clock_ms,
+                    w.served, w.expired, w.served_cells,
+                    w.service.cache.stats.hits if w.service.cache else 0,
+                    w.service.cache.stats.misses if w.service.cache else 0,
+                )
+                for w in self.workers
+            },
+        }
+
+    def _emit_window(self, start_ms: float, end_ms: float, mark: dict,
+                     on_window) -> dict:
+        """Build the ``[start, end)`` snapshot, deliver it, re-mark."""
+        worker_windows = []
+        for w in self.workers:
+            prev = mark["workers"].get(
+                w.name, (w.joined_at_ms, 0.0, 0.0, 0, 0, 0, 0, 0)
+            )
+            (clock0, penalty0, svc0, served0, expired0, cells0,
+             hits0, misses0) = prev
+            busy = w.clock_ms - clock0
+            cells = w.served_cells - cells0
+            # Observed slowdown: the worker's wall-clock advance over
+            # its own service clock's advance (the modeled execution
+            # time its internal accounting reports, overheads and all).
+            # Steal penalties land on the wall clock only, so they are
+            # excluded; a healthy worker measures exactly 1.0 and a
+            # degraded one measures its dilation factor.
+            exec_ms = busy - (w.steal_penalty_ms - penalty0)
+            nominal = w.service.clock_ms - svc0
+            dilation = exec_ms / nominal if nominal > 0.0 else 1.0
+            worker_windows.append(WorkerWindow(
+                name=w.name,
+                alive=w.alive,
+                dead=w.dead,
+                retired=w.retired,
+                busy_ms=busy,
+                served=w.served - served0,
+                expired=w.expired - expired0,
+                cells=cells,
+                nominal_ms=nominal,
+                dilation=dilation,
+                queue_depth=w.backlog_n,
+                cache_hits=(w.service.cache.stats.hits if w.service.cache else 0) - hits0,
+                cache_misses=(w.service.cache.stats.misses if w.service.cache else 0) - misses0,
+            ))
+        busy_alive = [ww.busy_ms for ww in worker_windows
+                      if ww.alive and ww.busy_ms > 0.0]
+        mean_busy = sum(busy_alive) / len(busy_alive) if busy_alive else 0.0
+        hits = sum(ww.cache_hits for ww in worker_windows)
+        misses = sum(ww.cache_misses for ww in worker_windows)
+        snap = WindowSnapshot(
+            index=len(self.windows),
+            start_ms=start_ms,
+            end_ms=end_ms,
+            completed=self.ledger.completed - mark["completed"],
+            failed=self.ledger.failed - mark["failed"],
+            deadline_misses=(
+                self.ledger.failure_counts.get("DeadlineExceeded", 0)
+                - mark["deadline_misses"]
+            ),
+            cache_hits=hits,
+            cache_misses=misses,
+            cache_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
+            pending=self.pending,
+            steals=(self.stealer.steal_count if self.stealer else 0) - mark["steals"],
+            jobs_stolen=(self.stealer.jobs_stolen if self.stealer else 0) - mark["jobs_stolen"],
+            failovers=self.failover.failovers - mark["failovers"],
+            unroutable=self.failover.unroutable - mark["unroutable"],
+            workers_lost=self.failover.workers_lost - mark["workers_lost"],
+            imbalance=(max(busy_alive) / mean_busy) if mean_busy else 1.0,
+            workers=tuple(worker_windows),
+            jobs=tuple(self._window_jobs),
+        )
+        self._window_jobs = []
+        self.windows.append(snap)
+        if on_window is not None:
+            on_window(snap)
+        return self._window_mark()
+
+    # ----- mid-run reconfiguration -----------------------------------------
+
+    def worker_by_name(self, name: str) -> ClusterWorker:
+        for w in self.workers:
+            if w.name == name:
+                return w
+        raise ValueError(f"no worker named {name!r} in the cluster")
+
+    def add_worker(self, spec: WorkerSpec, *,
+                   now_ms: float | None = None) -> ClusterWorker:
+        """Join a fresh worker to the pool at wall instant *now_ms*.
+
+        The newcomer's clock starts at the join instant (it was not
+        there before, so it cannot have been busy); its busy time and
+        utilization account from there.  Defaults to the frontier.
+        """
+        if any(w.name == spec.name for w in self.workers):
+            raise ValueError(f"worker name {spec.name!r} already in the cluster")
+        now = self.frontier_ms if now_ms is None else now_ms
+        worker = self._build_worker(len(self.workers), spec)
+        worker.clock_ms = worker.joined_at_ms = now
+        self.workers.append(worker)
+        return worker
+
+    def retire_worker(self, name: str, *, now_ms: float | None = None) -> int:
+        """Voluntarily remove a worker; its backlog is re-routed.
+
+        Returns the number of requests re-homed (``rebalanced``).  A
+        retired worker takes no further placements and is not a lost
+        device; retiring an already-dead worker is bookkeeping only.
+        Orphans that find no live replica settle as ``CapacityExceeded``.
+        """
+        worker = self.worker_by_name(name)
+        if worker.retired:
+            return 0
+        now = worker.clock_ms if now_ms is None else now_ms
+        worker.retired = True
+        moved = 0
+        for req in worker.drain_backlog():
+            req.service_handle = None
+            try:
+                self.router.place(req, self.workers)
+                moved += 1
+            except CapacityExceeded as exc:
+                self.ledger.settle_fail(
+                    req,
+                    FailureRecord(req.request_id, "CapacityExceeded", str(exc),
+                                  attempts=req.hops),
+                    completed_ms=now,
+                )
+        self.rebalanced += moved
+        return moved
+
+    def replace_worker(self, name: str, spec: WorkerSpec, *,
+                       now_ms: float | None = None) -> ClusterWorker:
+        """Swap one replica for a fresh one in a single reconfiguration.
+
+        The newcomer joins *first*, so the retiree's backlog can land
+        on it — the control plane's standard remedy for a dead or
+        degraded replica.
+        """
+        now = self.frontier_ms if now_ms is None else now_ms
+        worker = self.add_worker(spec, now_ms=now)
+        self.retire_worker(name, now_ms=now)
+        return worker
+
+    def reshard(self, *, now_ms: float | None = None) -> int:
+        """Pull every queued request and re-place it through the router.
+
+        Deterministic: backlogs drain in worker-index order, each in
+        its own deterministic bin order, and the router places one
+        request at a time.  Returns the number of requests that moved
+        to a *different* worker (all re-placements count toward
+        ``rebalanced``).
+        """
+        del now_ms  # uniform reconfiguration signature; resharding is instant
+        staged: list[tuple[ClusterRequest, int]] = []
+        for w in self.workers:
+            if not w.alive:
+                continue
+            staged.extend((req, w.index) for req in w.drain_backlog())
+        moved = 0
+        for req, origin in staged:
+            target = self.router.place(req, self.workers)
+            if target.index != origin:
+                moved += 1
+        self.rebalanced += len(staged)
+        return moved
+
+    def set_policy(self, policy: str) -> None:
+        """Swap the routing policy for every placement from now on."""
+        old = self.router
+        self.router = Router(policy)
+        self.router.placements = old.placements
+        self.failover.router = self.router
+
+    def resize_cache(self, name: str, max_bytes: int) -> None:
+        """Resize one worker's private result cache in place."""
+        self.worker_by_name(name).service.resize_cache(max_bytes)
+
+    def set_engine(self, name: str, engine) -> None:
+        """Swap one worker's exact-scoring backend (wall-clock only:
+        scores and the modeled schedule are engine-independent)."""
+        self.worker_by_name(name).service.set_engine(engine)
 
     # ----- observability ---------------------------------------------------
 
@@ -274,6 +578,7 @@ class AlignmentCluster:
             stealer=self.stealer,
             failover=self.failover,
             n_requests=self._submitted,
+            rebalanced=self.rebalanced,
         )
 
     def merged_trace_json(self) -> str:

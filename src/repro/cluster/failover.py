@@ -40,6 +40,10 @@ class SettlementLedger:
         self.completed = 0
         self.failed = 0
         self.duplicate_drops = 0
+        #: Failed settlements by taxonomy class name (``DeviceDown``,
+        #: ``DeadlineExceeded``, ...) — the per-class breakdown the
+        #: control plane's SLO detector reads.
+        self.failure_counts: dict[str, int] = {}
 
     @property
     def settled(self) -> int:
@@ -78,6 +82,9 @@ class SettlementLedger:
             return False
         handle._fail(record, completed_ms=completed_ms, wait_ms=completed_ms)
         self.failed += 1
+        self.failure_counts[record.error] = (
+            self.failure_counts.get(record.error, 0) + 1
+        )
         return True
 
 

@@ -1,4 +1,5 @@
-"""Cluster-level metrics: per-worker reports and the aggregate rollup.
+"""Cluster-level metrics: per-worker reports, windowed rollups, and
+the aggregate snapshot.
 
 Everything here derives from the per-worker *modeled* clocks and the
 per-worker :class:`~repro.serve.metrics.ServiceMetrics` snapshots, so
@@ -17,6 +18,19 @@ the inter-worker level:
   slowest-subwarp effect, between devices);
 * ``utilization`` — per-worker busy/makespan;
 * steal and failover counters from the scheduling layers.
+
+Two granularities exist:
+
+:class:`ClusterMetrics`
+    The frozen end-of-run aggregate (what ``run()`` returns).
+:class:`WindowSnapshot`
+    An *interval* rollup emitted during ``run(window_ms=...)``: the
+    delta of every counter over one fixed-width slice of the wall
+    timeline, plus per-worker :class:`WorkerWindow` rates.  This is
+    what the self-healing control plane (:mod:`repro.control`)
+    consumes — a watcher needs "what happened in the last 2 ms", not
+    the lifetime average that a frozen aggregate smears a hotspot
+    into.
 """
 
 from __future__ import annotations
@@ -24,7 +38,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
-__all__ = ["WorkerReport", "ClusterMetrics"]
+__all__ = ["WorkerReport", "WorkerWindow", "WindowSnapshot", "ClusterMetrics"]
 
 
 @dataclass(frozen=True)
@@ -41,12 +55,97 @@ class WorkerReport:
     jobs_stolen_out: int
     steal_penalty_ms: float
     dead: bool
+    retired: bool
+    degraded: bool
+    joined_ms: float
     down_at_ms: float | None
     lost_in_flight: int
+    expired: int
     service: dict  # the worker's ServiceMetrics.to_dict()
 
     def to_dict(self) -> dict:
         return dict(self.__dict__)
+
+
+@dataclass(frozen=True)
+class WorkerWindow:
+    """One worker's activity inside one metrics window.
+
+    ``dilation`` is the window's observed slowdown: the worker's
+    wall-clock advance divided by ``nominal_ms``, the advance of its
+    own service clock (the modeled execution time its internal
+    accounting reports, overheads included; steal penalties excluded
+    from both).  A healthy worker measures exactly 1.0; a worker
+    suffering a :class:`~repro.resilience.faults.Degradation` measures
+    its factor — the signal the health watcher keys on, with no access
+    to the injected fault plan.
+    """
+
+    name: str
+    alive: bool
+    dead: bool
+    retired: bool
+    busy_ms: float
+    served: int
+    expired: int
+    cells: int
+    nominal_ms: float
+    dilation: float
+    queue_depth: int
+    cache_hits: int
+    cache_misses: int
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """Counter deltas over one ``[start_ms, end_ms)`` wall-time slice.
+
+    Emitted by :meth:`AlignmentCluster.run` when ``window_ms`` is set;
+    every count is *this window's* contribution (the frozen aggregate
+    is the sum over windows plus anything before/after the windowed
+    span).  ``jobs`` carries the extension jobs the cluster settled in
+    the window — the replay set the control plane's shadow verifier
+    re-executes under a candidate configuration; it is deliberately
+    excluded from :meth:`to_dict` (sequences are data, not metrics).
+    """
+
+    index: int
+    start_ms: float
+    end_ms: float
+    completed: int
+    failed: int
+    deadline_misses: int
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    pending: int
+    steals: int
+    jobs_stolen: int
+    failovers: int
+    unroutable: int
+    workers_lost: int
+    imbalance: float
+    workers: tuple[WorkerWindow, ...] = field(default_factory=tuple)
+    jobs: tuple = field(default_factory=tuple, repr=False)
+
+    @property
+    def resolved(self) -> int:
+        return self.completed + self.failed
+
+    def to_dict(self) -> dict:
+        out = {k: v for k, v in self.__dict__.items()
+               if k not in ("workers", "jobs")}
+        out["n_jobs"] = len(self.jobs)
+        out["workers"] = [w.to_dict() for w in self.workers]
+        return out
+
+    def to_json(self, **dumps_kwargs) -> str:
+        dumps_kwargs.setdefault("indent", 2)
+        dumps_kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **dumps_kwargs)
 
 
 @dataclass(frozen=True)
@@ -68,6 +167,8 @@ class ClusterMetrics:
     failovers: int
     unroutable: int
     workers_lost: int
+    rebalanced: int
+    deadline_misses: int
     cache_hits: int
     cache_misses: int
     cache_hit_rate: float
@@ -99,9 +200,22 @@ class ClusterMetrics:
             f"  resolved {self.resolved} ({self.completed} ok, {self.failed} failed), "
             f"steals {self.steal_count} ({self.jobs_stolen} jobs), "
             f"failovers {self.failovers}, lost workers {self.workers_lost}",
+            # Lost-capacity events operators must see without parsing
+            # JSON: requests that found no live replica, settlement
+            # races resolved by the ledger, and blown SLO deadlines.
+            f"  unroutable {self.unroutable}, duplicate drops "
+            f"{self.duplicate_drops}, deadline misses {self.deadline_misses}, "
+            f"rebalanced {self.rebalanced}",
         ]
         for w in self.workers:
-            status = "DOWN" if w.dead else "up"
+            if w.dead:
+                status = "DOWN"
+            elif w.retired:
+                status = "ret"
+            elif w.degraded:
+                status = "slow"
+            else:
+                status = "up"
             lines.append(
                 f"    {w.name:<10} [{status:>4}] busy {w.busy_ms:10.3f} ms "
                 f"(util {w.utilization:5.1%}) served {w.served:>6} "
@@ -112,12 +226,12 @@ class ClusterMetrics:
 
 def aggregate(
     *, policy: str, stealing: bool, workers, ledger, stealer, failover,
-    n_requests: int,
+    n_requests: int, rebalanced: int = 0,
 ) -> ClusterMetrics:
     """Fold the run's live objects into a frozen :class:`ClusterMetrics`."""
     reports = []
     makespan = max((w.clock_ms for w in workers), default=0.0)
-    busy = [w.clock_ms for w in workers]
+    busy = [w.busy_ms for w in workers]
     cache_hits = cache_misses = coalesced = 0
     for w in workers:
         sm = w.service.metrics()
@@ -127,16 +241,20 @@ def aggregate(
         reports.append(WorkerReport(
             name=w.name,
             device=w.spec.device.name,
-            busy_ms=w.clock_ms,
-            utilization=w.clock_ms / makespan if makespan else 0.0,
+            busy_ms=w.busy_ms,
+            utilization=w.busy_ms / makespan if makespan else 0.0,
             served=w.served,
             steals_initiated=w.steals_initiated,
             jobs_stolen_in=w.jobs_stolen_in,
             jobs_stolen_out=w.jobs_stolen_out,
             steal_penalty_ms=w.steal_penalty_ms,
             dead=w.dead,
+            retired=w.retired,
+            degraded=w.degraded_active,
+            joined_ms=w.joined_at_ms,
             down_at_ms=w.spec.down_at_ms,
             lost_in_flight=w.lost_in_flight,
+            expired=w.expired,
             service=sm.to_dict(),
         ))
     active = [t for t in busy if t > 0.0]
@@ -158,6 +276,8 @@ def aggregate(
         failovers=failover.failovers,
         unroutable=failover.unroutable,
         workers_lost=failover.workers_lost,
+        rebalanced=rebalanced,
+        deadline_misses=ledger.failure_counts.get("DeadlineExceeded", 0),
         cache_hits=cache_hits,
         cache_misses=cache_misses,
         cache_hit_rate=cache_hits / lookups if lookups else 0.0,

@@ -35,7 +35,7 @@ from ..align.scoring import ScoringScheme
 from ..baselines.base import ExtensionJob
 from ..core.config import SalobaConfig
 from ..gpusim.device import GTX1650, DeviceProfile
-from ..resilience.faults import FaultPlan
+from ..resilience.faults import Degradation, FaultPlan
 from ..resilience.retry import RetryPolicy
 from ..serve.request import RequestHandle
 from ..serve.service import AlignmentService
@@ -61,6 +61,14 @@ class WorkerSpec:
         The worker-level ``device_down`` fault: the modeled instant
         this device leaves the pool (None = stays up).  ``<= 0`` means
         the worker is dead on arrival and receives no placements.
+    degraded:
+        The worker-level *persistent slowdown* fault
+        (:class:`~repro.resilience.faults.Degradation`): from its
+        onset, the worker's wall clock dilates by ``factor`` per unit
+        of executed work.  The replica stays alive and its results
+        stay correct — only the schedule suffers, which is the signal
+        the control plane's health watcher has to detect from windowed
+        throughput (see :mod:`repro.control`).
     cache_bytes / max_batch_jobs:
         Forwarded to the worker's private :class:`AlignmentService`.
     engine:
@@ -75,6 +83,7 @@ class WorkerSpec:
     device: DeviceProfile = GTX1650
     fault_plan: FaultPlan | None = None
     down_at_ms: float | None = None
+    degraded: Degradation | None = None
     cache_bytes: int = 16 << 20
     max_batch_jobs: int = 4096
     engine: object | None = None
@@ -96,6 +105,11 @@ class ClusterRequest:
     est_cells: int = 0
     hops: int = 0  # failover re-routes survived
     stolen: int = 0  # times moved by the stealer
+    #: Absolute wall-timeline deadline: a request still queued when its
+    #: worker reaches this instant is dropped (``DeadlineExceeded``)
+    #: instead of executed — the cluster-level SLO the control plane
+    #: watches.  None = no deadline.
+    deadline_ms: float | None = None
     #: The per-worker service's handle for the current execution
     #: attempt; replaced wholesale when the request fails over.
     service_handle: RequestHandle | None = None
@@ -116,6 +130,10 @@ class StepOutcome:
     #: batch (results discarded) followed by the whole queued backlog.
     orphans: list[ClusterRequest] = field(default_factory=list)
     lost_in_flight: int = 0
+    #: Requests dropped at batch assembly because their wall-timeline
+    #: deadline had already passed; the cluster settles them as
+    #: ``DeadlineExceeded`` (the worker never settles handles itself).
+    expired: list[ClusterRequest] = field(default_factory=list)
 
 
 class ClusterWorker:
@@ -148,13 +166,23 @@ class ClusterWorker:
             engine=spec.engine if spec.engine is not None else engine,
         )
         self.clock_ms = 0.0
+        #: Wall instant this worker joined the pool (0.0 for founding
+        #: workers; the control plane sets it for mid-run additions).
+        #: Busy time is ``clock_ms - joined_at_ms``.
+        self.joined_at_ms = 0.0
         self.dead = spec.down_at_ms is not None and spec.down_at_ms <= 0.0
+        #: Voluntarily removed by the control plane: no longer placed
+        #: on or stolen from, but not a lost device (``workers_lost``
+        #: counts deaths only).
+        self.retired = False
         self._backlog: dict[int, deque[ClusterRequest]] = {}
         self._backlog_n = 0
         self._backlog_cells = 0
         # ---- counters surfaced by repro.cluster.metrics ----
         self.served = 0
+        self.served_cells = 0
         self.lost_in_flight = 0
+        self.expired = 0
         self.steals_initiated = 0
         self.jobs_stolen_in = 0
         self.jobs_stolen_out = 0
@@ -168,7 +196,18 @@ class ClusterWorker:
 
     @property
     def alive(self) -> bool:
-        return not self.dead
+        return not (self.dead or self.retired)
+
+    @property
+    def busy_ms(self) -> float:
+        """Wall time spent in the pool (executing or paying penalties)."""
+        return self.clock_ms - self.joined_at_ms
+
+    @property
+    def degraded_active(self) -> bool:
+        """Whether the persistent-slowdown fault has set in by now."""
+        deg = self.spec.degraded
+        return deg is not None and deg.active_at(self.clock_ms)
 
     @property
     def backlog_n(self) -> int:
@@ -270,7 +309,21 @@ class ClusterWorker:
         """
         assert self.alive and self._backlog_n > 0
         bin_index = self._pick_bin()
-        batch = self.take_from_bin(bin_index, self.spec.max_batch_jobs, tail=False)
+        taken = self.take_from_bin(bin_index, self.spec.max_batch_jobs, tail=False)
+        # Deadline gate at batch assembly: a request whose wall-clock
+        # deadline has already passed never reaches the device.  The
+        # expired list goes back to the cluster, which settles it
+        # through the ledger (exactly-once even if the request expires
+        # right as the worker dies).
+        expired = [
+            r for r in taken
+            if r.deadline_ms is not None and self.clock_ms > r.deadline_ms
+        ]
+        batch = [r for r in taken if r.deadline_ms is None
+                 or self.clock_ms <= r.deadline_ms]
+        self.expired += len(expired)
+        if not batch:
+            return StepOutcome(expired=expired)
         before = self.service.clock_ms
         for req in batch:
             # The per-worker queue is sized to max_batch_jobs, so this
@@ -278,6 +331,12 @@ class ClusterWorker:
             req.service_handle = self.service.submit(req.job.query, req.job.ref)
         self.service.flush()
         batch_ms = self.service.clock_ms - before
+        # A degraded device does the same modeled work in more wall
+        # time; the service clock (scores, per-batch metrics) is
+        # untouched — only this worker's position on the shared
+        # timeline dilates.
+        if self.spec.degraded is not None:
+            batch_ms = self.spec.degraded.dilate(self.clock_ms, batch_ms)
         self.clock_ms += batch_ms
         down = self.spec.down_at_ms
         if down is not None and self.clock_ms > down:
@@ -292,6 +351,8 @@ class ClusterWorker:
                 batch_ms=batch_ms,
                 orphans=batch + self.drain_backlog(),
                 lost_in_flight=len(batch),
+                expired=expired,
             )
         self.served += len(batch)
-        return StepOutcome(served=batch, batch_ms=batch_ms)
+        self.served_cells += sum(r.est_cells for r in batch)
+        return StepOutcome(served=batch, batch_ms=batch_ms, expired=expired)

@@ -1,0 +1,67 @@
+"""repro.control: a self-healing control plane for the alignment cluster.
+
+The cluster layer (:mod:`repro.cluster`) gives faults consequences —
+dead replicas orphan work, degraded ones drag the makespan, lost
+affinity empties caches.  This package closes the loop on them with a
+**detect → propose → shadow-verify → apply** cycle driven from the
+windowed metrics a running cluster emits:
+
+* :class:`~repro.control.detectors.HealthWatcher` /
+  :class:`~repro.control.detectors.Diagnosis` — rule-based detection
+  over :class:`~repro.cluster.metrics.WindowSnapshot` streams
+  (hotspots, cache-affinity collapse, dead and degraded replicas,
+  SLO breaches), from observable signals only;
+* :class:`~repro.control.actions.RemediationEngine` and the
+  :class:`~repro.control.actions.Action` catalogue — add / remove /
+  replace worker, re-shard bins, swap routing policy, resize a result
+  cache, switch a scoring engine;
+* :class:`~repro.control.shadow.ShadowVerifier` — replays the last
+  window's settled jobs on a cloned cluster under the candidate
+  configuration, on the deterministic modeled clock; accepts only if
+  the triggering metric improves without violating score fidelity or
+  the SLO guard.  Rejected proposals are recorded, never applied;
+* :class:`~repro.control.controller.SelfHealingController` /
+  :class:`~repro.control.controller.AuditTrail` — the window callback
+  tying the stages together, with a byte-deterministic JSON audit
+  trail and :mod:`repro.obs` spans around every phased decision.
+
+See docs/CONTROL.md for the loop's contracts and
+``repro heal-report`` / benchmarks/bench_control.py for the healing
+benchmark (storm of injected faults, healing on vs off).
+"""
+
+from .actions import (
+    Action,
+    AddWorker,
+    RemediationEngine,
+    RemoveWorker,
+    ReplaceWorker,
+    ReshardBins,
+    ResizeCache,
+    SwapPolicy,
+    SwitchEngine,
+)
+from .controller import AuditTrail, SelfHealingController
+from .detectors import Diagnosis, HealthWatcher, WatcherConfig
+from .shadow import ShadowVerifier, Verdict, VerifyConfig, observed_specs
+
+__all__ = [
+    "Action",
+    "AddWorker",
+    "AuditTrail",
+    "Diagnosis",
+    "HealthWatcher",
+    "RemediationEngine",
+    "RemoveWorker",
+    "ReplaceWorker",
+    "ReshardBins",
+    "ResizeCache",
+    "SelfHealingController",
+    "ShadowVerifier",
+    "SwapPolicy",
+    "SwitchEngine",
+    "Verdict",
+    "VerifyConfig",
+    "WatcherConfig",
+    "observed_specs",
+]

@@ -1,0 +1,346 @@
+"""Propose: the remediation catalogue and the diagnosis→candidates map.
+
+Every :class:`Action` is a small frozen dataclass with two faces:
+
+* :meth:`Action.transform` — the *shadow* face: rewrite a
+  ``(worker specs, routing policy)`` pair into the candidate
+  configuration the :class:`~repro.control.shadow.ShadowVerifier`
+  replays.  Pure; never touches the live cluster.
+* :meth:`Action.apply` — the *live* face: perform the same change on
+  the running :class:`~repro.cluster.cluster.AlignmentCluster` through
+  its mid-run reconfiguration API, at a stated wall instant.
+
+The :class:`RemediationEngine` maps a
+:class:`~repro.control.detectors.Diagnosis` to an *ordered* candidate
+list, cheapest first — the shadow stage is the arbiter, so the
+proposer is free to lead with a free action (an engine swap, a
+reshard) and let verification reject it when it would not move the
+triggering metric.  Two catalogue entries are rejected *by design* and
+exist to exercise that path honestly:
+
+* :class:`ReshardBins` re-routes queued work without changing the
+  configuration, so a from-scratch shadow replay (which re-places
+  everything anyway) shows zero gain;
+* :class:`SwitchEngine` changes only host wall-clock cost — modeled
+  schedules and scores are engine-independent by the
+  :mod:`repro.engine` contract — so no modeled metric can improve.
+
+Proposed worker specs are always *clean*: fresh name, a known device
+profile, no fault plan — the controller cannot (and must not) clone a
+fault it has no way to observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+from ..cluster.cluster import AlignmentCluster
+from ..cluster.metrics import WindowSnapshot
+from ..cluster.router import ROUTING_POLICIES
+from ..cluster.worker import WorkerSpec
+from .detectors import Diagnosis
+
+__all__ = [
+    "Action",
+    "AddWorker",
+    "RemoveWorker",
+    "ReplaceWorker",
+    "ReshardBins",
+    "SwapPolicy",
+    "ResizeCache",
+    "SwitchEngine",
+    "RemediationEngine",
+]
+
+
+def _spec_summary(spec: WorkerSpec) -> dict:
+    return {
+        "name": spec.name,
+        "device": spec.device.name,
+        "cache_bytes": spec.cache_bytes,
+        "max_batch_jobs": spec.max_batch_jobs,
+    }
+
+
+@dataclass(frozen=True)
+class Action:
+    """One remediation the control plane can shadow-verify and apply."""
+
+    kind = "abstract"
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        raise NotImplementedError
+
+    def transform(
+        self, specs: list[WorkerSpec], policy: str
+    ) -> tuple[list[WorkerSpec], str]:
+        """The candidate shadow configuration this action produces."""
+        raise NotImplementedError
+
+    def apply(self, cluster: AlignmentCluster, *, now_ms: float) -> None:
+        """Perform the change on the live cluster at *now_ms*."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AddWorker(Action):
+    """Join a fresh replica to absorb load."""
+
+    spec: WorkerSpec
+    kind = "add_worker"
+
+    def describe(self) -> str:
+        return f"add worker {self.spec.name!r} ({self.spec.device.name})"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "spec": _spec_summary(self.spec)}
+
+    def transform(self, specs, policy):
+        return [*specs, self.spec], policy
+
+    def apply(self, cluster, *, now_ms):
+        cluster.add_worker(self.spec, now_ms=now_ms)
+
+
+@dataclass(frozen=True)
+class RemoveWorker(Action):
+    """Retire a replica; its backlog re-routes through the router."""
+
+    name: str
+    kind = "remove_worker"
+
+    def describe(self) -> str:
+        return f"retire worker {self.name!r}"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "name": self.name}
+
+    def transform(self, specs, policy):
+        return [s for s in specs if s.name != self.name], policy
+
+    def apply(self, cluster, *, now_ms):
+        cluster.retire_worker(self.name, now_ms=now_ms)
+
+
+@dataclass(frozen=True)
+class ReplaceWorker(Action):
+    """Swap a dead or degraded replica for a clean one."""
+
+    name: str
+    spec: WorkerSpec
+    kind = "replace_worker"
+
+    def describe(self) -> str:
+        return (
+            f"replace worker {self.name!r} with {self.spec.name!r} "
+            f"({self.spec.device.name})"
+        )
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "name": self.name,
+                "spec": _spec_summary(self.spec)}
+
+    def transform(self, specs, policy):
+        return [s for s in specs if s.name != self.name] + [self.spec], policy
+
+    def apply(self, cluster, *, now_ms):
+        cluster.replace_worker(self.name, self.spec, now_ms=now_ms)
+
+
+@dataclass(frozen=True)
+class ReshardBins(Action):
+    """Pull every queued request and re-place it through the router.
+
+    Configuration-neutral: a from-scratch shadow replay re-places all
+    traffic anyway, so the verifier sees identical baseline and
+    candidate metrics and rejects it — by design (see module
+    docstring).
+    """
+
+    kind = "reshard_bins"
+
+    def describe(self) -> str:
+        return "re-shard queued bins through the router"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind}
+
+    def transform(self, specs, policy):
+        return list(specs), policy
+
+    def apply(self, cluster, *, now_ms):
+        cluster.reshard(now_ms=now_ms)
+
+
+@dataclass(frozen=True)
+class SwapPolicy(Action):
+    """Change the routing policy for all placements from now on."""
+
+    policy: str
+    kind = "swap_policy"
+
+    def __post_init__(self):
+        if self.policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {self.policy!r}; "
+                f"choose one of {ROUTING_POLICIES}"
+            )
+
+    def describe(self) -> str:
+        return f"swap routing policy to {self.policy!r}"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "policy": self.policy}
+
+    def transform(self, specs, policy):
+        return list(specs), self.policy
+
+    def apply(self, cluster, *, now_ms):
+        cluster.set_policy(self.policy)
+
+
+@dataclass(frozen=True)
+class ResizeCache(Action):
+    """Grow (or shrink) one worker's private result-cache budget."""
+
+    name: str
+    max_bytes: int
+    kind = "resize_cache"
+
+    def describe(self) -> str:
+        return f"resize {self.name!r} result cache to {self.max_bytes} bytes"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "name": self.name, "max_bytes": self.max_bytes}
+
+    def transform(self, specs, policy):
+        return [
+            dc_replace(s, cache_bytes=self.max_bytes) if s.name == self.name else s
+            for s in specs
+        ], policy
+
+    def apply(self, cluster, *, now_ms):
+        cluster.resize_cache(self.name, self.max_bytes)
+
+
+@dataclass(frozen=True)
+class SwitchEngine(Action):
+    """Swap one worker's exact-scoring backend.
+
+    Modeled-neutral by the :mod:`repro.engine` contract (engines change
+    host wall-clock only, never scores or the modeled schedule), so the
+    shadow verifier always rejects it — by design (see module
+    docstring).
+    """
+
+    name: str
+    engine: str
+    kind = "switch_engine"
+
+    def describe(self) -> str:
+        return f"switch {self.name!r} scoring engine to {self.engine!r}"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "name": self.name, "engine": self.engine}
+
+    def transform(self, specs, policy):
+        return [
+            dc_replace(s, engine=self.engine) if s.name == self.name else s
+            for s in specs
+        ], policy
+
+    def apply(self, cluster, *, now_ms):
+        cluster.set_engine(self.name, self.engine)
+
+
+class RemediationEngine:
+    """Diagnosis → ordered candidate actions (cheapest first).
+
+    Fresh replica names are drawn from a deterministic counter
+    (``heal0``, ``heal1``, ...), so two identical runs propose
+    identically named workers — part of the audit trail's
+    byte-determinism contract.
+    """
+
+    def __init__(self, *, name_prefix: str = "heal"):
+        self.name_prefix = name_prefix
+        self._fresh = 0
+
+    def _fresh_spec(self, template: WorkerSpec) -> WorkerSpec:
+        """A clean spec on *template*'s device: no faults, same budgets."""
+        name = f"{self.name_prefix}{self._fresh}"
+        self._fresh += 1
+        return WorkerSpec(
+            name=name,
+            device=template.device,
+            cache_bytes=template.cache_bytes,
+            max_batch_jobs=template.max_batch_jobs,
+            engine=template.engine,
+        )
+
+    @staticmethod
+    def _template(cluster: AlignmentCluster, subject: str | None) -> WorkerSpec:
+        """The spec a fresh replica is modeled on: the subject's own
+        when it names a worker, else the first live worker's, else the
+        first spec at all (a fully-dead cluster still gets a device)."""
+        if subject is not None:
+            for w in cluster.workers:
+                if w.name == subject:
+                    return w.spec
+        for w in cluster.workers:
+            if w.alive:
+                return w.spec
+        return cluster.workers[0].spec
+
+    def propose(
+        self, cluster: AlignmentCluster, snap: WindowSnapshot, d: Diagnosis
+    ) -> list[Action]:
+        """Ordered candidates for *d*; may be empty (nothing sensible)."""
+        if d.kind == "dead_replica":
+            return [ReplaceWorker(d.worker, self._fresh_spec(
+                self._template(cluster, d.worker)))]
+        if d.kind == "degraded_replica":
+            return [ReplaceWorker(d.worker, self._fresh_spec(
+                self._template(cluster, d.worker)))]
+        if d.kind == "hotspot":
+            candidates: list[Action] = [ReshardBins()]
+            if cluster.policy != "least_loaded":
+                candidates.append(SwapPolicy("least_loaded"))
+            else:
+                candidates.append(AddWorker(self._fresh_spec(
+                    self._template(cluster, d.worker))))
+            return candidates
+        if d.kind == "cache_collapse":
+            if cluster.policy != "static_hash":
+                return [SwapPolicy("static_hash")]
+            worst = self._most_misses(snap)
+            if worst is None:
+                return []
+            spec = self._template(cluster, worst)
+            return [ResizeCache(worst, max(spec.cache_bytes * 2, 1 << 20))]
+        if d.kind == "slo_breach":
+            deepest = self._deepest_queue(snap)
+            candidates = []
+            if deepest is not None:
+                candidates.append(SwitchEngine(deepest, "batched"))
+            candidates.append(AddWorker(self._fresh_spec(
+                self._template(cluster, d.worker))))
+            return candidates
+        return []
+
+    @staticmethod
+    def _most_misses(snap: WindowSnapshot) -> str | None:
+        live = [ww for ww in snap.workers if ww.alive]
+        if not live:
+            return None
+        return max(live, key=lambda ww: (ww.cache_misses, ww.name)).name
+
+    @staticmethod
+    def _deepest_queue(snap: WindowSnapshot) -> str | None:
+        live = [ww for ww in snap.workers if ww.alive]
+        if not live:
+            return None
+        return max(live, key=lambda ww: (ww.queue_depth, ww.name)).name

@@ -1,0 +1,245 @@
+"""Apply + audit: the closed loop that ties the control plane together.
+
+:class:`SelfHealingController` is the window callback a caller hands
+to ``AlignmentCluster.run(window_ms=..., on_window=...)``.  At every
+boundary it runs the full loop over the fresh
+:class:`~repro.cluster.metrics.WindowSnapshot`:
+
+1. **detect** — the :class:`~repro.control.detectors.HealthWatcher`
+   evaluates its rules;
+2. **propose** — the :class:`~repro.control.actions.RemediationEngine`
+   maps each diagnosis to an ordered candidate list (after a per-key
+   cooldown filter, so one hotspot does not re-fire every window);
+3. **shadow-verify** — each candidate in turn goes through the
+   :class:`~repro.control.shadow.ShadowVerifier`; rejected candidates
+   are *recorded, never applied*;
+4. **apply** — the first accepted candidate is applied to the live
+   cluster at the window boundary, through the cluster's deterministic
+   mid-run reconfiguration API.
+
+Every (diagnosis, action, verdict, applied?) tuple lands in the
+:class:`AuditTrail`; applied entries additionally get a ``post``
+observation filled from the *next* window, closing the loop on whether
+the remediation actually helped.  The trail's JSON export is sorted
+and separator-fixed, and every quantity in it derives from the modeled
+clock and deterministic replays — two identical runs produce
+**byte-identical** trails (the CI ``control-smoke`` job ``cmp``\\ s
+them).
+
+When built with ``trace=True`` the controller keeps its own
+:class:`~repro.obs.Tracer` and surrounds each phase with spans on the
+modeled clock at the window boundary, so healing decisions line up
+with worker lanes in a merged chrome trace.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..cluster.cluster import AlignmentCluster
+from ..cluster.metrics import WindowSnapshot
+from ..obs.tracer import NULL_TRACER, Tracer
+from .actions import RemediationEngine
+from .detectors import Diagnosis, HealthWatcher, WatcherConfig
+from .shadow import ShadowVerifier, VerifyConfig
+
+__all__ = ["AuditTrail", "SelfHealingController"]
+
+
+class AuditTrail:
+    """Ordered record of every control decision, byte-deterministic."""
+
+    def __init__(self):
+        self.entries: list[dict] = []
+
+    def record(self, entry: dict) -> None:
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def applied(self) -> list[dict]:
+        return [e for e in self.entries if e["applied"]]
+
+    @property
+    def rejected(self) -> list[dict]:
+        return [e for e in self.entries if not e["applied"]]
+
+    def to_dict(self) -> dict:
+        return {
+            "entries": self.entries,
+            "n_entries": len(self.entries),
+            "n_applied": len(self.applied),
+            "n_rejected": len(self.rejected),
+        }
+
+    def to_json(self, **dumps_kwargs) -> str:
+        dumps_kwargs.setdefault("indent", 2)
+        dumps_kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @property
+    def text(self) -> str:
+        """Human-readable one-line-per-decision rendering."""
+        if not self.entries:
+            return "audit trail: no control decisions"
+        lines = [
+            f"audit trail: {len(self.entries)} decisions "
+            f"({len(self.applied)} applied, {len(self.rejected)} rejected)"
+        ]
+        for e in self.entries:
+            d, v = e["diagnosis"], e["verdict"]
+            status = "APPLIED " if e["applied"] else "rejected"
+            lines.append(
+                f"  w{e['window']:>3} [{status}] {d['kind']:<17} "
+                f"{e['action']['kind']:<15} {v['reason']}"
+            )
+        return "\n".join(lines)
+
+
+class SelfHealingController:
+    """The closed detect→propose→shadow-verify→apply loop.
+
+    Pass :meth:`on_window` to ``cluster.run(window_ms=...,
+    on_window=...)``.  All four stage objects are injectable for
+    testing; the defaults reproduce the benchmark's behaviour.
+    """
+
+    def __init__(
+        self,
+        cluster: AlignmentCluster,
+        *,
+        watcher: HealthWatcher | None = None,
+        remediation: RemediationEngine | None = None,
+        verifier: ShadowVerifier | None = None,
+        watcher_config: WatcherConfig | None = None,
+        verify_config: VerifyConfig | None = None,
+        cooldown_windows: int = 2,
+        max_actions: int = 8,
+        replay_target_jobs: int = 32,
+        replay_buffer_windows: int = 8,
+        trace: bool = False,
+    ):
+        self.cluster = cluster
+        self.watcher = watcher or HealthWatcher(
+            config=watcher_config or WatcherConfig())
+        self.remediation = remediation or RemediationEngine()
+        self.verifier = verifier or ShadowVerifier(verify_config)
+        self.cooldown_windows = cooldown_windows
+        self.max_actions = max_actions
+        self.replay_target_jobs = replay_target_jobs
+        self.replay_buffer_windows = replay_buffer_windows
+        self.tracer: Tracer = Tracer() if trace else NULL_TRACER
+        self.audit = AuditTrail()
+        self.windows_seen = 0
+        self.diagnoses_raised = 0
+        self.actions_applied = 0
+        self._cooldown: dict[tuple[str, str | None], int] = {}
+        self._await_post: list[dict] = []
+        #: Per-window job tuples, newest last — the shadow replay pool.
+        self._recent_jobs: list[tuple] = []
+
+    # ----- the window callback ---------------------------------------------
+
+    def on_window(self, snap: WindowSnapshot) -> None:
+        """Run one full control-loop iteration at a window boundary."""
+        t = self.tracer
+        self.windows_seen += 1
+        t.sync(snap.end_ms)
+        span = t.begin("control.window", category="control",
+                       window=snap.index) if t else None
+        self._fill_posts(snap)
+        self._recent_jobs.append(snap.jobs)
+        del self._recent_jobs[: -self.replay_buffer_windows]
+        diagnoses = self.watcher.observe(snap)
+        self.diagnoses_raised += len(diagnoses)
+        t.instant("control.detect", window=snap.index,
+                  diagnoses=[d.kind for d in diagnoses])
+        for d in diagnoses:
+            if self._cooling(d, snap.index):
+                continue
+            self._cooldown[d.key] = snap.index
+            self._handle(d, snap)
+        if span is not None:
+            t.end(span)
+
+    def _cooling(self, d: Diagnosis, window: int) -> bool:
+        last = self._cooldown.get(d.key)
+        return last is not None and window - last <= self.cooldown_windows
+
+    def _replay_jobs(self) -> list:
+        """The shadow replay set: the last window's settled jobs,
+        extended backwards through recent windows until it holds at
+        least ``replay_target_jobs`` — a sparsely-settled window still
+        gets verified against representative recent traffic."""
+        picked: list[tuple] = []
+        count = 0
+        for jobs in reversed(self._recent_jobs):
+            picked.append(jobs)
+            count += len(jobs)
+            if count >= self.replay_target_jobs:
+                break
+        out: list = []
+        for jobs in reversed(picked):
+            out.extend(jobs)
+        return out
+
+    def _handle(self, d: Diagnosis, snap: WindowSnapshot) -> None:
+        t = self.tracer
+        candidates = self.remediation.propose(self.cluster, snap, d)
+        t.instant("control.propose", kind=d.kind, worker=d.worker,
+                  candidates=[a.kind for a in candidates])
+        replay = self._replay_jobs()
+        for action in candidates:
+            verdict = self.verifier.verify(self.cluster, snap, d, action,
+                                           jobs=replay)
+            t.instant("control.verify", action=action.kind,
+                      accepted=verdict.accepted, reason=verdict.reason)
+            entry = {
+                "window": snap.index,
+                "at_ms": snap.end_ms,
+                "diagnosis": d.to_dict(),
+                "action": action.to_dict(),
+                "verdict": verdict.to_dict(),
+                "applied": False,
+                "post": None,
+            }
+            self.audit.record(entry)
+            if verdict.accepted and self.actions_applied < self.max_actions:
+                action.apply(self.cluster, now_ms=snap.end_ms)
+                entry["applied"] = True
+                self.actions_applied += 1
+                self._await_post.append(entry)
+                t.instant("control.apply", action=action.kind,
+                          detail=action.describe())
+                return  # first accepted candidate wins
+        # every candidate rejected (or the action budget is spent):
+        # recorded above, nothing applied — the cooldown still holds so
+        # the same diagnosis is not re-litigated every window.
+
+    def _fill_posts(self, snap: WindowSnapshot) -> None:
+        """Close the loop: observe the window *after* each application."""
+        for entry in self._await_post:
+            entry["post"] = {
+                "window": snap.index,
+                "completed": snap.completed,
+                "failed": snap.failed,
+                "deadline_misses": snap.deadline_misses,
+                "imbalance": snap.imbalance,
+                "cache_hit_rate": snap.cache_hit_rate,
+                "pending": snap.pending,
+            }
+        self._await_post = []
+
+    # ----- reporting -------------------------------------------------------
+
+    def report(self) -> dict:
+        """Aggregate counters for the heal-report CLI and benchmarks."""
+        return {
+            "windows_seen": self.windows_seen,
+            "diagnoses_raised": self.diagnoses_raised,
+            "decisions": len(self.audit),
+            "applied": len(self.audit.applied),
+            "rejected": len(self.audit.rejected),
+        }

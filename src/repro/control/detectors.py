@@ -1,0 +1,257 @@
+"""Detect: rule-based health checks over windowed cluster metrics.
+
+The :class:`HealthWatcher` is the control plane's eyes.  It consumes
+the :class:`~repro.cluster.metrics.WindowSnapshot` stream a windowed
+``AlignmentCluster.run`` emits and raises :class:`Diagnosis` records
+when a rule fires.  Crucially it sees **only observable signals** —
+counter deltas, per-worker dilation, queue depths — never the injected
+fault plans; a degraded replica is diagnosed because its windowed
+throughput says so, exactly as a production watcher would have to.
+
+The rules, in evaluation order:
+
+``dead_replica``
+    A worker reports ``dead`` (the ``device_down`` fault fired) and
+    has not been retired.  Re-raised every window until a remediation
+    retires the corpse — a rejected proposal one window (say, while a
+    concurrent degradation dominates the shadow makespan) must not
+    orphan the dead worker forever; the controller's cooldown paces
+    the retries.
+``degraded_replica``
+    A worker's window ``dilation`` (wall-clock advance over its own
+    service clock's advance; exactly 1.0 when healthy) reached
+    ``dilation_min`` for ``dilation_windows`` windows *with traffic*
+    (windows where the worker served nothing carry no signal and
+    neither grow nor reset the streak).  The default persistence is a
+    single window: the dilation measurement is exact on the modeled
+    clock, and a badly degraded worker may be scheduled — and thus
+    measurable — in only a few windows before it has already dragged
+    the makespan.  Raise ``dilation_windows`` when feeding noisier
+    signals.
+``hotspot``
+    The window's busy-time imbalance (max/mean over alive workers that
+    did work) reached ``imbalance_max`` — one replica is pinned while
+    others idle, the cluster-level analogue of the paper's
+    slowest-subwarp-retires-the-warp effect.
+``cache_collapse``
+    The window's cache hit rate fell below ``hit_rate_collapse_ratio``
+    times the trailing average of previous windows — affinity the
+    router had been exploiting stopped landing.  Requires
+    ``hit_rate_min_lookups`` lookups in the window and an established
+    baseline of at least ``hit_rate_baseline_min``, so cold-start
+    windows never fire it.
+``slo_breach``
+    The window settled ``deadline_miss_min`` or more requests as
+    ``DeadlineExceeded``, or left ``queue_depth_max`` or more requests
+    pending at the boundary — the service is not keeping up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.metrics import WindowSnapshot
+
+__all__ = ["WatcherConfig", "Diagnosis", "HealthWatcher"]
+
+#: Diagnosis kinds, in the watcher's evaluation order.
+DIAGNOSIS_KINDS = (
+    "dead_replica",
+    "degraded_replica",
+    "hotspot",
+    "cache_collapse",
+    "slo_breach",
+)
+
+
+@dataclass(frozen=True)
+class WatcherConfig:
+    """Thresholds for the health rules (see the module docstring)."""
+
+    #: Window dilation at/above which a worker counts as slowed.
+    dilation_min: float = 2.0
+    #: With-traffic windows the slowdown must persist (see module
+    #: docstring for why the default is a single window).
+    dilation_windows: int = 1
+    #: Window busy-time max/mean ratio that flags a hotspot.
+    imbalance_max: float = 1.6
+    #: Minimum cache lookups in a window for hit-rate rules to apply.
+    hit_rate_min_lookups: int = 8
+    #: Trailing-average hit rate below which no affinity is assumed.
+    hit_rate_baseline_min: float = 0.15
+    #: Fire when the window's rate drops below this fraction of trailing.
+    hit_rate_collapse_ratio: float = 0.5
+    #: Deadline misses in one window that flag an SLO breach.
+    deadline_miss_min: int = 1
+    #: Pending requests at a boundary that flag an SLO breach.
+    queue_depth_max: int = 512
+
+    def __post_init__(self):
+        if self.dilation_min < 1.0:
+            raise ValueError("dilation_min below 1.0 would flag healthy workers")
+        if self.dilation_windows < 1:
+            raise ValueError("dilation_windows must be at least 1")
+        if self.imbalance_max < 1.0:
+            raise ValueError("imbalance_max below 1.0 is unsatisfiable")
+        if not 0.0 < self.hit_rate_collapse_ratio <= 1.0:
+            raise ValueError("hit_rate_collapse_ratio must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """One fired health rule, with the evidence that fired it."""
+
+    kind: str
+    window: int  # WindowSnapshot.index it was raised at
+    worker: str | None = None  # the implicated replica, when there is one
+    value: float = 0.0  # the observed signal
+    threshold: float = 0.0  # the rule's limit it crossed
+    detail: str = ""
+
+    @property
+    def key(self) -> tuple[str, str | None]:
+        """Dedup/cooldown identity: same rule on the same subject."""
+        return (self.kind, self.worker)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "window": self.window,
+            "worker": self.worker,
+            "value": self.value,
+            "threshold": self.threshold,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class HealthWatcher:
+    """Stateful rule evaluator over the window stream.
+
+    State is limited to what persistence rules need: per-worker
+    slowdown streaks and the trailing cache-hit-rate history.  Feeding
+    the same snapshot sequence always yields the same diagnosis
+    sequence.
+    """
+
+    config: WatcherConfig = field(default_factory=WatcherConfig)
+    #: Trailing windows kept for the cache-collapse baseline.
+    history_windows: int = 4
+
+    def __post_init__(self):
+        self._slow_streak: dict[str, int] = {}
+        self._hit_rates: list[float] = []
+
+    def observe(self, snap: WindowSnapshot) -> list[Diagnosis]:
+        """Evaluate every rule against one window; return what fired."""
+        out: list[Diagnosis] = []
+        out.extend(self._check_dead(snap))
+        out.extend(self._check_degraded(snap))
+        out.extend(self._check_hotspot(snap))
+        out.extend(self._check_cache(snap))
+        out.extend(self._check_slo(snap))
+        return out
+
+    # ----- individual rules ------------------------------------------------
+
+    def _check_dead(self, snap: WindowSnapshot) -> list[Diagnosis]:
+        out = []
+        for ww in snap.workers:
+            if ww.dead and not ww.retired:
+                out.append(Diagnosis(
+                    kind="dead_replica", window=snap.index, worker=ww.name,
+                    value=1.0, threshold=1.0,
+                    detail=f"worker {ww.name!r} reports device_down",
+                ))
+        return out
+
+    def _check_degraded(self, snap: WindowSnapshot) -> list[Diagnosis]:
+        cfg = self.config
+        out = []
+        for ww in snap.workers:
+            if not ww.alive:
+                self._slow_streak.pop(ww.name, None)
+                continue
+            if ww.cells <= 0:
+                # No traffic, no signal; the streak neither grows nor
+                # resets — an idle window says nothing about health.
+                continue
+            if ww.dilation >= cfg.dilation_min:
+                streak = self._slow_streak.get(ww.name, 0) + 1
+                self._slow_streak[ww.name] = streak
+                if streak >= cfg.dilation_windows:
+                    out.append(Diagnosis(
+                        kind="degraded_replica", window=snap.index,
+                        worker=ww.name, value=ww.dilation,
+                        threshold=cfg.dilation_min,
+                        detail=(
+                            f"worker {ww.name!r} ran {ww.dilation:.2f}x the "
+                            f"cost model for {streak} consecutive windows"
+                        ),
+                    ))
+            else:
+                self._slow_streak[ww.name] = 0
+        return out
+
+    def _check_hotspot(self, snap: WindowSnapshot) -> list[Diagnosis]:
+        cfg = self.config
+        active = [ww for ww in snap.workers if ww.alive and ww.busy_ms > 0.0]
+        if len(active) < 2 or snap.imbalance < cfg.imbalance_max:
+            return []
+        worst = max(active, key=lambda ww: (ww.busy_ms, ww.name))
+        return [Diagnosis(
+            kind="hotspot", window=snap.index, worker=worst.name,
+            value=snap.imbalance, threshold=cfg.imbalance_max,
+            detail=(
+                f"busy-time imbalance {snap.imbalance:.2f} across "
+                f"{len(active)} active workers; {worst.name!r} is hottest"
+            ),
+        )]
+
+    def _check_cache(self, snap: WindowSnapshot) -> list[Diagnosis]:
+        cfg = self.config
+        lookups = snap.cache_hits + snap.cache_misses
+        baseline = (
+            sum(self._hit_rates) / len(self._hit_rates)
+            if self._hit_rates else 0.0
+        )
+        fired = []
+        if (
+            lookups >= cfg.hit_rate_min_lookups
+            and baseline >= cfg.hit_rate_baseline_min
+            and snap.cache_hit_rate < baseline * cfg.hit_rate_collapse_ratio
+        ):
+            fired.append(Diagnosis(
+                kind="cache_collapse", window=snap.index,
+                value=snap.cache_hit_rate,
+                threshold=baseline * cfg.hit_rate_collapse_ratio,
+                detail=(
+                    f"window hit rate {snap.cache_hit_rate:.1%} vs trailing "
+                    f"average {baseline:.1%} over {len(self._hit_rates)} windows"
+                ),
+            ))
+        if lookups >= cfg.hit_rate_min_lookups:
+            self._hit_rates.append(snap.cache_hit_rate)
+            del self._hit_rates[: -self.history_windows]
+        return fired
+
+    def _check_slo(self, snap: WindowSnapshot) -> list[Diagnosis]:
+        cfg = self.config
+        if snap.deadline_misses >= cfg.deadline_miss_min:
+            return [Diagnosis(
+                kind="slo_breach", window=snap.index,
+                value=float(snap.deadline_misses),
+                threshold=float(cfg.deadline_miss_min),
+                detail=(
+                    f"{snap.deadline_misses} requests settled as "
+                    f"DeadlineExceeded in the window"
+                ),
+            )]
+        if snap.pending >= cfg.queue_depth_max:
+            return [Diagnosis(
+                kind="slo_breach", window=snap.index,
+                value=float(snap.pending),
+                threshold=float(cfg.queue_depth_max),
+                detail=f"{snap.pending} requests still pending at the boundary",
+            )]
+        return []

@@ -1,0 +1,252 @@
+"""Shadow-verify: replay the last window on a cloned cluster.
+
+No proposal touches the live cluster until it has *earned* it.  The
+:class:`ShadowVerifier` rebuilds the cluster **as observed right now**
+(:func:`observed_specs`), replays the previous window's settled jobs on
+that baseline and on the candidate configuration the action proposes,
+both on the deterministic modeled clock, and accepts only when:
+
+1. the diagnosis's triggering metric improves by at least the
+   configured margin (relative for lower-is-better metrics, absolute
+   for the cache hit rate);
+2. **score fidelity** holds — every request that completed in both
+   replays produced identical alignment scores (a remediation must
+   never buy schedule with correctness);
+3. the **SLO guard** holds — the candidate failed no more replayed
+   requests than the baseline.
+
+The observed-state rule is what keeps verification honest: the shadow
+knows a worker is dead because its reports say so (it becomes
+dead-on-arrival in the clone), and knows a worker is slow because its
+windowed dilation says so (it gets a
+:class:`~repro.resilience.faults.Degradation` of the *observed* factor
+from time zero) — but injected fault plans and future ``down_at_ms``
+instants are stripped, because a controller cannot know the future.
+Replays are a pure function of (window jobs, observed state, action),
+so verdicts — and therefore the audit trail — are byte-deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+from ..cluster.cluster import AlignmentCluster
+from ..cluster.metrics import ClusterMetrics, WindowSnapshot
+from ..cluster.worker import WorkerSpec
+from ..resilience.faults import Degradation
+from .actions import Action
+from .detectors import Diagnosis
+
+__all__ = ["VerifyConfig", "Verdict", "ShadowVerifier", "observed_specs"]
+
+#: The window metric each diagnosis kind must move, and its direction.
+METRIC_FOR_KIND = {
+    "dead_replica": ("makespan_ms", "lower"),
+    "degraded_replica": ("makespan_ms", "lower"),
+    "hotspot": ("imbalance", "lower"),
+    "cache_collapse": ("cache_hit_rate", "higher"),
+    "slo_breach": ("makespan_ms", "lower"),
+}
+
+
+@dataclass(frozen=True)
+class VerifyConfig:
+    """Acceptance margins and observation thresholds."""
+
+    #: Minimum relative improvement for lower-is-better metrics
+    #: (makespan, imbalance): candidate must shave at least this
+    #: fraction off the baseline value.
+    min_relative_gain: float = 0.02
+    #: Minimum absolute improvement for the cache hit rate.
+    min_hit_rate_gain: float = 0.05
+    #: Window dilation at/above which the shadow models a worker as
+    #: persistently degraded (should match the watcher's threshold).
+    dilation_min: float = 2.0
+    #: Fewer settled jobs than this in the window and the replay is
+    #: not considered representative: the verdict is a rejection (the
+    #: diagnosis retries on a later, busier window).
+    min_replay_jobs: int = 4
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The outcome of shadow-verifying one action for one diagnosis."""
+
+    accepted: bool
+    reason: str
+    metric: str = ""
+    direction: str = ""
+    baseline: float = 0.0
+    candidate: float = 0.0
+    gain: float = 0.0
+    fidelity_ok: bool = True
+    slo_ok: bool = True
+    replayed: int = 0
+    baseline_failed: int = 0
+    candidate_failed: int = 0
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+def observed_specs(
+    cluster: AlignmentCluster, snap: WindowSnapshot, *, dilation_min: float
+) -> list[WorkerSpec]:
+    """The cluster's configuration *as the control plane can see it*.
+
+    Per live worker: its device, its **current** cache budget and batch
+    limit, and — when the last window measured a dilation at or above
+    *dilation_min* — a :class:`Degradation` of the observed factor from
+    time zero.  Dead workers become dead-on-arrival; retired workers
+    are omitted.  Injected fault plans and future ``down_at_ms``
+    instants are stripped: the controller models what it observed, not
+    what the fault injector secretly scheduled.
+    """
+    dilations = {
+        ww.name: ww.dilation
+        for ww in snap.workers
+        if ww.alive and ww.cells > 0 and ww.dilation >= dilation_min
+    }
+    specs: list[WorkerSpec] = []
+    for w in cluster.workers:
+        if w.retired:
+            continue
+        cache_bytes = w.service.cache.max_bytes if w.service.cache else 0
+        base = dc_replace(
+            w.spec,
+            fault_plan=None,
+            down_at_ms=0.0 if w.dead else None,
+            degraded=None,
+            cache_bytes=cache_bytes,
+        )
+        if not w.dead and w.name in dilations:
+            base = dc_replace(
+                base, degraded=Degradation(onset_ms=0.0,
+                                           factor=dilations[w.name])
+            )
+        specs.append(base)
+    return specs
+
+
+class ShadowVerifier:
+    """Builds shadow clusters, replays, and renders verdicts."""
+
+    def __init__(self, config: VerifyConfig | None = None):
+        self.config = config or VerifyConfig()
+
+    # ----- replay machinery ------------------------------------------------
+
+    @staticmethod
+    def _clone(cluster: AlignmentCluster, specs: list[WorkerSpec],
+               policy: str) -> AlignmentCluster:
+        return AlignmentCluster(
+            specs,
+            scoring=cluster.scoring,
+            config=cluster.config,
+            compute_scores=cluster.compute_scores,
+            policy=policy,
+            stealing=cluster.stealing,
+            steal_penalty_ms_per_job=cluster.steal_penalty_ms_per_job,
+            trace=False,
+            retry_policy=cluster.retry_policy,
+            engine=cluster.default_engine,
+        )
+
+    def _replay(self, cluster: AlignmentCluster, specs: list[WorkerSpec],
+                policy: str, jobs) -> tuple[AlignmentCluster, ClusterMetrics]:
+        shadow = self._clone(cluster, specs, policy)
+        shadow.submit_jobs(list(jobs))
+        return shadow, shadow.run()
+
+    # ----- verdict ---------------------------------------------------------
+
+    def verify(
+        self,
+        cluster: AlignmentCluster,
+        snap: WindowSnapshot,
+        diagnosis: Diagnosis,
+        action: Action,
+        *,
+        jobs=None,
+    ) -> Verdict:
+        """Shadow-replay *action* against *diagnosis*'s metric.
+
+        *jobs* overrides the replay set (default: the window's own
+        settled jobs).  The controller passes a trailing buffer ending
+        in the last window, so that a sparsely-settled window still
+        verifies against representative recent traffic.
+        """
+        metric, direction = METRIC_FOR_KIND.get(
+            diagnosis.kind, ("makespan_ms", "lower")
+        )
+        if jobs is None:
+            jobs = snap.jobs
+        if len(jobs) < self.config.min_replay_jobs:
+            return Verdict(
+                accepted=False, metric=metric, direction=direction,
+                replayed=len(jobs),
+                reason=(
+                    f"insufficient replay traffic in the window "
+                    f"({len(jobs)} < {self.config.min_replay_jobs} jobs)"
+                ),
+            )
+        base_specs = observed_specs(
+            cluster, snap, dilation_min=self.config.dilation_min
+        )
+        cand_specs, cand_policy = action.transform(base_specs, cluster.policy)
+        if not any(s.down_at_ms is None for s in cand_specs):
+            return Verdict(
+                accepted=False, metric=metric, direction=direction,
+                reason="candidate configuration leaves no live worker",
+            )
+        base_cluster, base = self._replay(
+            cluster, base_specs, cluster.policy, jobs)
+        cand_cluster, cand = self._replay(
+            cluster, cand_specs, cand_policy, jobs)
+        fidelity_ok = self._fidelity(base_cluster, cand_cluster)
+        slo_ok = cand.failed <= base.failed
+        b, c = getattr(base, metric), getattr(cand, metric)
+        if direction == "lower":
+            gain = (b - c) / b if b > 0.0 else 0.0
+            improved = gain >= self.config.min_relative_gain
+        else:
+            gain = c - b
+            improved = gain >= self.config.min_hit_rate_gain
+        accepted = improved and fidelity_ok and slo_ok
+        if not fidelity_ok:
+            reason = "score fidelity violated in shadow replay"
+        elif not slo_ok:
+            reason = (
+                f"SLO guard: candidate failed {cand.failed} replayed "
+                f"requests vs baseline {base.failed}"
+            )
+        elif not improved:
+            reason = (
+                f"{metric} did not improve enough "
+                f"({b:.6g} -> {c:.6g}, gain {gain:.6g})"
+            )
+        else:
+            reason = f"{metric} improved {b:.6g} -> {c:.6g}"
+        return Verdict(
+            accepted=accepted, reason=reason, metric=metric,
+            direction=direction, baseline=b, candidate=c, gain=gain,
+            fidelity_ok=fidelity_ok, slo_ok=slo_ok, replayed=len(jobs),
+            baseline_failed=base.failed, candidate_failed=cand.failed,
+        )
+
+    @staticmethod
+    def _fidelity(base: AlignmentCluster, cand: AlignmentCluster) -> bool:
+        """Equal scores for every request that completed in both replays.
+
+        Jobs were submitted in the same order to both shadows, so the
+        handle lists line up index-for-index.  Modeled-only clusters
+        (``compute_scores=False``) carry no scores to compare; their
+        replays are trivially faithful.
+        """
+        for hb, hc in zip(base.handles, cand.handles):
+            if not (hb.ok and hc.ok):
+                continue
+            rb, rc = hb.result(), hc.result()
+            if rb is not None and rc is not None and rb.score != rc.score:
+                return False
+        return True

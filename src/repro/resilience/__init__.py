@@ -25,7 +25,7 @@ from .errors import (
     InputError,
     JobRejected,
 )
-from .faults import FaultDecision, FaultPlan, job_key
+from .faults import Degradation, FaultDecision, FaultPlan, job_key
 from .report import FailureRecord, FailureReport
 from .retry import RetryPolicy
 
@@ -45,7 +45,7 @@ def __getattr__(name: str):
 __all__ = [
     "AlignmentError", "JobRejected", "InputError",
     "DeviceFault", "DeviceDown", "CapacityExceeded", "DeadlineExceeded",
-    "FaultPlan", "FaultDecision", "job_key",
+    "FaultPlan", "FaultDecision", "Degradation", "job_key",
     "RetryPolicy",
     "FailureRecord", "FailureReport",
     "IsolationOutcome", "run_isolated", "validate_job",

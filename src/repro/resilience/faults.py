@@ -31,7 +31,7 @@ import numpy as np
 
 from .errors import JobRejected
 
-__all__ = ["FaultDecision", "FaultPlan", "job_key"]
+__all__ = ["Degradation", "FaultDecision", "FaultPlan", "job_key"]
 
 _MASK32 = 0xFFFFFFFF
 
@@ -63,6 +63,48 @@ class FaultDecision:
     @property
     def transient(self) -> bool:
         return self.kind == "transient"
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """Worker-level persistent slowdown from a scheduled onset.
+
+    The fault signal thermal throttling, a failing fan, or a noisy
+    co-tenant produces in real fleets: the replica stays up and its
+    results stay correct, but from ``onset_ms`` onward every unit of
+    modeled work takes ``factor`` times as long on the wall timeline.
+    Distinct from the per-job ``stall`` fault (one subwarp drags for
+    one attempt) and from the terminal ``device_down`` fault (the
+    replica leaves the pool): a degraded replica is *slow but alive*,
+    which is exactly the state a health watcher has to infer from
+    windowed throughput rather than from an error report.
+
+    Installed via :attr:`repro.cluster.worker.WorkerSpec.degraded`;
+    the dilation applies to the worker's wall clock only — the
+    service-internal modeled clock (and therefore every score and
+    every per-batch metric) is untouched.
+    """
+
+    onset_ms: float = 0.0
+    factor: float = 4.0
+
+    def __post_init__(self):
+        if self.onset_ms < 0.0:
+            raise JobRejected(f"degradation onset cannot be negative, got {self.onset_ms}")
+        if self.factor < 1.0:
+            raise JobRejected(f"degradation factor must be >= 1, got {self.factor}")
+
+    def active_at(self, ms: float) -> bool:
+        return ms >= self.onset_ms
+
+    def dilate(self, start_ms: float, duration_ms: float) -> float:
+        """Wall duration of work starting at *start_ms* that would take
+        *duration_ms* on a healthy device; work straddling the onset
+        dilates only the part after it."""
+        if start_ms + duration_ms <= self.onset_ms:
+            return duration_ms
+        healthy = max(self.onset_ms - start_ms, 0.0)
+        return healthy + (duration_ms - healthy) * self.factor
 
 
 @dataclass(frozen=True)

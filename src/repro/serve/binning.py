@@ -171,6 +171,18 @@ class BinTuner:
             )
         return kernel
 
+    def set_engine(self, engine) -> None:
+        """Swap the scoring backend; tuned bins keep their subwarps.
+
+        Kernels for already-tuned bins are rebuilt against the new
+        engine from the recorded ``chosen_subwarps`` — no re-tuning
+        runs, so no new ``bin.tune`` spans and no modeled-time drift.
+        """
+        self.engine = engine
+        self._kernels = {
+            b: self._make_kernel(s) for b, s in self.chosen_subwarps.items()
+        }
+
     def tune_batch_size(
         self,
         bin_index: int,

@@ -144,6 +144,23 @@ class ResultCache:
             self._bytes -= evicted.nbytes
             self.stats.evictions += 1
 
+    def resize(self, max_bytes: int) -> None:
+        """Change the byte budget in place, evicting LRU down to it.
+
+        Entries and stats survive a grow and a shrink that still fits;
+        only entries past the new budget are evicted (and counted as
+        evictions, like any other budget pressure).  This is the
+        control-plane remediation hook: a cache-affinity collapse can
+        be answered by growing the budget without losing the hot set.
+        """
+        if max_bytes < 0:
+            raise ValueError("cache byte budget cannot be negative")
+        self.max_bytes = max_bytes
+        while self._bytes > self.max_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.nbytes
+            self.stats.evictions += 1
+
     def clear(self) -> None:
         """Drop every entry AND reset the hit/miss/eviction counters.
 

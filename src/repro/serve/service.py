@@ -454,6 +454,34 @@ class AlignmentService:
         if not from_cache and self.cache is not None and key is not None:
             self.cache.put(key, result, scored=self.compute_scores)
 
+    # ----- mid-run reconfiguration -----------------------------------------
+
+    def resize_cache(self, max_bytes: int) -> None:
+        """Resize (or create) the result cache in place.
+
+        Shrinking evicts LRU entries past the new budget; growing
+        keeps the hot set.  A service built with ``cache_bytes=0``
+        gains a fresh cache when resized above zero.
+        """
+        if max_bytes < 0:
+            raise ValueError("cache byte budget cannot be negative")
+        if self.cache is None:
+            if max_bytes:
+                self.cache = ResultCache(max_bytes=max_bytes)
+            return
+        self.cache.resize(max_bytes)
+
+    def set_engine(self, engine) -> None:
+        """Swap the exact-scoring backend without disturbing tuning.
+
+        Already-tuned bins keep their chosen subwarp sizes (their
+        kernels are rebuilt against the new engine), so the modeled
+        clock, metrics, and traces are unaffected — engines only
+        change host wall-clock speed.
+        """
+        self.engine = resolve_engine(engine)
+        self.tuner.set_engine(self.engine)
+
     # ----- tuning / observability ------------------------------------------
 
     def tune(self, sample_jobs: list[ExtensionJob], *,

@@ -30,6 +30,22 @@ class TestParser:
         )
         assert args.command == "cluster-bench"
         assert args.workers == 3 and args.policy == "static_hash"
+        assert not args.self_heal and args.audit_out is None
+
+    def test_self_heal_args(self):
+        args = build_parser().parse_args(
+            ["cluster-bench", "--self-heal", "--audit-out", "a.json"]
+        )
+        assert args.self_heal and args.audit_out == "a.json"
+
+    def test_heal_report_args(self):
+        args = build_parser().parse_args(
+            ["heal-report", "--quick", "--degrade-factor", "4",
+             "--audit-out", "a.json"]
+        )
+        assert args.command == "heal-report"
+        assert args.quick and args.degrade_factor == 4.0
+        assert args.audit_out == "a.json"
 
 
 class TestCommands:
@@ -75,6 +91,65 @@ class TestCommands:
     def test_cluster_bench_unknown_policy(self, capsys):
         assert main(["cluster-bench", "--policy", "nope"]) == 2
         assert "unknown policy" in capsys.readouterr().err
+
+    def test_audit_out_requires_self_heal(self, capsys):
+        assert main(["cluster-bench", "--audit-out", "a.json"]) == 2
+        assert "--self-heal" in capsys.readouterr().err
+
+
+class _StubHealResult:
+    """A ControlBenchResult stand-in for fast CLI-path tests."""
+
+    def __init__(self, ok):
+        self.ok = ok
+        self.text = "control-bench: stub"
+        self.audit = {"entries": [], "n_entries": 0,
+                      "n_applied": 0, "n_rejected": 0}
+
+    def to_json(self):
+        return "{\"stub\": true}"
+
+
+class TestHealCommands:
+    """Exit taxonomy and artifact plumbing of the healing commands.
+
+    The real storm benchmark runs under benchmarks/bench_control.py;
+    here the bench is stubbed so only the CLI layer is under test."""
+
+    def _patch(self, monkeypatch, ok, seen):
+        import repro.control.bench as bench_mod
+
+        def fake(n_requests, **kwargs):
+            seen.update(kwargs, n_requests=n_requests)
+            return _StubHealResult(ok)
+
+        monkeypatch.setattr(bench_mod, "run_control_bench", fake)
+
+    def test_heal_report_ok_writes_artifacts(self, tmp_path, capsys, monkeypatch):
+        seen = {}
+        self._patch(monkeypatch, True, seen)
+        out, audit = tmp_path / "r.json", tmp_path / "a.json"
+        assert main(["heal-report", "--quick", "--requests", "50",
+                     "--out", str(out), "--audit-out", str(audit)]) == 0
+        assert seen["n_requests"] == 50
+        assert seen["check_determinism"] is False  # --quick skips it
+        assert out.read_text().startswith("{\"stub\"")
+        assert "n_applied" in audit.read_text()
+        text = capsys.readouterr().out
+        assert "control-bench: stub" in text
+        assert "no control decisions" in text  # empty audit still renders
+
+    def test_heal_report_failed_gate_exits_one(self, capsys, monkeypatch):
+        self._patch(monkeypatch, False, {})
+        assert main(["heal-report", "--quick"]) == 1
+        assert "acceptance gate failed" in capsys.readouterr().err
+
+    def test_cluster_bench_self_heal_routes_to_control(self, capsys, monkeypatch):
+        seen = {}
+        self._patch(monkeypatch, True, seen)
+        assert main(["cluster-bench", "--self-heal", "--requests", "80"]) == 0
+        assert seen["n_requests"] == 80
+        assert "control-bench: stub" in capsys.readouterr().out
 
     def test_tune_fasta(self, tmp_path, capsys, rng):
         reads = [(f"r{i}", rng.integers(0, 4, 150).astype(np.uint8)) for i in range(40)]
