@@ -1,0 +1,94 @@
+"""Pipeline benchmark: the ISSUE-7 acceptance measurement.
+
+On a mixed short+long+noise read stream, the overlapped seed-filter-
+extend pipeline must beat the staged-sequential makespan computed from
+the **same** per-item modeled costs, keep its mapping records
+bit-identical to the phase-barrier :class:`ReadMapper`, and export
+byte-identical metrics/trace/SAM artifacts across reruns.  The result
+persists as ``benchmarks/results/BENCH_pipeline.{txt,json}``.
+
+Also runnable directly (the CI ``pipeline-smoke`` path)::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --quick --out /tmp/p.json
+
+which exits nonzero when any acceptance bar fails and writes the
+deterministic JSON artifact for the rerun ``cmp``.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.pipeline import run_pipeline_bench
+
+#: The acceptance-bar workload (see repro.pipeline.bench for knobs).
+BENCH_KWARGS = dict(n_short=48, n_long=10, n_noise=6, genome_len=20_000,
+                    batch_reads=8, seed=0)
+
+#: The CI smoke workload: smaller stream, same invariants.
+QUICK_KWARGS = dict(n_short=16, n_long=4, n_noise=3, genome_len=8_000,
+                    batch_reads=4, seed=0)
+
+
+@pytest.fixture(scope="module")
+def res():
+    return run_pipeline_bench(**BENCH_KWARGS)
+
+
+def test_pipeline_bench_runs_and_saves(benchmark, res, save_result):
+    run_once(benchmark, run_pipeline_bench, **QUICK_KWARGS)
+    save_result("BENCH_pipeline", res.text, json_of=res)
+
+
+def test_overlap_beats_staged_sequential(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert res.overlapped_ms < res.sequential_ms, (
+        f"overlapped {res.overlapped_ms:.3f} ms did not beat "
+        f"staged-sequential {res.sequential_ms:.3f} ms"
+    )
+    assert res.speedup >= 1.15, f"overlap speedup {res.speedup:.2f}x < 1.15x"
+
+
+def test_mappings_bit_identical_to_read_mapper(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert res.identical, "pipeline mapping records diverged from ReadMapper"
+
+
+def test_filter_sheds_noise_before_the_device(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert res.filtration_rate > 0.0
+    assert res.metrics["dropped"].get("unseeded", 0) == res.n_noise
+
+
+def test_artifacts_deterministic_and_sam_valid(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert res.deterministic, "rerun artifacts diverged byte-wise"
+    assert res.sam_valid, "SAM output failed the structural check"
+
+
+def _main(argv=None) -> int:
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke sizing (smaller stream)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the deterministic JSON artifact here")
+    args = parser.parse_args(argv)
+    result = run_pipeline_bench(**(QUICK_KWARGS if args.quick else BENCH_KWARGS))
+    print(result.text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(result.to_json() + "\n")
+        print(f"wrote {args.out}")
+    ok = (result.overlapped_ms < result.sequential_ms and result.identical
+          and result.deterministic and result.sam_valid)
+    if not ok:
+        print("error: a pipeline acceptance bar failed (see text above)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

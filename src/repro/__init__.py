@@ -21,6 +21,9 @@ Public API highlights
   control, length-binned dynamic batching, result caching, metrics.
 - :mod:`repro.cluster` — the service sharded over N modeled workers:
   routing policies, work stealing, replica failover, cluster metrics.
+- :mod:`repro.pipeline` — mapping-as-a-service: seeding, chaining,
+  filtration, and batched extension as overlapped streaming stages
+  with bounded queues, bit-identical to the batch mappers.
 """
 
 from .align import ScoringScheme, bwa_mem_scoring, sw_align, sw_score, sw_traceback

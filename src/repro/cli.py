@@ -14,6 +14,10 @@ Exposes the library's main entry points without writing Python:
     Subwarp auto-tuning for a FASTA/FASTQ workload sample.
 ``map``
     Map reads (FASTA/FASTQ) against a reference FASTA, TSV output.
+``map-serve``
+    Map reads through the streaming seed-filter-extend pipeline
+    (mapping-as-a-service): SAM on stdout, pipeline stage metrics on
+    stderr, optional byte-stable metrics JSON and merged stage trace.
 ``serve-bench``
     Benchmark the alignment service layer against naive streaming
     (``--trace FILE`` also exports a Chrome trace of the service run).
@@ -104,6 +108,34 @@ def build_parser() -> argparse.ArgumentParser:
                      help="abort on malformed input records (default)")
     bad.add_argument("--skip-bad-reads", action="store_true",
                      help="drop malformed input records and keep mapping")
+
+    p_ms = sub.add_parser(
+        "map-serve",
+        help="map reads through the streaming seed-filter-extend pipeline",
+    )
+    p_ms.add_argument("reference", help="reference FASTA (first record used)")
+    p_ms.add_argument("reads", help="FASTA or FASTQ reads")
+    p_ms.add_argument("--reads2", default=None, metavar="FILE",
+                      help="second-mate reads (paired-end mode)")
+    p_ms.add_argument("--device", default="GTX1650", choices=sorted(known_devices()))
+    p_ms.add_argument("--min-seed-len", type=int, default=19)
+    p_ms.add_argument("--batch-reads", type=int, default=16,
+                      help="surviving reads per extension micro-batch")
+    p_ms.add_argument("--min-chain-score", type=int, default=0,
+                      help="filter stage: drop reads whose best chain "
+                           "covers fewer matching bases (0 = pass-through)")
+    p_ms.add_argument("--prescreen-margin", type=int, default=0,
+                      help="borderline band above the threshold routed "
+                           "through the host X-drop pre-screen")
+    p_ms.add_argument("--prescreen-min-total", type=int, default=0,
+                      help="projected total a borderline read must reach")
+    p_ms.add_argument("--out", default=None, metavar="FILE",
+                      help="write SAM here instead of stdout")
+    p_ms.add_argument("--metrics-out", default=None, metavar="FILE",
+                      help="write the pipeline metrics JSON here "
+                           "(byte-stable across reruns)")
+    p_ms.add_argument("--trace", default=None, metavar="FILE",
+                      help="export the merged per-stage Chrome trace here")
 
     p_srv = sub.add_parser(
         "serve-bench",
@@ -343,6 +375,78 @@ def _cmd_map(args) -> int:
     return 0
 
 
+def _cmd_map_serve(args) -> int:
+    import json
+
+    from .obs import merged_chrome_trace_json
+    from .pipeline import FilterPolicy, MappingService
+
+    reference = next(iter(read_fasta(args.reference).values()), None)
+    if reference is None:
+        print("empty reference", file=sys.stderr)
+        return 1
+    queries = _read_queries(args.reads)
+    if not queries:
+        print("no reads found", file=sys.stderr)
+        return 1
+    svc = MappingService(
+        reference,
+        device=known_devices()[args.device],
+        min_seed_len=args.min_seed_len,
+        batch_reads=args.batch_reads,
+        policy=FilterPolicy(
+            min_chain_score=args.min_chain_score,
+            prescreen_margin=args.prescreen_margin,
+            prescreen_min_total=args.prescreen_min_total,
+        ),
+    )
+    if args.reads2:
+        queries2 = _read_queries(args.reads2)
+        if len(queries2) != len(queries):
+            print("error: mate files differ in read count", file=sys.stderr)
+            return 2
+        report = svc.map_pairs_stream(
+            (c1, c2) for (_, c1), (_, c2) in zip(queries, queries2)
+        )
+        sam = report.to_sam(reference, names=[name for name, _ in queries])
+        n_out = 2 * len(report.pairs)
+    else:
+        report = svc.map_stream(codes for _, codes in queries)
+        sam = report.to_sam(reference, names=[name for name, _ in queries])
+        n_out = len(report.mappings)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(sam)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(sam, end="")
+    m = report.metrics
+    print(
+        f"# pipeline: {m.reads_in} reads in, {n_out} records out, "
+        f"filtration {m.filtration_rate:.1%}, "
+        f"{m.n_batches} extension batches / {m.n_jobs} jobs",
+        file=sys.stderr,
+    )
+    print(
+        f"# makespan {m.makespan_ms:.3f} ms overlapped "
+        f"vs {m.sequential_ms:.3f} ms staged-sequential "
+        f"({m.overlap_speedup:.2f}x); occupancy seed {m.seed.occupancy:.1%} "
+        f"filter {m.filter.occupancy:.1%} extend {m.extend.occupancy:.1%}",
+        file=sys.stderr,
+    )
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(json.dumps(m.to_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.metrics_out}", file=sys.stderr)
+    if args.trace:
+        with open(args.trace, "w") as fh:
+            fh.write(merged_chrome_trace_json(
+                report.tracers, process_name="repro map-serve"))
+        print(f"wrote {args.trace} (load in chrome://tracing or "
+              "ui.perfetto.dev)", file=sys.stderr)
+    return 0
+
+
 def _cmd_serve_bench(args) -> int:
     from .obs import Tracer, chrome_trace_json
     from .serve.bench import run_serve_bench
@@ -523,6 +627,7 @@ _COMMANDS = {
     "devices": _cmd_devices,
     "tune": _cmd_tune,
     "map": _cmd_map,
+    "map-serve": _cmd_map_serve,
     "serve-bench": _cmd_serve_bench,
     "trace": _cmd_trace,
     "cluster-bench": _cmd_cluster_bench,

@@ -19,7 +19,15 @@ from .config import SUBWARP_SIZES, SalobaConfig
 from .intra_query import SpillAudit, saloba_extend_exact
 from .kernel import SalobaKernel
 from .layout import ChunkPlan, JobPlan, plan_job
-from .mapper import MapperReport, PairedReadMapper, PairMapping, ReadMapper, ReadMapping
+from .mapper import (
+    MapperReport,
+    Orientation,
+    PairedReadMapper,
+    PairMapping,
+    ReadMapper,
+    ReadMapping,
+    orient_read,
+)
 from .multi_gpu import MultiGpuResult, run_multi_gpu, split_jobs
 from .sam import SamRecord, sam_record_for, sam_records_for_pair, write_sam
 from .subwarp import SubwarpSchedule, schedule_subwarps
@@ -35,6 +43,7 @@ __all__ = [
     "AblationPoint", "ABLATION_ORDER",
     "MultiGpuResult", "run_multi_gpu", "split_jobs",
     "ReadMapper", "ReadMapping", "MapperReport", "PairedReadMapper", "PairMapping",
+    "Orientation", "orient_read",
     "SamRecord", "sam_record_for", "sam_records_for_pair", "write_sam",
     "AlignmentError", "FaultPlan", "RetryPolicy", "FailureReport",
 ]

@@ -38,7 +38,10 @@ from ..seqs.alphabet import reverse_complement
 from .config import SalobaConfig
 from .kernel import SalobaKernel
 
-__all__ = ["ReadMapping", "MapperReport", "PairMapping", "ReadMapper", "PairedReadMapper"]
+__all__ = [
+    "ReadMapping", "MapperReport", "PairMapping", "ReadMapper",
+    "PairedReadMapper", "Orientation", "orient_read",
+]
 
 
 @dataclass(frozen=True)
@@ -102,6 +105,53 @@ class MapperReport:
         return sum(m.mapped for m in self.mappings) / len(self.mappings)
 
 
+@dataclass(frozen=True)
+class Orientation:
+    """Strand decision for one read: which chain anchors it, and how.
+
+    Attributes
+    ----------
+    chain:
+        The winning chain (``None`` when neither strand seeds).
+    oriented:
+        The read codes on the winning strand (reverse-complemented
+        for reverse-strand hits).
+    reverse:
+        True when the reverse strand won.
+    n_seeds:
+        Total seeds examined across both strands — the workload
+        quantity the pipeline's host-side cost model charges for.
+    """
+
+    chain: Chain | None
+    oriented: np.ndarray
+    reverse: bool
+    n_seeds: int
+
+
+def orient_read(seeder: SmemSeeder, codes: np.ndarray) -> Orientation:
+    """Seed both strands of *codes* and pick the better chain.
+
+    The forward strand wins ties (``fwd.score >= rev.score``), exactly
+    as :class:`ReadMapper` has always decided — this helper exists so
+    the streaming pipeline (:mod:`repro.pipeline`) shares one strand
+    decision with the batch mapper instead of re-implementing it.
+    """
+    fwd_seeds = seeder.seed(codes)
+    fwd_chains = chain_seeds(fwd_seeds)
+    fwd = fwd_chains[0] if fwd_chains else None
+    rc = reverse_complement(codes)
+    rev_seeds = seeder.seed(rc)
+    rev_chains = chain_seeds(rev_seeds)
+    rev = rev_chains[0] if rev_chains else None
+    n_seeds = len(fwd_seeds) + len(rev_seeds)
+    if fwd is None and rev is None:
+        return Orientation(None, codes, False, n_seeds)
+    if rev is None or (fwd is not None and fwd.score >= rev.score):
+        return Orientation(fwd, codes, False, n_seeds)
+    return Orientation(rev, rc, True, n_seeds)
+
+
 class ReadMapper:
     """Seed-and-extend read mapper over a fixed reference."""
 
@@ -138,14 +188,8 @@ class ReadMapper:
 
     def _orient(self, codes: np.ndarray) -> tuple[Chain | None, np.ndarray, bool]:
         """Pick the strand whose best chain scores higher."""
-        fwd = self._best_chain(codes)
-        rc = reverse_complement(codes)
-        rev = self._best_chain(rc)
-        if fwd is None and rev is None:
-            return None, codes, False
-        if rev is None or (fwd is not None and fwd.score >= rev.score):
-            return fwd, codes, False
-        return rev, rc, True
+        o = orient_read(self.seeder, codes)
+        return o.chain, o.oriented, o.reverse
 
     # ----- batch mapping -----------------------------------------------------
 
@@ -289,9 +333,16 @@ class PairedReadMapper(ReadMapper):
         self.max_insert = max_insert
         self.rescue_min_identity = rescue_min_identity
 
-    def _rescue(self, anchor: ReadMapping, anchor_len: int, mate: np.ndarray,
-                idx: int) -> ReadMapping | None:
-        """Search the expected window for the unmapped mate."""
+    def rescue_mate(self, anchor: ReadMapping, anchor_len: int, mate: np.ndarray,
+                    idx: int) -> tuple[ReadMapping | None, int]:
+        """Search the expected window for the unmapped mate.
+
+        Returns ``(mapping, cells)``: the rescued mapping (``None``
+        when the window scores below the identity threshold or is too
+        short to hold the mate) plus the DP cells the semiglobal
+        search examined — what the streaming pipeline charges its
+        modeled rescue stage for.
+        """
         n = self.reference.size
         if anchor.reverse:
             lo = max(anchor.ref_start + anchor_len - self.max_insert, 0)
@@ -305,13 +356,14 @@ class PairedReadMapper(ReadMapper):
             reverse = True
         window = self.reference[lo:hi]
         if window.size < candidate.size // 2:
-            return None
+            return None, 0
+        cells = int(window.size) * int(candidate.size)
         res = semiglobal_align(window, candidate, self.scoring)
         # Threshold as a fraction of the perfect score — mismatches
         # cost match+|mismatch| each, so 0.5 admits ~90%-identity mates.
         threshold = self.rescue_min_identity * candidate.size * self.scoring.match
         if res.score < threshold:
-            return None
+            return None, cells
         ref_start = lo + max(res.ref_end - candidate.size, 0)
         return ReadMapping(
             read_index=idx,
@@ -320,7 +372,33 @@ class PairedReadMapper(ReadMapper):
             reverse=reverse,
             seed_score=0,
             extension_score=int(res.score),
-        )
+        ), cells
+
+    def resolve_pair(self, i: int, m1: ReadMapping, m2: ReadMapping,
+                     read1: np.ndarray, read2: np.ndarray
+                     ) -> tuple[PairMapping, int]:
+        """Mate-rescue and pair-classify one mapped couple.
+
+        The shared tail of :meth:`map_pairs` and the streaming
+        pipeline's paired mode: returns the :class:`PairMapping` plus
+        the rescue DP cells charged (0 when no rescue ran).
+        """
+        rescued = False
+        cells = 0
+        if m1.mapped and not m2.mapped:
+            found, cells = self.rescue_mate(m1, len(read1), read2, i)
+            if found is not None:
+                m2, rescued = found, True
+        elif m2.mapped and not m1.mapped:
+            found, cells = self.rescue_mate(m2, len(read2), read1, i)
+            if found is not None:
+                m1, rescued = found, True
+        proper, insert = _pair_geometry(m1, m2, len(read1), len(read2))
+        proper = proper and 0 < insert <= self.max_insert
+        return PairMapping(
+            first=m1, second=m2, proper=proper,
+            insert_size=insert if proper else -1, rescued=rescued,
+        ), cells
 
     def map_pairs(self, reads1: list[np.ndarray], reads2: list[np.ndarray],
                   *, compute_scores: bool = True) -> list[PairMapping]:
@@ -331,19 +409,6 @@ class PairedReadMapper(ReadMapper):
         rep2 = self.map_reads(reads2, compute_scores=compute_scores)
         out: list[PairMapping] = []
         for i, (m1, m2) in enumerate(zip(rep1.mappings, rep2.mappings)):
-            rescued = False
-            if m1.mapped and not m2.mapped:
-                found = self._rescue(m1, len(reads1[i]), reads2[i], i)
-                if found is not None:
-                    m2, rescued = found, True
-            elif m2.mapped and not m1.mapped:
-                found = self._rescue(m2, len(reads2[i]), reads1[i], i)
-                if found is not None:
-                    m1, rescued = found, True
-            proper, insert = _pair_geometry(m1, m2, len(reads1[i]), len(reads2[i]))
-            proper = proper and 0 < insert <= self.max_insert
-            out.append(
-                PairMapping(first=m1, second=m2, proper=proper,
-                            insert_size=insert if proper else -1, rescued=rescued)
-            )
+            pair, _ = self.resolve_pair(i, m1, m2, reads1[i], reads2[i])
+            out.append(pair)
         return out

@@ -9,7 +9,7 @@ overheads against published device characteristics.
 """
 
 from .counters import Counters
-from .costs import DEFAULT_COSTS, CostModel
+from .costs import DEFAULT_COSTS, DEFAULT_HOST_COSTS, CostModel, HostCostModel
 from .device import (
     A100,
     GTX1650,
@@ -37,7 +37,7 @@ from .timeline import (
 __all__ = [
     "DeviceProfile", "GTX1650", "RTX3090", "PRE_PASCAL", "V100", "A100",
     "WARP_SIZE", "known_devices",
-    "Counters", "CostModel", "DEFAULT_COSTS",
+    "Counters", "CostModel", "DEFAULT_COSTS", "HostCostModel", "DEFAULT_HOST_COSTS",
     "AccessPattern", "MemoryModel", "amplified_bytes",
     "WarpJob", "ScheduleResult", "schedule_warps",
     "SharedAllocation", "bank_conflict_factor", "N_BANKS",

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["CostModel", "DEFAULT_COSTS"]
+__all__ = ["CostModel", "DEFAULT_COSTS", "HostCostModel", "DEFAULT_HOST_COSTS"]
 
 
 @dataclass(frozen=True)
@@ -71,3 +71,76 @@ class CostModel:
 #: calibration narrative; the *relative* figures the paper reports are
 #: insensitive to modest changes of these values).
 DEFAULT_COSTS = CostModel()
+
+
+@dataclass(frozen=True)
+class HostCostModel:
+    """Modeled CPU-side costs of the seed-filter stages of a mapper.
+
+    The GPU model above charges extension by job geometry; the
+    streaming pipeline (:mod:`repro.pipeline`) needs the same
+    treatment for the host-resident stages — FM-index seeding,
+    chaining, filtration — so stage overlap can be scheduled on one
+    deterministic clock.  Every charge is a closed-form function of
+    workload geometry (read length, seed count, DP cells), never of
+    wall time, preserving the library-wide byte-identical-rerun
+    invariant.
+
+    Calibration is an optimized BWA-MEM-class seeder on one host core
+    (on the order of 10^5 short reads/s, i.e. ~10 us per 100 bp read),
+    with chaining quadratic in the (small) per-read seed count — which
+    puts host seeding within a small factor of the modeled device's
+    extension time at micro-batch scale, the regime where stage
+    overlap matters.  As with the GPU constants, only the *relative*
+    magnitudes matter for the pipeline's overlap conclusions.
+
+    Attributes
+    ----------
+    seed_base_us:
+        Fixed per-read seeding overhead (strand setup, allocation).
+    seed_per_base_us:
+        FM-index backward-extension cost per read base (charged once
+        per strand — the seeder walks both).
+    seed_per_seed_us:
+        ``locate()`` cost per emitted seed hit.
+    chain_per_seed_sq_us:
+        Chaining DP cost per seed-pair term (the O(n^2) loop).
+    filter_base_us:
+        Fixed per-read filtration cost (threshold arithmetic).
+    prescreen_us_per_cell:
+        Banded/X-drop pre-screen cost per DP cell examined on the
+        host (only borderline reads pay it).
+    rescue_us_per_cell:
+        Semiglobal mate-rescue cost per DP cell (paired mode).
+    """
+
+    seed_base_us: float = 1.0
+    seed_per_base_us: float = 0.06
+    seed_per_seed_us: float = 0.25
+    chain_per_seed_sq_us: float = 0.005
+    filter_base_us: float = 0.3
+    prescreen_us_per_cell: float = 0.004
+    rescue_us_per_cell: float = 0.004
+
+    def seed_ms(self, read_len: int, n_seeds: int) -> float:
+        """Modeled ms to seed + chain one read (both strands)."""
+        us = (
+            self.seed_base_us
+            + 2.0 * self.seed_per_base_us * read_len
+            + self.seed_per_seed_us * n_seeds
+            + self.chain_per_seed_sq_us * float(n_seeds) * n_seeds
+        )
+        return us * 1e-3
+
+    def filter_ms(self, n_seeds: int, prescreen_cells: int = 0) -> float:
+        """Modeled ms to filter one read (plus optional pre-screen)."""
+        us = self.filter_base_us + self.prescreen_us_per_cell * prescreen_cells
+        return us * 1e-3
+
+    def rescue_ms(self, cells: int) -> float:
+        """Modeled ms of one semiglobal mate-rescue search."""
+        return self.rescue_us_per_cell * cells * 1e-3
+
+
+#: Default host calibration shared by the pipeline stages.
+DEFAULT_HOST_COSTS = HostCostModel()

@@ -1,0 +1,61 @@
+"""repro.pipeline: fused seed-filter-extend streaming dataflow.
+
+The batch mappers run seed-and-extend as global phases; this package
+runs the same algorithm as **overlapped stages** on the shared
+deterministic clock — FM-index seeding, chain-score filtration (with
+an optional X-drop pre-screen for borderline reads), and binned batch
+extension through the alignment service — connected by bounded queues
+whose backpressure the schedule models exactly.
+
+Entry points:
+
+* :class:`MappingService` — ``map_stream`` / ``map_pairs_stream``:
+  mapping-as-a-service, bit-identical records to the batch mappers
+  under the default pass-through :class:`FilterPolicy`;
+* :func:`compute_schedule` — the tandem-queue recurrences filling in
+  when every read occupied every stage (and the staged-sequential
+  baseline from the same costs);
+* :class:`PipelineMetrics` — deterministic per-stage occupancy, queue
+  depths, filtration rate, and latency percentiles;
+* :func:`stage_tracers` — one tracer per stage whose spans partition
+  the makespan exactly (merged Chrome export shows the stages as
+  parallel threads);
+* :func:`run_pipeline_bench` — the overlapped-vs-sequential benchmark
+  behind ``repro map-serve`` and ``benchmarks/bench_pipeline.py``.
+
+See docs/PIPELINE.md for the stage graph, the backpressure contract,
+and the determinism guarantees.
+"""
+
+from .bench import (
+    PipelineBenchResult,
+    build_read_stream,
+    run_pipeline_bench,
+    sam_problems,
+)
+from .mapping import (
+    FilterPolicy,
+    MappingService,
+    PairedPipelineReport,
+    PipelineReport,
+    stage_tracers,
+)
+from .metrics import PipelineMetrics, QueueStats, StageStats
+from .stages import (
+    BatchTrace,
+    PipelineSchedule,
+    ReadTrace,
+    RescueTrace,
+    compute_schedule,
+)
+
+__all__ = [
+    "MappingService", "FilterPolicy",
+    "PipelineReport", "PairedPipelineReport",
+    "ReadTrace", "BatchTrace", "RescueTrace",
+    "PipelineSchedule", "compute_schedule",
+    "PipelineMetrics", "StageStats", "QueueStats",
+    "stage_tracers",
+    "PipelineBenchResult", "build_read_stream", "run_pipeline_bench",
+    "sam_problems",
+]

@@ -1,0 +1,238 @@
+"""Pipeline benchmark: overlapped dataflow vs staged-sequential mapping.
+
+The question this answers is the throughput one: on a mixed
+short+long read stream (with a slice of unmappable noise the filter
+removes before the device sees it), how much end-to-end makespan does
+stage overlap buy over running seed -> filter -> extend as global
+phases — with the mapping records themselves **bit-identical** to the
+phase-barrier :class:`~repro.core.mapper.ReadMapper`, and every
+artifact (metrics JSON, merged stage trace, SAM) byte-identical
+across reruns?
+
+Shared by ``repro map-serve`` (CLI) and ``benchmarks/bench_pipeline.py``
+(pytest harness, which asserts the acceptance bars).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..align.scoring import ScoringScheme
+from ..core.config import SalobaConfig
+from ..core.mapper import ReadMapper
+from ..gpusim.device import GTX1650, DeviceProfile
+from ..obs.export import merged_chrome_trace_json
+from ..seqs.genome import GenomeConfig, synthetic_genome
+from ..seqs.simulate import ErrorProfile, ReadSimulator
+from .mapping import FilterPolicy, MappingService, PipelineReport
+
+__all__ = ["PipelineBenchResult", "build_read_stream", "sam_problems",
+           "run_pipeline_bench"]
+
+
+def build_read_stream(
+    reference: np.ndarray,
+    *,
+    n_short: int = 48,
+    n_long: int = 10,
+    n_noise: int = 6,
+    short_len: int = 100,
+    long_mean: float = 260.0,
+    seed: int = 0,
+) -> list[np.ndarray]:
+    """A shuffled mixed read stream over *reference*.
+
+    Dataset-A-shaped fixed-length short reads, dataset-B-shaped
+    log-normal long reads, plus *n_noise* uniformly random reads that
+    seed nowhere — the traffic the filter stage exists to shed before
+    it reaches the device.  The error rate is turned up past the
+    Illumina profile so reads carry mismatches away from their anchor
+    seed: every mapped read then has real left/right extension work
+    (error-free reads are swallowed whole by one SMEM and never reach
+    the device, which would leave the extension stage idle).
+    """
+    profile = ErrorProfile(substitution_rate=0.03, insertion_rate=0.002,
+                           deletion_rate=0.002, indel_extend_prob=0.2)
+    shorts = [
+        r.codes for r in ReadSimulator(reference, profile, seed=seed + 1)
+        .sample_reads(n_short, short_len)
+    ]
+    longs = [
+        r.codes for r in ReadSimulator(reference, profile, seed=seed + 2)
+        .sample_reads_lognormal(n_long, long_mean)
+    ]
+    rng = np.random.default_rng(seed + 3)
+    noise = [rng.integers(0, 4, short_len).astype(np.uint8)
+             for _ in range(n_noise)]
+    stream = shorts + longs + noise
+    order = rng.permutation(len(stream))
+    return [stream[i] for i in order]
+
+
+def sam_problems(text: str) -> list[str]:
+    """Structural problems in SAM text ([] = well-formed).
+
+    The validity bar the CI pipeline-smoke job holds the artifact to:
+    header present, 11 mandatory fields per record, numeric
+    FLAG/POS/MAPQ/TLEN, and ``*`` or a plausible CIGAR.
+    """
+    problems: list[str] = []
+    lines = text.rstrip("\n").split("\n")
+    if not lines or not lines[0].startswith("@HD"):
+        problems.append("missing @HD header")
+    for i, line in enumerate(lines):
+        if line.startswith("@"):
+            continue
+        fields = line.split("\t")
+        if len(fields) < 11:
+            problems.append(f"line {i + 1}: {len(fields)} fields < 11")
+            continue
+        for col, label in ((1, "FLAG"), (3, "POS"), (4, "MAPQ"), (8, "TLEN")):
+            try:
+                int(fields[col])
+            except ValueError:
+                problems.append(f"line {i + 1}: non-integer {label}")
+        cigar = fields[5]
+        if cigar != "*" and not all(c.isdigit() or c in "MIDNSHP=X" for c in cigar):
+            problems.append(f"line {i + 1}: malformed CIGAR {cigar!r}")
+    return problems
+
+
+@dataclass
+class PipelineBenchResult:
+    """Everything the pipeline benchmark measured (JSON-exportable)."""
+
+    n_reads: int
+    n_short: int
+    n_long: int
+    n_noise: int
+    device: str
+    batch_reads: int
+    overlapped_ms: float
+    sequential_ms: float
+    speedup: float
+    filtration_rate: float
+    reads_mapped: int
+    identical: bool
+    deterministic: bool
+    sam_valid: bool
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def text(self) -> str:
+        m = self.metrics
+        stages = m.get("stages", {})
+        occ = {k: f"{v.get('occupancy', 0.0):.1%}" for k, v in stages.items()}
+        lines = [
+            f"pipeline-bench on {self.device}: {self.n_reads} reads "
+            f"({self.n_short} short + {self.n_long} long + {self.n_noise} noise), "
+            f"batches of {self.batch_reads} reads",
+            f"  staged-sequential makespan : {self.sequential_ms:10.3f} ms",
+            f"  overlapped pipeline        : {self.overlapped_ms:10.3f} ms",
+            f"  overlap speedup            : {self.speedup:10.2f} x",
+            f"  filtration rate {self.filtration_rate:.1%} "
+            f"({m.get('dropped', {})}), {self.reads_mapped} reads mapped, "
+            f"{m.get('n_batches', 0)} extension batches / "
+            f"{m.get('n_jobs', 0)} jobs",
+            f"  stage occupancy: {occ}",
+            f"  mapping records: "
+            f"{'bit-identical' if self.identical else 'MISMATCH'} vs ReadMapper",
+            f"  artifacts: rerun "
+            f"{'byte-identical' if self.deterministic else 'DIVERGED'}, "
+            f"SAM {'well-formed' if self.sam_valid else 'MALFORMED'}",
+        ]
+        return "\n".join(lines)
+
+    def to_json(self, **dumps_kwargs) -> str:
+        dumps_kwargs.setdefault("indent", 2)
+        dumps_kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.__dict__, **dumps_kwargs)
+
+
+def _one_run(
+    reference: np.ndarray,
+    stream: list[np.ndarray],
+    *,
+    scoring: ScoringScheme,
+    config: SalobaConfig,
+    device: DeviceProfile,
+    policy: FilterPolicy | None,
+    batch_reads: int,
+) -> tuple[PipelineReport, str, str, str]:
+    """One fresh pipeline run plus its three byte-stable artifacts."""
+    svc = MappingService(
+        reference, scoring=scoring, config=config, device=device,
+        policy=policy, batch_reads=batch_reads,
+    )
+    report = svc.map_stream(stream)
+    metrics_json = json.dumps(report.metrics.to_dict(), indent=2,
+                              sort_keys=True) + "\n"
+    trace_json = merged_chrome_trace_json(
+        report.tracers, process_name="repro pipeline")
+    sam_text = report.to_sam(reference, scoring=scoring)
+    return report, metrics_json, trace_json, sam_text
+
+
+def run_pipeline_bench(
+    *,
+    n_short: int = 48,
+    n_long: int = 10,
+    n_noise: int = 6,
+    genome_len: int = 20_000,
+    batch_reads: int = 8,
+    seed: int = 0,
+    device: DeviceProfile = GTX1650,
+    scoring: ScoringScheme | None = None,
+    config: SalobaConfig | None = None,
+    policy: FilterPolicy | None = None,
+) -> PipelineBenchResult:
+    """Measure overlapped vs staged-sequential mapping on one stream.
+
+    Both makespans come from the same data pass (the schedule records
+    per-item costs once and evaluates both disciplines), so the
+    comparison is exact by construction.  The run happens **twice**
+    from fresh services and the metrics JSON + merged stage trace +
+    SAM artifacts are compared byte-for-byte (the determinism
+    guarantee the CI smoke job re-checks), and the mapping records are
+    compared against :meth:`ReadMapper.map_reads` on the same reads.
+    """
+    scoring = scoring or ScoringScheme()
+    config = config or SalobaConfig()
+    reference = synthetic_genome(GenomeConfig(length=genome_len), seed=seed)
+    stream = build_read_stream(
+        reference, n_short=n_short, n_long=n_long, n_noise=n_noise, seed=seed,
+    )
+    kwargs = dict(scoring=scoring, config=config, device=device,
+                  policy=policy, batch_reads=batch_reads)
+    report, metrics_json, trace_json, sam_text = _one_run(
+        reference, stream, **kwargs)
+    _, metrics2, trace2, sam2 = _one_run(reference, stream, **kwargs)
+    deterministic = (metrics_json == metrics2 and trace_json == trace2
+                     and sam_text == sam2)
+
+    mapper = ReadMapper(reference, scoring=scoring, config=config,
+                        device=device)
+    baseline = mapper.map_reads(stream)
+    identical = report.mappings == baseline.mappings
+
+    sched = report.schedule
+    return PipelineBenchResult(
+        n_reads=len(stream),
+        n_short=n_short,
+        n_long=n_long,
+        n_noise=n_noise,
+        device=device.name,
+        batch_reads=batch_reads,
+        overlapped_ms=sched.makespan_ms,
+        sequential_ms=sched.sequential_ms,
+        speedup=sched.overlap_speedup,
+        filtration_rate=report.metrics.filtration_rate,
+        reads_mapped=report.metrics.reads_out,
+        identical=identical,
+        deterministic=deterministic,
+        sam_valid=not sam_problems(sam_text),
+        metrics=report.metrics.to_dict(),
+    )

@@ -1,0 +1,532 @@
+"""MappingService: mapping-as-a-service over the streaming pipeline.
+
+The batch mappers (:class:`~repro.core.mapper.ReadMapper` and friends)
+run seed-and-extend as global phases: seed *everything*, then extend
+*everything*.  :class:`MappingService` runs the same algorithm as a
+streaming dataflow — seeds for read ``N+1`` are computed while read
+``N``'s extension batch drains through the alignment service — with
+the schedule modeled by :mod:`repro.pipeline.stages` on the shared
+deterministic clock.
+
+The mapping *output* is identical either way: orientation, chaining,
+job extraction, extension scoring, and mate rescue are the exact code
+paths of the batch mappers (extension scores are batch-composition-
+independent, the guarantee the serving layer's bit-identity tests pin
+down), so with the default pass-through :class:`FilterPolicy`,
+``map_stream`` reproduces ``ReadMapper.map_reads`` record for record.
+What the pipeline changes is *when* work happens — which is the whole
+point, and what :class:`~repro.pipeline.metrics.PipelineMetrics` and
+the per-stage tracers report.
+
+Filtration is the one semantic extension: a policy can drop reads
+whose best chain cannot plausibly reach a score threshold, and route
+borderline reads through an X-drop pre-screen on the host, trading
+recall for device work exactly like production mappers do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..align.scoring import ScoringScheme
+from ..align.xdrop import xdrop_extend
+from ..baselines.base import ExtensionJob
+from ..core.config import SalobaConfig
+from ..core.mapper import (
+    PairedReadMapper,
+    PairMapping,
+    ReadMapping,
+    orient_read,
+)
+from ..core.sam import sam_record_for, sam_records_for_pair, write_sam
+from ..gpusim.costs import DEFAULT_HOST_COSTS, HostCostModel
+from ..gpusim.device import GTX1650, DeviceProfile
+from ..obs.tracer import Span, Tracer
+from ..resilience.errors import AlignmentError, JobRejected
+from ..resilience.report import FailureRecord, FailureReport
+from ..seeding.jobs import extension_jobs_for_chain
+from ..serve.service import AlignmentService
+from .metrics import PipelineMetrics
+from .stages import (
+    DROP_ERROR,
+    DROP_FILTERED,
+    DROP_PRESCREENED,
+    DROP_UNSEEDED,
+    BatchTrace,
+    PipelineSchedule,
+    ReadTrace,
+    RescueTrace,
+    compute_schedule,
+)
+
+__all__ = ["FilterPolicy", "PipelineReport", "PairedPipelineReport",
+           "MappingService", "stage_tracers"]
+
+
+@dataclass(frozen=True)
+class FilterPolicy:
+    """Admission test the filter stage applies to each seeded read.
+
+    The default (all zeros) is **pass-through**: only chainless reads
+    — unmapped in the batch mapper too — leave at the filter, so
+    pipeline output is bit-identical to :class:`ReadMapper`.  Raising
+    the thresholds trades recall for extension work, which the metrics
+    report as ``filtration_rate``.
+
+    Attributes
+    ----------
+    min_chain_score:
+        Reads whose best chain covers fewer exactly-matching bases
+        than this are dropped (``filtered``) without extension.
+    prescreen_margin:
+        Width of the borderline band above ``min_chain_score``: reads
+        whose chain score lands inside it run a host-side X-drop
+        pre-screen over their extension windows before admission
+        (their DP cells are charged to the filter stage).
+    prescreen_min_total:
+        Projected total (chain score + X-drop extension scores) a
+        borderline read must reach, else it is dropped
+        (``prescreened``).
+    xdrop:
+        X-drop termination threshold for the pre-screen sweeps.
+    """
+
+    min_chain_score: int = 0
+    prescreen_margin: int = 0
+    prescreen_min_total: int = 0
+    xdrop: int = 25
+
+    @property
+    def active(self) -> bool:
+        return self.min_chain_score > 0 or self.prescreen_margin > 0
+
+
+def _set_end(span: Span | None, end_ms: float) -> None:
+    # mark() stores start + duration; pin the exact endpoint so the
+    # partition invariant (child.end == next.start) holds bit-exactly.
+    if span is not None:
+        span.end_ms = end_ms
+
+
+def _cover(tr: Tracer, name: str, cursor: float, start: float, end: float,
+           **attrs) -> float:
+    """Add idle filler up to *start*, then a closed span to *end*."""
+    if start > cursor:
+        _set_end(tr.mark("idle", cursor, start - cursor), start)
+    if end > start:
+        _set_end(tr.mark(name, start, end - start, **attrs), end)
+    return max(end, cursor)
+
+
+def stage_tracers(schedule: PipelineSchedule) -> list[tuple[str, Tracer]]:
+    """One tracer per stage, spans partitioning ``[0, makespan]`` exactly.
+
+    Each tracer holds a single root (``pipeline.seed`` /
+    ``pipeline.filter`` / ``pipeline.extend``) whose children are
+    contiguous ``busy`` / ``blocked`` / ``idle`` intervals: every
+    child starts where the previous one ends, the first starts at 0,
+    and the last ends at the makespan — so a rollup attributes the
+    whole wall time, and the merged Chrome export shows the three
+    stages as parallel threads of one modeled process.
+    """
+    makespan = schedule.makespan_ms
+    out: list[tuple[str, Tracer]] = []
+
+    seed_tr = Tracer()
+    root = seed_tr.begin("pipeline.seed", category="pipeline",
+                        reads=len(schedule.reads))
+    cursor = 0.0
+    for r in schedule.reads:
+        cursor = _cover(seed_tr, "seed.read", cursor, r.seed_start_ms,
+                        r.seed_end_ms, read=r.index, n_seeds=r.n_seeds)
+        cursor = _cover(seed_tr, "blocked", cursor, r.seed_end_ms,
+                        r.seed_push_ms, read=r.index)
+    if makespan > cursor:
+        _set_end(seed_tr.mark("idle", cursor, makespan - cursor), makespan)
+    seed_tr.end(root, end_ms=makespan)
+    out.append(("seed", seed_tr))
+
+    filt_tr = Tracer()
+    root = filt_tr.begin("pipeline.filter", category="pipeline",
+                         reads=len(schedule.reads))
+    cursor = 0.0
+    for r in schedule.reads:
+        cursor = _cover(filt_tr, "filter.read", cursor, r.filter_start_ms,
+                        r.filter_end_ms, read=r.index,
+                        dropped=r.dropped or "")
+        cursor = _cover(filt_tr, "blocked", cursor, r.filter_end_ms,
+                        r.filter_push_ms, read=r.index)
+    if makespan > cursor:
+        _set_end(filt_tr.mark("idle", cursor, makespan - cursor), makespan)
+    filt_tr.end(root, end_ms=makespan)
+    out.append(("filter", filt_tr))
+
+    ext_tr = Tracer()
+    root = ext_tr.begin("pipeline.extend", category="pipeline",
+                        batches=len(schedule.batches))
+    cursor = 0.0
+    for b in schedule.batches:
+        cursor = _cover(ext_tr, "extend.batch", cursor, b.launch_ms,
+                        b.done_ms, batch=b.index, jobs=b.n_jobs,
+                        reads=len(b.read_indices))
+    for t in schedule.rescues:
+        cursor = _cover(ext_tr, "extend.rescue", cursor, t.start_ms,
+                        t.end_ms, pair=t.pair_index, cells=t.cells)
+    if makespan > cursor:
+        _set_end(ext_tr.mark("idle", cursor, makespan - cursor), makespan)
+    ext_tr.end(root, end_ms=makespan)
+    out.append(("extend", ext_tr))
+    return out
+
+
+@dataclass
+class PipelineReport:
+    """Everything one ``map_stream`` run produced.
+
+    ``mappings`` are bit-identical to ``ReadMapper.map_reads`` under
+    the default filter policy; ``schedule`` / ``metrics`` / ``tracers``
+    are the pipeline's own deterministic timing artifacts.
+    """
+
+    mappings: list[ReadMapping]
+    reads: list[np.ndarray]
+    schedule: PipelineSchedule
+    metrics: PipelineMetrics
+    tracers: list[tuple[str, Tracer]]
+    failures: FailureReport = field(default_factory=FailureReport)
+
+    def to_sam(self, reference: np.ndarray, *, rname: str = "ref",
+               scoring: ScoringScheme | None = None,
+               names: list[str] | None = None) -> str:
+        records = [
+            sam_record_for(
+                names[m.read_index] if names else f"read{m.read_index}",
+                read, m, reference, rname=rname, scoring=scoring)
+            for read, m in zip(self.reads, self.mappings)
+        ]
+        return write_sam(records, rname=rname, ref_len=int(reference.size))
+
+
+@dataclass
+class PairedPipelineReport:
+    """Paired-mode counterpart: per-pair calls plus the schedule."""
+
+    pairs: list[PairMapping]
+    reads1: list[np.ndarray]
+    reads2: list[np.ndarray]
+    schedule: PipelineSchedule
+    metrics: PipelineMetrics
+    tracers: list[tuple[str, Tracer]]
+    failures: FailureReport = field(default_factory=FailureReport)
+
+    def to_sam(self, reference: np.ndarray, *, rname: str = "ref",
+               scoring: ScoringScheme | None = None,
+               names: list[str] | None = None) -> str:
+        records = []
+        for i, pair in enumerate(self.pairs):
+            stem = names[i] if names else f"pair{i}"
+            a, b = sam_records_for_pair(
+                (f"{stem}/1", f"{stem}/2"),
+                (self.reads1[i], self.reads2[i]),
+                pair, reference, rname=rname, scoring=scoring,
+            )
+            records.extend((a, b))
+        return write_sam(records, rname=rname, ref_len=int(reference.size))
+
+
+class _StreamState:
+    """Per-run accumulator shared by single- and paired-end modes."""
+
+    def __init__(self) -> None:
+        self.read_traces: list[ReadTrace] = []
+        self.batch_traces: list[BatchTrace] = []
+        self.reads: list[np.ndarray] = []
+        self.chains: list = []      # per read: (chain, reverse) or None
+        self.ext_scores: list[int] = []
+        self.failures = FailureReport()
+        self.pending_reads: list[int] = []       # read indices in open batch
+        self.pending_jobs: list[ExtensionJob] = []
+
+
+class MappingService:
+    """Streaming read mapping over the fused seed-filter-extend pipeline.
+
+    Parameters mirror :class:`~repro.core.mapper.PairedReadMapper`
+    (same seeding geometry, scoring, device, rescue bounds) plus the
+    pipeline knobs:
+
+    ``policy``
+        The filter stage's :class:`FilterPolicy` (default pass-through).
+    ``host_costs``
+        :class:`~repro.gpusim.costs.HostCostModel` charging the
+        CPU-side stages on the modeled clock.
+    ``batch_reads``
+        Surviving reads accumulated per extension micro-batch; the
+        binned batching *inside* each micro-batch belongs to the
+        alignment service.
+    ``seed_queue_cap`` / ``extend_queue_cap``
+        Bounded inter-stage queue capacities (the backpressure knobs).
+    ``service``
+        The :class:`~repro.serve.AlignmentService` extension backend
+        (one is built when omitted; must have ``compute_scores=True``).
+    ``cluster``
+        Optional :class:`~repro.cluster.AlignmentCluster`: extension
+        batches route through the sharded cluster instead, with the
+        batch duration read off the cluster's modeled worker clocks.
+    """
+
+    def __init__(
+        self,
+        reference: np.ndarray,
+        *,
+        scoring: ScoringScheme | None = None,
+        config: SalobaConfig | None = None,
+        device: DeviceProfile = GTX1650,
+        min_seed_len: int = 19,
+        max_hits: int = 16,
+        gap_margin: int = 150,
+        max_insert: int = 1000,
+        rescue_min_identity: float = 0.5,
+        policy: FilterPolicy | None = None,
+        host_costs: HostCostModel = DEFAULT_HOST_COSTS,
+        batch_reads: int = 16,
+        seed_queue_cap: int = 8,
+        extend_queue_cap: int = 64,
+        service: AlignmentService | None = None,
+        cluster=None,
+    ):
+        if batch_reads < 1:
+            raise JobRejected("batch_reads must be positive")
+        self.reference = np.asarray(reference, dtype=np.uint8)
+        self.mapper = PairedReadMapper(
+            self.reference, scoring=scoring, config=config, device=device,
+            min_seed_len=min_seed_len, max_hits=max_hits,
+            gap_margin=gap_margin, max_insert=max_insert,
+            rescue_min_identity=rescue_min_identity,
+        )
+        self.scoring = self.mapper.scoring
+        self.policy = policy or FilterPolicy()
+        self.costs = host_costs
+        self.batch_reads = batch_reads
+        self.seed_queue_cap = seed_queue_cap
+        self.extend_queue_cap = extend_queue_cap
+        self.cluster = cluster
+        if cluster is not None:
+            self.service = service
+        else:
+            self.service = service or AlignmentService(
+                self.scoring, config or SalobaConfig(), device,
+                compute_scores=True,
+            )
+
+    # ----- one read through seed + filter ----------------------------------
+
+    def _admit(self, state: _StreamState, read) -> ReadTrace:
+        """Seed, chain, and filter one read; queue surviving jobs."""
+        index = len(state.read_traces)
+        chain = None
+        oriented = None
+        reverse = False
+        n_seeds = 0
+        dropped: str | None = None
+        try:
+            codes = np.asarray(read, dtype=np.uint8)
+            o = orient_read(self.mapper.seeder, codes)
+            chain, oriented, reverse, n_seeds = (
+                o.chain, o.oriented, o.reverse, o.n_seeds
+            )
+        except (AlignmentError, ValueError) as exc:
+            codes = np.asarray([], dtype=np.uint8)
+            name = (type(exc).__name__ if isinstance(exc, AlignmentError)
+                    else "JobRejected")
+            state.failures.quarantine(
+                FailureRecord(index, name, str(exc), attempts=0))
+            dropped = DROP_ERROR
+        state.reads.append(codes)
+        read_len = int(codes.size)
+        seed_ms = self.costs.seed_ms(read_len, n_seeds)
+
+        jobs: list[ExtensionJob] = []
+        prescreen_cells = 0
+        if dropped is None:
+            if chain is None:
+                dropped = DROP_UNSEEDED
+            elif chain.score < self.policy.min_chain_score:
+                dropped = DROP_FILTERED
+            else:
+                pairs = extension_jobs_for_chain(
+                    oriented, self.reference, chain,
+                    gap_margin=self.mapper.gap_margin,
+                )
+                jobs = [ExtensionJob(ref=r, query=q) for q, r in pairs]
+                borderline = (
+                    self.policy.prescreen_margin > 0
+                    and chain.score < (self.policy.min_chain_score
+                                       + self.policy.prescreen_margin)
+                )
+                if borderline:
+                    projected = chain.score
+                    for job in jobs:
+                        res = xdrop_extend(job.ref, job.query,
+                                           self.policy.xdrop, self.scoring)
+                        prescreen_cells += res.cells_computed
+                        projected += res.score
+                    if projected < self.policy.prescreen_min_total:
+                        dropped = DROP_PRESCREENED
+                        jobs = []
+
+        trace = ReadTrace(
+            index=index, read_len=read_len, seed_ms=seed_ms,
+            filter_ms=self.costs.filter_ms(n_seeds, prescreen_cells),
+            n_seeds=n_seeds, n_jobs=len(jobs), dropped=dropped,
+            prescreen_cells=prescreen_cells,
+        )
+        state.read_traces.append(trace)
+        state.chains.append(None if dropped else (chain, reverse))
+        state.ext_scores.append(0)
+        if dropped is None and jobs:
+            trace.batch_index = -1  # assigned at launch
+            state.pending_reads.append(index)
+            state.pending_jobs.extend(jobs)
+            if len(state.pending_reads) >= self.batch_reads:
+                self._launch_batch(state)
+        return trace
+
+    # ----- extension batches ------------------------------------------------
+
+    def _extend(self, jobs: list[ExtensionJob]) -> tuple[list[int], float]:
+        """Run one micro-batch on the backend; scores + modeled ms."""
+        if self.cluster is not None:
+            before = max((w.clock_ms for w in self.cluster.workers),
+                         default=0.0)
+            handles = self.cluster.submit_jobs(jobs)
+            self.cluster.run()
+            after = max((w.clock_ms for w in self.cluster.workers),
+                        default=0.0)
+            batch_ms = after - before
+        else:
+            before = self.service.clock_ms
+            handles = self.service.submit_jobs(jobs)
+            self.service.flush()
+            batch_ms = self.service.clock_ms - before
+        scores = []
+        for h in handles:
+            if h.ok and h.result_value is not None:
+                scores.append(int(h.result_value.score))
+            else:
+                scores.append(0)
+        return scores, batch_ms
+
+    def _launch_batch(self, state: _StreamState) -> None:
+        if not state.pending_reads:
+            return
+        index = len(state.batch_traces)
+        trace = BatchTrace(index=index,
+                           read_indices=list(state.pending_reads),
+                           n_jobs=len(state.pending_jobs))
+        scores, batch_ms = self._extend(state.pending_jobs)
+        trace.batch_ms = batch_ms
+        pos = 0
+        for ri in trace.read_indices:
+            rt = state.read_traces[ri]
+            rt.batch_index = index
+            state.ext_scores[ri] = sum(scores[pos:pos + rt.n_jobs])
+            pos += rt.n_jobs
+        state.batch_traces.append(trace)
+        state.pending_reads.clear()
+        state.pending_jobs.clear()
+
+    # ----- assembling mappings ---------------------------------------------
+
+    def _mapping(self, state: _StreamState, index: int) -> ReadMapping:
+        entry = state.chains[index]
+        if entry is None:
+            return ReadMapping(index, mapped=False, ref_start=-1,
+                               reverse=False, seed_score=0, extension_score=0)
+        chain, reverse = entry
+        return ReadMapping(
+            read_index=index,
+            mapped=True,
+            ref_start=max(chain.rstart - chain.qstart, 0),
+            reverse=reverse,
+            seed_score=sum(s.length for s in chain.seeds),
+            extension_score=state.ext_scores[index],
+        )
+
+    def _finish(self, state: _StreamState,
+                rescues: list[RescueTrace] | None = None) -> tuple[
+                    PipelineSchedule, PipelineMetrics,
+                    list[tuple[str, Tracer]]]:
+        self._launch_batch(state)
+        schedule = compute_schedule(
+            state.read_traces, state.batch_traces,
+            seed_queue_cap=self.seed_queue_cap,
+            extend_queue_cap=self.extend_queue_cap,
+            rescues=rescues,
+        )
+        metrics = PipelineMetrics.of(schedule)
+        return schedule, metrics, stage_tracers(schedule)
+
+    # ----- public API -------------------------------------------------------
+
+    def map_stream(self, reads) -> PipelineReport:
+        """Map an iterable of reads through the overlapped pipeline.
+
+        *reads* is consumed lazily, one read at a time: read ``N+1``
+        is not pulled (hence not seeded) until read ``N`` has cleared
+        the filter, and extension micro-batches launch mid-stream as
+        soon as ``batch_reads`` survivors accumulate — the interleave
+        the regression tests pin against the phase-barrier mappers.
+        """
+        state = _StreamState()
+        for read in reads:
+            self._admit(state, read)
+        schedule, metrics, tracers = self._finish(state)
+        mappings = [self._mapping(state, i)
+                    for i in range(len(state.read_traces))]
+        return PipelineReport(
+            mappings=mappings, reads=state.reads, schedule=schedule,
+            metrics=metrics, tracers=tracers, failures=state.failures,
+        )
+
+    def map_pairs_stream(self, pairs) -> PairedPipelineReport:
+        """Map an iterable of ``(read1, read2)`` mate pairs.
+
+        Mates interleave through the same stream (2 pipeline reads per
+        pair); pair resolution — mate rescue, properness, insert size
+        — runs as a host post-stage charged to the modeled clock, via
+        the exact :meth:`PairedReadMapper.resolve_pair` code path, so
+        pair calls are bit-identical to ``map_pairs`` under the
+        default policy.
+        """
+        state = _StreamState()
+        reads1: list[np.ndarray] = []
+        reads2: list[np.ndarray] = []
+        for r1, r2 in pairs:
+            self._admit(state, r1)
+            self._admit(state, r2)
+        self._launch_batch(state)
+
+        out: list[PairMapping] = []
+        rescues: list[RescueTrace] = []
+        n_pairs = len(state.read_traces) // 2
+        for i in range(n_pairs):
+            m1 = replace(self._mapping(state, 2 * i), read_index=i)
+            m2 = replace(self._mapping(state, 2 * i + 1), read_index=i)
+            read1, read2 = state.reads[2 * i], state.reads[2 * i + 1]
+            reads1.append(read1)
+            reads2.append(read2)
+            pair, cells = self.mapper.resolve_pair(i, m1, m2, read1, read2)
+            out.append(pair)
+            if cells:
+                rescues.append(RescueTrace(
+                    pair_index=i, cells=cells,
+                    rescue_ms=self.costs.rescue_ms(cells),
+                ))
+        schedule, metrics, tracers = self._finish(state, rescues)
+        return PairedPipelineReport(
+            pairs=out, reads1=reads1, reads2=reads2, schedule=schedule,
+            metrics=metrics, tracers=tracers, failures=state.failures,
+        )

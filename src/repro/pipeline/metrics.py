@@ -1,0 +1,230 @@
+"""Deterministic pipeline metrics: occupancy, queues, filtration, latency.
+
+Everything here is computed from a :class:`~repro.pipeline.stages.
+PipelineSchedule` — pure arithmetic over modeled timestamps — so two
+runs of the same read stream snapshot **bit-identically**, and the
+JSON export (``repro map-serve --out`` / ``bench_pipeline.py``) is
+byte-stable across reruns.  Latency percentiles reuse the serving
+layer's nearest-rank :class:`~repro.serve.metrics.LatencySummary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..serve.metrics import LatencySummary
+from .stages import PipelineSchedule
+
+__all__ = ["StageStats", "QueueStats", "PipelineMetrics"]
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """One stage's occupancy decomposition over the makespan.
+
+    ``busy + blocked + idle == makespan`` exactly (the same partition
+    the per-stage tracer spans draw), so occupancies telescope to 1.
+    """
+
+    items: int
+    busy_ms: float
+    blocked_ms: float
+    idle_ms: float
+
+    @property
+    def occupancy(self) -> float:
+        total = self.busy_ms + self.blocked_ms + self.idle_ms
+        return self.busy_ms / total if total > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "items": self.items,
+            "busy_ms": self.busy_ms,
+            "blocked_ms": self.blocked_ms,
+            "idle_ms": self.idle_ms,
+            "occupancy": self.occupancy,
+        }
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Depth profile of one bounded inter-stage queue.
+
+    Depth is sampled at every push event (just after the item lands),
+    which is where the maximum is attained; ``high_water`` can never
+    exceed the capacity — that is the backpressure contract.
+    """
+
+    capacity: int
+    pushes: int
+    high_water: int
+    mean_depth: float
+
+    def to_dict(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "pushes": self.pushes,
+            "high_water": self.high_water,
+            "mean_depth": self.mean_depth,
+        }
+
+
+def _queue_profile(pushes: list[float], pops: list[float], capacity: int
+                   ) -> QueueStats:
+    """Depth stats of a queue from its push/pop instants.
+
+    Events are merged in time order with pops winning ties (an item
+    handed over at instant *t* does not occupy a slot at *t* — that is
+    exactly how the blocking recurrence counts it, so high_water stays
+    within capacity by construction).
+    """
+    events = [(t, 1) for t in pushes] + [(t, -1) for t in pops]
+    events.sort(key=lambda e: (e[0], e[1]))
+    depth = 0
+    high = 0
+    area = 0.0
+    last_t = events[0][0] if events else 0.0
+    for t, delta in events:
+        area += depth * (t - last_t)
+        last_t = t
+        depth += delta
+        high = max(high, depth)
+    span = (events[-1][0] - events[0][0]) if len(events) > 1 else 0.0
+    mean = area / span if span > 0 else 0.0
+    return QueueStats(capacity=capacity, pushes=len(pushes),
+                      high_water=high, mean_depth=mean)
+
+
+@dataclass(frozen=True)
+class PipelineMetrics:
+    """One frozen snapshot of a pipeline run.
+
+    Attributes
+    ----------
+    reads_in / reads_out:
+        Stream size and reads that settled with a *mapped* record
+        (dropped reads still emit unmapped SAM records downstream).
+    dropped:
+        Reads removed at the filter, by reason (``unseeded``,
+        ``filtered``, ``prescreened``, ``error``).
+    filtration_rate:
+        Fraction of the stream the filter removed before extension
+        (the stage's whole purpose — device work it avoided).
+    n_batches / n_jobs:
+        Extension micro-batches launched and jobs inside them.
+    makespan_ms / sequential_ms / overlap_speedup:
+        Overlapped end-to-end time, the staged-sequential baseline
+        from the same per-item costs, and their ratio.
+    seed / filter / extend:
+        Per-stage occupancy decompositions (busy+blocked+idle =
+        makespan each).
+    seed_queue / extend_queue:
+        Bounded-queue depth profiles.
+    latency_ms:
+        Per-read in-pipeline latency percentiles (admission to
+        settlement, nearest-rank).
+    rescue_ms:
+        Mate-rescue host time appended after the stream (paired mode;
+        0 for single-end).
+    """
+
+    reads_in: int
+    reads_out: int
+    dropped: dict[str, int]
+    filtration_rate: float
+    n_batches: int
+    n_jobs: int
+    makespan_ms: float
+    sequential_ms: float
+    overlap_speedup: float
+    seed: StageStats
+    filter: StageStats
+    extend: StageStats
+    seed_queue: QueueStats
+    extend_queue: QueueStats
+    latency_ms: LatencySummary
+    rescue_ms: float = 0.0
+
+    @classmethod
+    def of(cls, schedule: PipelineSchedule) -> "PipelineMetrics":
+        reads = schedule.reads
+        makespan = schedule.makespan_ms
+        dropped: dict[str, int] = {}
+        for r in reads:
+            if r.dropped is not None:
+                dropped[r.dropped] = dropped.get(r.dropped, 0) + 1
+        survivors = [r for r in reads if r.survives]
+        n_dropped = sum(dropped.values())
+
+        seed_busy = schedule.seed_busy_ms
+        seed_blocked = schedule.seed_blocked_ms
+        filt_busy = schedule.filter_busy_ms
+        filt_blocked = schedule.filter_blocked_ms
+        ext_busy = schedule.extend_busy_ms + schedule.rescue_busy_ms
+
+        seed = StageStats(
+            items=len(reads), busy_ms=seed_busy, blocked_ms=seed_blocked,
+            idle_ms=makespan - seed_busy - seed_blocked,
+        )
+        filt = StageStats(
+            items=len(reads), busy_ms=filt_busy, blocked_ms=filt_blocked,
+            idle_ms=makespan - filt_busy - filt_blocked,
+        )
+        ext = StageStats(
+            items=len(schedule.batches), busy_ms=ext_busy, blocked_ms=0.0,
+            idle_ms=makespan - ext_busy,
+        )
+
+        seed_queue = _queue_profile(
+            [r.seed_push_ms for r in reads],
+            [r.filter_start_ms for r in reads],
+            schedule.seed_queue_cap,
+        )
+        extend_queue = _queue_profile(
+            [r.filter_push_ms for r in survivors],
+            [r.extend_pop_ms for r in survivors],
+            schedule.extend_queue_cap,
+        )
+
+        return cls(
+            reads_in=len(reads),
+            reads_out=sum(1 for r in reads if r.dropped is None),
+            dropped=dict(sorted(dropped.items())),
+            filtration_rate=n_dropped / len(reads) if reads else 0.0,
+            n_batches=len(schedule.batches),
+            n_jobs=sum(b.n_jobs for b in schedule.batches),
+            makespan_ms=makespan,
+            sequential_ms=schedule.sequential_ms,
+            overlap_speedup=schedule.overlap_speedup,
+            seed=seed,
+            filter=filt,
+            extend=ext,
+            seed_queue=seed_queue,
+            extend_queue=extend_queue,
+            latency_ms=LatencySummary.of([r.latency_ms for r in reads]),
+            rescue_ms=schedule.rescue_busy_ms,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "reads_in": self.reads_in,
+            "reads_out": self.reads_out,
+            "dropped": self.dropped,
+            "filtration_rate": self.filtration_rate,
+            "n_batches": self.n_batches,
+            "n_jobs": self.n_jobs,
+            "makespan_ms": self.makespan_ms,
+            "sequential_ms": self.sequential_ms,
+            "overlap_speedup": self.overlap_speedup,
+            "stages": {
+                "seed": self.seed.to_dict(),
+                "filter": self.filter.to_dict(),
+                "extend": self.extend.to_dict(),
+            },
+            "queues": {
+                "seed": self.seed_queue.to_dict(),
+                "extend": self.extend_queue.to_dict(),
+            },
+            "latency_ms": self.latency_ms.to_dict(),
+            "rescue_ms": self.rescue_ms,
+        }

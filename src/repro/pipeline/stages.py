@@ -1,0 +1,283 @@
+"""The streaming dataflow schedule: three stages, two bounded queues.
+
+A mapping pipeline is three serial workers connected by bounded
+queues::
+
+    source -> [seed] -q1-> [filter] -q2-> [extend (batched)] -> sink
+
+``seed`` walks the FM-index on the modeled host clock, ``filter``
+applies the chain-score admission test (charging any banded/X-drop
+pre-screen it runs), and ``extend`` accumulates surviving reads into
+micro-batches served by the GPU-backed alignment service.  The point
+of the pipeline is *overlap*: seeds for read ``N+1`` are computed
+while read ``N``'s extension batch is still in flight on the device.
+
+This module computes the **schedule** of that dataflow — when every
+read occupied every stage — as a deterministic function of the
+per-item modeled costs.  The recurrences are the standard ones for
+tandem queues with blocking-after-service:
+
+* a worker holds its finished item until the downstream queue has a
+  free slot (that is what backpressure *is* — the bound propagates
+  upstream as blocking time, never as an unbounded buffer);
+* the extension stage accumulates its next batch while the device
+  executes the current one; the accumulator for batch ``b`` opens
+  when batch ``b-1`` is handed to the device.
+
+Because the schedule is pure arithmetic over modeled costs, the same
+data pass yields both the overlapped makespan and the
+staged-sequential baseline (every stage a global barrier), which is
+how the pipeline bench can compare the two without running the
+workload twice — and why the two modes are bit-identical in mapping
+output by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ReadTrace", "BatchTrace", "RescueTrace", "PipelineSchedule",
+           "compute_schedule"]
+
+#: Why a read left the pipeline before extension.
+DROP_ERROR = "error"          # malformed codes / seeding failure
+DROP_UNSEEDED = "unseeded"    # no chain on either strand
+DROP_FILTERED = "filtered"    # optimistic score bound below threshold
+DROP_PRESCREENED = "prescreened"  # X-drop pre-screen projected below threshold
+
+
+@dataclass
+class ReadTrace:
+    """One read's journey through the stage graph.
+
+    The data pass fills the workload fields (costs, drop reason,
+    batch assignment); :func:`compute_schedule` fills the timestamps.
+    All times are modeled milliseconds on the shared pipeline clock.
+    """
+
+    index: int
+    read_len: int
+    seed_ms: float
+    filter_ms: float
+    n_seeds: int = 0
+    n_jobs: int = 0
+    dropped: str | None = None
+    prescreen_cells: int = 0
+    batch_index: int | None = None
+    # ----- schedule (filled by compute_schedule) -----
+    seed_start_ms: float = 0.0
+    seed_end_ms: float = 0.0
+    seed_push_ms: float = 0.0
+    filter_start_ms: float = 0.0
+    filter_end_ms: float = 0.0
+    filter_push_ms: float = 0.0
+    extend_pop_ms: float = 0.0
+    done_ms: float = 0.0
+
+    @property
+    def survives(self) -> bool:
+        """True when the read reaches the extension stage."""
+        return self.dropped is None and self.batch_index is not None
+
+    @property
+    def latency_ms(self) -> float:
+        """In-pipeline latency: completion minus seed admission."""
+        return self.done_ms - self.seed_start_ms
+
+
+@dataclass
+class BatchTrace:
+    """One extension micro-batch as the device saw it."""
+
+    index: int
+    read_indices: list[int] = field(default_factory=list)
+    n_jobs: int = 0
+    batch_ms: float = 0.0
+    # ----- schedule -----
+    ready_ms: float = 0.0
+    launch_ms: float = 0.0
+    done_ms: float = 0.0
+
+
+@dataclass
+class RescueTrace:
+    """One mate-rescue search (paired mode's post-stage)."""
+
+    pair_index: int
+    cells: int
+    rescue_ms: float
+    start_ms: float = 0.0
+    end_ms: float = 0.0
+
+
+@dataclass
+class PipelineSchedule:
+    """The complete computed schedule plus both makespans."""
+
+    reads: list[ReadTrace]
+    batches: list[BatchTrace]
+    rescues: list[RescueTrace] = field(default_factory=list)
+    seed_queue_cap: int = 1
+    extend_queue_cap: int = 1
+    makespan_ms: float = 0.0
+    sequential_ms: float = 0.0
+
+    @property
+    def overlap_speedup(self) -> float:
+        """Staged-sequential makespan over overlapped makespan."""
+        if self.makespan_ms <= 0.0:
+            return 1.0
+        return self.sequential_ms / self.makespan_ms
+
+    # ----- stage aggregates (used by metrics and the tracers) -----
+
+    @property
+    def seed_busy_ms(self) -> float:
+        return sum(r.seed_end_ms - r.seed_start_ms for r in self.reads)
+
+    @property
+    def seed_blocked_ms(self) -> float:
+        return sum(r.seed_push_ms - r.seed_end_ms for r in self.reads)
+
+    @property
+    def filter_busy_ms(self) -> float:
+        return sum(r.filter_end_ms - r.filter_start_ms for r in self.reads)
+
+    @property
+    def filter_blocked_ms(self) -> float:
+        return sum(r.filter_push_ms - r.filter_end_ms for r in self.reads
+                   if r.survives)
+
+    @property
+    def extend_busy_ms(self) -> float:
+        return sum(b.done_ms - b.launch_ms for b in self.batches)
+
+    @property
+    def rescue_busy_ms(self) -> float:
+        return sum(t.end_ms - t.start_ms for t in self.rescues)
+
+
+def compute_schedule(
+    reads: list[ReadTrace],
+    batches: list[BatchTrace],
+    *,
+    seed_queue_cap: int = 8,
+    extend_queue_cap: int = 64,
+    rescues: list[RescueTrace] | None = None,
+) -> PipelineSchedule:
+    """Fill the timestamps of *reads* / *batches* and both makespans.
+
+    ``seed_queue_cap`` bounds the seeded-read queue (q1),
+    ``extend_queue_cap`` the filtered-read queue (q2); both must be
+    at least 1 — a zero-capacity queue would deadlock the dataflow.
+    Rescue searches (paired mode) run serially on the host after the
+    last read settles, in both the overlapped and sequential
+    schedules, so they shift the makespans equally.
+    """
+    if seed_queue_cap < 1:
+        raise ValueError("seed_queue_cap must be at least 1")
+    if extend_queue_cap < 1:
+        raise ValueError("extend_queue_cap must be at least 1")
+    rescues = rescues or []
+
+    # pop times from q1 (indexed by read position) and q2 (indexed by
+    # surviving-read ordinal) — the upstream blocking references.
+    q1_pops: list[float] = []
+    q2_pops: list[float] = []
+
+    batch_of = {}
+    for b in batches:
+        for ri in b.read_indices:
+            batch_of[ri] = b
+
+    # Extension-side state: accumulator for batch b opens when batch
+    # b-1 launches; the device frees when batch b-1 completes.
+    accumulator_open = 0.0
+    device_free = 0.0
+    next_batch = 0
+    pending_in_batch = 0  # reads popped into the open accumulator
+
+    seed_release = 0.0    # seeder free (previous read pushed)
+    filter_release = 0.0  # filter free (previous read pushed/dropped)
+
+    def _launch(b: BatchTrace, ready_ms: float) -> None:
+        nonlocal accumulator_open, device_free
+        b.ready_ms = ready_ms
+        b.launch_ms = max(ready_ms, device_free)
+        b.done_ms = b.launch_ms + b.batch_ms
+        device_free = b.done_ms
+        accumulator_open = b.launch_ms
+        for ri in b.read_indices:
+            reads[ri].done_ms = b.done_ms
+
+    for pos, r in enumerate(reads):
+        # --- seed worker (serial, blocking-after-service on q1) ---
+        r.seed_start_ms = seed_release
+        r.seed_end_ms = r.seed_start_ms + r.seed_ms
+        if len(q1_pops) >= seed_queue_cap and pos >= seed_queue_cap:
+            r.seed_push_ms = max(r.seed_end_ms, q1_pops[pos - seed_queue_cap])
+        else:
+            r.seed_push_ms = r.seed_end_ms
+        seed_release = r.seed_push_ms
+
+        # --- filter worker ---
+        r.filter_start_ms = max(r.seed_push_ms, filter_release)
+        q1_pops.append(r.filter_start_ms)
+        r.filter_end_ms = r.filter_start_ms + r.filter_ms
+        if not r.survives:
+            # Dropped (or mapped with no extension work): the read
+            # leaves the pipeline at the filter.
+            r.filter_push_ms = r.filter_end_ms
+            if r.done_ms == 0.0:
+                r.done_ms = r.filter_end_ms
+            filter_release = r.filter_end_ms
+            continue
+        k = len(q2_pops)  # surviving ordinal
+        if k >= extend_queue_cap:
+            r.filter_push_ms = max(r.filter_end_ms,
+                                   q2_pops[k - extend_queue_cap])
+        else:
+            r.filter_push_ms = r.filter_end_ms
+        filter_release = r.filter_push_ms
+
+        # --- extension accumulator ---
+        r.extend_pop_ms = max(r.filter_push_ms, accumulator_open)
+        q2_pops.append(r.extend_pop_ms)
+        pending_in_batch += 1
+        b = batch_of[r.index]
+        if pending_in_batch == len(b.read_indices):
+            assert b.index == next_batch, "batch order must follow read order"
+            _launch(b, r.extend_pop_ms)
+            next_batch += 1
+            pending_in_batch = 0
+
+    makespan = max(
+        [device_free, seed_release, filter_release]
+        + [r.done_ms for r in reads]
+        + [0.0]
+    )
+
+    # --- rescue post-stage (serial host worker after the stream) ---
+    cursor = makespan
+    for t in rescues:
+        t.start_ms = cursor
+        t.end_ms = t.start_ms + t.rescue_ms
+        cursor = t.end_ms
+    makespan = cursor
+
+    sequential = (
+        sum(r.seed_ms for r in reads)
+        + sum(r.filter_ms for r in reads)
+        + sum(b.batch_ms for b in batches)
+        + sum(t.rescue_ms for t in rescues)
+    )
+
+    return PipelineSchedule(
+        reads=reads,
+        batches=batches,
+        rescues=rescues,
+        seed_queue_cap=seed_queue_cap,
+        extend_queue_cap=extend_queue_cap,
+        makespan_ms=makespan,
+        sequential_ms=sequential,
+    )

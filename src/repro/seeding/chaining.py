@@ -63,10 +63,27 @@ def chain_seeds(
     ``max_gap`` bounds the query/reference distance bridged between
     consecutive seeds; ``max_drift`` bounds their diagonal difference
     (both BWA-MEM-style chaining cutoffs).
+
+    The output is a pure function of the seed *set*: seeds are first
+    put in canonical ``(qpos, rpos, length)`` order, so the arrival
+    order of *seeds* never matters.  Tie-breaks are documented and
+    stable:
+
+    * a seed with several equal-score predecessors keeps the one
+      earliest in canonical order;
+    * equal-score chains rank by their terminal seed's canonical
+      order (ascending) — ``chains[0]`` is always the same chain for
+      the same seed set.
+
+    The streaming pipeline (:mod:`repro.pipeline`) depends on this:
+    stage overlap must not be able to reorder mapping output.
     """
     if not seeds:
         return []
-    order = sorted(range(len(seeds)), key=lambda i: (seeds[i].qpos, seeds[i].rpos))
+    order = sorted(
+        range(len(seeds)),
+        key=lambda i: (seeds[i].qpos, seeds[i].rpos, seeds[i].length),
+    )
     s = [seeds[i] for i in order]
     n = len(s)
     score = [float(x.length) for x in s]
@@ -84,7 +101,9 @@ def chain_seeds(
             if cand > score[j]:
                 score[j] = cand
                 back[j] = i
-    # Extract chains greedily by best terminal seed, consuming members.
+    # Extract chains greedily by best terminal seed, consuming
+    # members.  The sort is stable over canonical seed indices, so
+    # equal-score terminals extract in canonical order.
     used = [False] * n
     chains: list[Chain] = []
     for j in sorted(range(n), key=lambda x: -score[x]):

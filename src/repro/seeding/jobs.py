@@ -12,6 +12,8 @@ is essentially uniform.
 
 from __future__ import annotations
 
+from typing import Iterable, Iterator
+
 import numpy as np
 
 from .chaining import Chain, chain_seeds
@@ -122,9 +124,23 @@ class SeedExtendPipeline:
             )
         return jobs
 
+    def iter_jobs(self, reads: Iterable[np.ndarray]
+                  ) -> Iterator[tuple[int, list[JobPair]]]:
+        """Lazily yield ``(read_index, jobs)`` one read at a time.
+
+        Nothing is seeded, chained, or materialized for read ``N+1``
+        until the consumer asks for it — the pull contract the
+        streaming pipeline (:mod:`repro.pipeline`) relies on so that
+        read ``N``'s extension batch can be in flight while later
+        reads are still unseeded.  :meth:`jobs_for_reads` is the
+        eager wrapper that drains this iterator.
+        """
+        for index, read in enumerate(reads):
+            yield index, self.jobs_for_read(read)
+
     def jobs_for_reads(self, reads: list[np.ndarray]) -> list[JobPair]:
-        """Extension jobs of a read batch, in read order."""
+        """Extension jobs of a read batch, in read order (eager)."""
         out: list[JobPair] = []
-        for read in reads:
-            out.extend(self.jobs_for_read(read))
+        for _, jobs in self.iter_jobs(reads):
+            out.extend(jobs)
         return out

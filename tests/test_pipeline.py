@@ -1,0 +1,341 @@
+"""Tests for repro.pipeline: the fused seed-filter-extend dataflow.
+
+The contracts pinned here:
+
+* ``MappingService.map_stream`` is bit-identical to the phase-barrier
+  :class:`ReadMapper` under the default pass-through policy (and
+  ``map_pairs_stream`` to ``PairedReadMapper.map_pairs``, mate rescue
+  included);
+* stage overlap beats the staged-sequential makespan computed from the
+  same per-item costs;
+* metrics / merged trace / SAM artifacts are byte-identical across
+  reruns from fresh services;
+* bounded queues enforce backpressure (high-water never exceeds
+  capacity; shrinking a queue can only slow the schedule, never change
+  the mapping output);
+* each stage tracer's spans partition ``[0, makespan]`` exactly;
+* the stream is consumed lazily — extension batches launch before the
+  source is drained, unlike the batch mappers.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.mapper import PairedReadMapper, ReadMapper
+from repro.core.sam import (
+    FLAG_FIRST,
+    FLAG_PAIRED,
+    FLAG_PROPER,
+    FLAG_UNMAPPED,
+)
+from repro.obs.export import merged_chrome_trace_json
+from repro.pipeline import (
+    BatchTrace,
+    FilterPolicy,
+    MappingService,
+    PipelineMetrics,
+    ReadTrace,
+    build_read_stream,
+    compute_schedule,
+    sam_problems,
+)
+from repro.resilience.errors import JobRejected
+from repro.seeding.jobs import SeedExtendPipeline
+from repro.seqs.genome import GenomeConfig, synthetic_genome
+from repro.seqs.simulate import ErrorProfile, ReadSimulator
+
+GENOME = synthetic_genome(GenomeConfig(length=6000), seed=7)
+
+#: Error rate high enough that mapped reads carry real extension work
+#: (error-free reads are swallowed whole by one SMEM).
+PROFILE = ErrorProfile(substitution_rate=0.03, insertion_rate=0.002,
+                       deletion_rate=0.002, indel_extend_prob=0.2)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return build_read_stream(GENOME, n_short=12, n_long=3, n_noise=2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def report(stream):
+    return MappingService(GENOME, batch_reads=4).map_stream(stream)
+
+
+class TestStreamBitIdentity:
+    def test_matches_read_mapper_record_for_record(self, stream, report):
+        baseline = ReadMapper(GENOME).map_reads(stream)
+        assert report.mappings == baseline.mappings
+
+    def test_noise_reads_drop_at_the_filter(self, report):
+        m = report.metrics
+        assert m.dropped.get("unseeded", 0) == 2
+        assert m.filtration_rate == pytest.approx(2 / 17)
+        assert m.reads_out == sum(1 for r in report.mappings if r.mapped)
+
+    def test_sam_well_formed_with_unmapped_records(self, report):
+        sam = report.to_sam(GENOME)
+        assert sam_problems(sam) == []
+        body = [ln for ln in sam.splitlines() if not ln.startswith("@")]
+        assert len(body) == len(report.mappings)
+        flags = [int(ln.split("\t")[1]) for ln in body]
+        assert sum(1 for f in flags if f & FLAG_UNMAPPED) == 2
+
+
+class TestOverlap:
+    def test_overlapped_beats_staged_sequential(self, report):
+        sched = report.schedule
+        assert sched.makespan_ms < sched.sequential_ms
+        assert sched.overlap_speedup > 1.0
+
+    def test_latency_percentiles_ordered(self, report):
+        lat = report.metrics.latency_ms
+        assert lat.count == 17
+        assert 0.0 < lat.p50 <= lat.p90 <= lat.p99 <= lat.max
+        assert lat.max <= report.schedule.makespan_ms
+
+    def test_stage_occupancies_partition_the_makespan(self, report):
+        m = report.metrics
+        for stage in (m.seed, m.filter, m.extend):
+            total = stage.busy_ms + stage.blocked_ms + stage.idle_ms
+            assert total == pytest.approx(m.makespan_ms)
+            assert 0.0 <= stage.occupancy <= 1.0
+
+
+class TestDeterminism:
+    def _artifacts(self, stream):
+        rep = MappingService(GENOME, batch_reads=4).map_stream(stream)
+        metrics = json.dumps(rep.metrics.to_dict(), indent=2, sort_keys=True)
+        trace = merged_chrome_trace_json(rep.tracers,
+                                         process_name="repro pipeline")
+        return metrics, trace, rep.to_sam(GENOME)
+
+    def test_rerun_artifacts_byte_identical(self, stream):
+        first = self._artifacts(stream)
+        second = self._artifacts(stream)
+        assert first == second
+
+
+def _host_bound_and_device_bound(n_batches=3, per_batch=4, batch_ms=10.0):
+    """Synthetic traces: fast host stages feeding a slow device."""
+    reads, batches = [], []
+    for b in range(n_batches):
+        bt = BatchTrace(index=b, n_jobs=per_batch, batch_ms=batch_ms)
+        for j in range(per_batch):
+            i = b * per_batch + j
+            reads.append(ReadTrace(index=i, read_len=100, seed_ms=0.01,
+                                   filter_ms=0.01, n_seeds=1, n_jobs=1,
+                                   batch_index=b))
+            bt.read_indices.append(i)
+        batches.append(bt)
+    return reads, batches
+
+
+class TestBackpressure:
+    def test_high_water_never_exceeds_capacity(self, report):
+        m = report.metrics
+        # queues can stay empty when the host stages are the bottleneck
+        # (hand-offs are instantaneous); the bound is what must hold.
+        assert 0 <= m.seed_queue.high_water <= m.seed_queue.capacity
+        assert 0 <= m.extend_queue.high_water <= m.extend_queue.capacity
+        assert m.seed_queue.pushes == m.reads_in
+
+    def test_slow_device_fills_the_extend_queue(self):
+        reads, batches = _host_bound_and_device_bound()
+        sched = compute_schedule(reads, batches,
+                                 seed_queue_cap=8, extend_queue_cap=64)
+        m = PipelineMetrics.of(sched)
+        # batch-2 reads clear the filter fast, then wait out batch 1's
+        # device time in the extension queue — all four at once.
+        assert m.extend_queue.high_water == 4
+
+    def test_tight_extend_queue_propagates_blocking_upstream(self):
+        # long enough that the device stall reaches back through both
+        # tight queues to the seeder
+        reads, batches = _host_bound_and_device_bound(n_batches=5)
+        sched = compute_schedule(reads, batches,
+                                 seed_queue_cap=2, extend_queue_cap=2)
+        m = PipelineMetrics.of(sched)
+        assert m.extend_queue.high_water <= 2
+        assert m.seed_queue.high_water <= 2
+        assert m.filter.blocked_ms > 0.0   # q2 full -> filter holds items
+        assert m.seed.blocked_ms > 0.0     # q1 full -> seeder holds items
+
+    def test_tiny_queues_slow_the_schedule_not_the_output(self, stream, report):
+        svc = MappingService(GENOME, batch_reads=4,
+                             seed_queue_cap=1, extend_queue_cap=1)
+        tight = svc.map_stream(stream)
+        assert tight.mappings == report.mappings
+        assert tight.schedule.makespan_ms >= report.schedule.makespan_ms
+        m = tight.metrics
+        assert m.seed_queue.high_water <= 1
+        assert m.extend_queue.high_water <= 1
+
+    def test_zero_capacity_queue_rejected(self):
+        with pytest.raises(ValueError):
+            compute_schedule([], [], seed_queue_cap=0)
+        with pytest.raises(ValueError):
+            compute_schedule([], [], extend_queue_cap=0)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(JobRejected):
+            MappingService(GENOME, batch_reads=0)
+
+
+class TestSpanPartition:
+    def test_each_stage_partitions_zero_to_makespan_exactly(self, report):
+        makespan = report.schedule.makespan_ms
+        names = []
+        for name, tracer in report.tracers:
+            names.append(name)
+            roots = tracer.finish()
+            assert len(roots) == 1
+            root = roots[0]
+            assert root.name == f"pipeline.{name}"
+            assert root.start_ms == 0.0
+            assert root.end_ms == makespan
+            cursor = 0.0
+            for child in root.children:
+                assert child.start_ms == cursor  # bit-exact, no float drift
+                cursor = child.end_ms
+            assert cursor == makespan
+        assert names == ["seed", "filter", "extend"]
+
+
+class TestFilterPolicy:
+    def test_threshold_drops_every_read_before_the_device(self, stream):
+        svc = MappingService(GENOME, batch_reads=4,
+                             policy=FilterPolicy(min_chain_score=10**6))
+        rep = svc.map_stream(stream)
+        assert rep.metrics.n_batches == 0
+        assert rep.metrics.dropped.get("filtered", 0) == 15
+        assert rep.metrics.filtration_rate == 1.0
+        assert not any(m.mapped for m in rep.mappings)
+
+    def test_prescreen_charges_cells_without_changing_output(self, stream,
+                                                             report):
+        policy = FilterPolicy(min_chain_score=1, prescreen_margin=10**6,
+                              prescreen_min_total=0)
+        rep = MappingService(GENOME, batch_reads=4,
+                             policy=policy).map_stream(stream)
+        assert rep.mappings == report.mappings
+        cells = sum(r.prescreen_cells for r in rep.schedule.reads)
+        assert cells > 0
+        assert rep.metrics.filter.busy_ms > report.metrics.filter.busy_ms
+
+    def test_prescreen_can_drop_borderline_reads(self, stream):
+        policy = FilterPolicy(min_chain_score=1, prescreen_margin=10**6,
+                              prescreen_min_total=10**9)
+        rep = MappingService(GENOME, batch_reads=4,
+                             policy=policy).map_stream(stream)
+        assert rep.metrics.dropped.get("prescreened", 0) == 15
+        assert rep.metrics.n_batches == 0
+
+
+class TestLazyConsumption:
+    def test_iter_jobs_pulls_one_read_at_a_time(self):
+        pipe = SeedExtendPipeline(GENOME, min_seed_len=12)
+        reads = [np.asarray(GENOME[i * 100:i * 100 + 80], dtype=np.uint8)
+                 for i in range(4)]
+        pulls = []
+
+        def source():
+            for i, r in enumerate(reads):
+                pulls.append(i)
+                yield r
+
+        it = pipe.iter_jobs(source())
+        assert pulls == []  # nothing seeded before the first next()
+        index, jobs0 = next(it)
+        assert (index, pulls) == (0, [0])
+        next(it)
+        assert pulls == [0, 1]  # read 2 untouched until asked for
+
+    def test_extension_batches_launch_before_the_stream_drains(self, stream):
+        events = []
+
+        class LoggingService(MappingService):
+            def _extend(self, jobs):
+                events.append("batch")
+                return super()._extend(jobs)
+
+        def source():
+            for i, read in enumerate(stream):
+                events.append(f"pull{i}")
+                yield read
+
+        rep = LoggingService(GENOME, batch_reads=2).map_stream(source())
+        assert rep.mappings == ReadMapper(GENOME).map_reads(stream).mappings
+        first_batch = events.index("batch")
+        last_pull = max(i for i, e in enumerate(events)
+                        if e.startswith("pull"))
+        # Read N's first batch settles before later reads are pulled —
+        # the interleave the batch mappers cannot produce.
+        assert first_batch < last_pull
+
+
+def _kill_seeds_keep_identity(codes: np.ndarray) -> np.ndarray:
+    """Corrupt every 10th base: no 19 bp exact seed survives, but the
+    read stays ~90% identical — above the 0.5 mate-rescue bar."""
+    out = codes.copy()
+    out[::10] = (out[::10] + 1) % 4
+    return out
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    sim = ReadSimulator(GENOME, PROFILE, seed=11)
+    sampled = [sim.sample_read_pair(80) for _ in range(6)]
+    out = [(a.codes, b.codes) for a, b in sampled]
+    r1, r2 = out[1]
+    out[1] = (r1, _kill_seeds_keep_identity(r2))
+    return out
+
+
+class TestPairedStream:
+    @pytest.fixture(scope="class")
+    def paired_report(self, pairs):
+        return MappingService(GENOME, batch_reads=4).map_pairs_stream(pairs)
+
+    def test_bit_identical_to_paired_read_mapper(self, pairs, paired_report):
+        base = PairedReadMapper(GENOME).map_pairs(
+            [p[0] for p in pairs], [p[1] for p in pairs])
+        assert paired_report.pairs == base
+
+    def test_mate_rescue_ran_and_was_charged(self, paired_report):
+        assert paired_report.pairs[1].rescued
+        assert paired_report.pairs[1].second.mapped
+        sched = paired_report.schedule
+        assert sched.rescues and sched.rescues[0].cells > 0
+        assert sched.rescue_busy_ms > 0.0
+        assert paired_report.metrics.rescue_ms == sched.rescue_busy_ms
+        # the serial host post-stage extends both makespans equally
+        assert sched.rescues[-1].end_ms == sched.makespan_ms
+
+    def test_proper_pair_sam_flags(self, paired_report, pairs):
+        sam = paired_report.to_sam(GENOME)
+        assert sam_problems(sam) == []
+        body = [ln.split("\t") for ln in sam.splitlines()
+                if not ln.startswith("@")]
+        assert len(body) == 2 * len(pairs)
+        flags = [int(f[1]) for f in body]
+        assert all(f & FLAG_PAIRED for f in flags)
+        n_proper = sum(1 for f in flags if f & FLAG_PROPER)
+        assert n_proper == 2 * sum(1 for p in paired_report.pairs if p.proper)
+        assert n_proper > 0
+        assert all(f & FLAG_FIRST for f in flags[::2])
+        tlens = [int(f[8]) for f in body]
+        for i, pair in enumerate(paired_report.pairs):
+            if pair.proper:
+                assert tlens[2 * i] == -tlens[2 * i + 1] != 0
+
+    def test_paired_rerun_byte_identical(self, pairs):
+        def run():
+            rep = MappingService(GENOME, batch_reads=4).map_pairs_stream(pairs)
+            metrics = json.dumps(rep.metrics.to_dict(), sort_keys=True)
+            trace = merged_chrome_trace_json(rep.tracers)
+            return metrics, trace, rep.to_sam(GENOME)
+
+        assert run() == run()

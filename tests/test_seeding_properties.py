@@ -68,6 +68,18 @@ class TestChainingProperties:
         scores = [c.score for c in chains]
         assert scores == sorted(scores, reverse=True)
 
+    @settings(max_examples=40, deadline=None)
+    @given(raw=seeds_strategy, order_seed=st.integers(0, 2**32 - 1))
+    def test_arrival_order_never_matters(self, raw, order_seed):
+        """chain_seeds is a pure function of the seed *set*: any
+        shuffle of the arrival order yields the identical chain list
+        (scores, membership, ranking) — the stability the streaming
+        pipeline's overlap correctness rests on."""
+        seeds = [Seed(qpos=q, rpos=r, length=ln) for q, r, ln in raw]
+        rng = np.random.default_rng(order_seed)
+        shuffled = [seeds[i] for i in rng.permutation(len(seeds))]
+        assert chain_seeds(shuffled) == chain_seeds(seeds)
+
     @settings(max_examples=30, deadline=None)
     @given(raw=seeds_strategy)
     def test_chain_score_at_least_best_seed(self, raw):
