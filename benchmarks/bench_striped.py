@@ -1,0 +1,110 @@
+"""Striped/adaptive engine benchmark: the ISSUE-8 acceptance measurement.
+
+Four :class:`~repro.serve.service.AlignmentService` passes over the
+same scored mixed dataset A+B stream — the ``reference``, ``batched``,
+and ``striped`` fixed engines plus ``--engine auto`` per-bin adaptive
+selection — must agree bitwise on scores, modeled clock, and metric
+snapshots (fixed-engine Chrome traces byte-identical too), and the
+adaptive service must not lose to the best single fixed engine by more
+than a small probe-overhead allowance.  The result persists as
+``benchmarks/results/BENCH_striped.{txt,json}``.
+
+Also runnable directly (the CI ``engine-matrix`` path)::
+
+    PYTHONPATH=src python benchmarks/bench_striped.py --quick --out /tmp/s.json
+
+which exits nonzero on any broken engine invariant and writes the
+*deterministic* JSON flavour (wall-clock and adaptive-choice fields
+stripped) for the rerun ``cmp``.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.engine.striped_bench import run_striped_bench
+
+#: Adaptive selection pays one engine race per bin; allow it that
+#: overhead against the best fixed engine (it usually wins outright —
+#: see the committed BENCH_striped artifact).
+AUTO_TOLERANCE = 1.10
+
+#: The acceptance-bar workload: scored mixed A+B stream, long-read
+#: tail capped so the per-pair reference side stays affordable, sized
+#: so the per-wave short-read batches sit in the striped engine's
+#: regime while the sparse long-read batches stay in the batched
+#: sweep's — the length-dependent ranking adaptive selection exploits.
+BENCH_KWARGS = dict(n_requests=320, b_fraction=0.15,
+                    duplicate_fraction=0.25, seed=0, b_max_length=1200)
+
+#: The CI smoke workload (about a quarter of the full bench).
+QUICK_KWARGS = dict(n_requests=80, b_fraction=0.1,
+                    duplicate_fraction=0.25, seed=0, b_max_length=600,
+                    oracle_pairs=6)
+
+
+@pytest.fixture(scope="module")
+def res():
+    return run_striped_bench(**BENCH_KWARGS)
+
+
+def test_striped_bench_runs_and_saves(benchmark, res, save_result):
+    run_once(benchmark, run_striped_bench, **QUICK_KWARGS)
+    save_result("BENCH_striped", res.text, json_of=res)
+
+
+def test_engines_agree_bitwise(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert res.scores_identical, "scores diverged across engines"
+    assert res.oracle_checked > 0 and res.oracle_identical, (
+        "striped scores diverged from the row-scan oracle"
+    )
+
+
+def test_modeled_side_is_engine_independent(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert res.modeled_identical, "modeled clock depends on the engine"
+    assert res.metrics_identical, "metric snapshot depends on the engine"
+    assert res.trace_identical, "fixed-engine chrome traces diverged"
+
+
+def test_adaptive_matches_best_fixed_engine(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert res.auto_vs_best_fixed <= AUTO_TOLERANCE, (
+        f"adaptive service ran {res.auto_vs_best_fixed:.3f}x the best fixed "
+        f"engine ({res.best_fixed}) — over the {AUTO_TOLERANCE}x allowance"
+    )
+    assert res.auto_bins, "adaptive service tuned no bins"
+
+
+def _main(argv=None) -> int:
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke sizing (~4x smaller stream)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the deterministic JSON artifact here")
+    args = parser.parse_args(argv)
+    result = run_striped_bench(**(QUICK_KWARGS if args.quick else BENCH_KWARGS))
+    print(result.text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(result.deterministic_json() + "\n")
+        print(f"wrote {args.out}")
+    if not result.ok:
+        print("error: an engine invariant failed (see flags above)",
+              file=sys.stderr)
+        return 1
+    if not args.quick and result.auto_vs_best_fixed > AUTO_TOLERANCE:
+        print(
+            f"error: adaptive service {result.auto_vs_best_fixed:.3f}x the "
+            f"best fixed engine, over the {AUTO_TOLERANCE}x allowance",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

@@ -149,8 +149,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dataset-B-shaped share of the unique jobs")
     p_srv.add_argument("--seed", type=int, default=0)
     p_srv.add_argument("--device", default="GTX1650", choices=sorted(known_devices()))
-    p_srv.add_argument("--engine", default="reference", choices=engine_names(),
-                       help="exact-scoring backend for the service run "
+    p_srv.add_argument("--engine", default="reference",
+                       choices=(*engine_names(), "auto"),
+                       help="exact-scoring backend for the service run, or "
+                            "'auto' to let each length bin pick its own "
                             "(scores identical either way; see repro.engine)")
     p_srv.add_argument("--out", default=None, help="write the JSON result here")
     p_srv.add_argument("--trace", default=None, metavar="FILE",
@@ -191,8 +193,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "(the skew that unbalances hash placement)")
     p_cl.add_argument("--seed", type=int, default=0)
     p_cl.add_argument("--device", default="GTX1650", choices=sorted(known_devices()))
-    p_cl.add_argument("--engine", default="reference", choices=engine_names(),
-                      help="exact-scoring backend on every worker "
+    p_cl.add_argument("--engine", default="reference",
+                      choices=(*engine_names(), "auto"),
+                      help="exact-scoring backend on every worker, or 'auto' "
+                           "for per-bin adaptive selection on each worker "
                            "(scores identical either way; see repro.engine)")
     p_cl.add_argument("--scored-pairs", type=int, default=24,
                       help="scored fidelity-check workload size (0 skips it)")

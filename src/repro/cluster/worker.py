@@ -73,7 +73,9 @@ class WorkerSpec:
         Forwarded to the worker's private :class:`AlignmentService`.
     engine:
         Per-worker exact-scoring backend (:mod:`repro.engine` name or
-        instance).  ``None`` defers to the cluster-wide default
+        instance, or :data:`~repro.engine.AUTO_ENGINE` (``"auto"``)
+        for per-bin adaptive selection on this worker).  ``None``
+        defers to the cluster-wide default
         (:class:`~repro.cluster.cluster.AlignmentCluster`'s ``engine``
         argument).  Heterogeneous clusters may mix engines freely:
         scores and the modeled schedule are engine-independent.

@@ -7,20 +7,26 @@ process computes exact scores; they never change the scores themselves
 nor a single modeled millisecond.
 """
 
-from .base import ExecutionEngine, engine_names, register_engine, resolve_engine
+from .base import AUTO_ENGINE, ExecutionEngine, engine_names, register_engine, resolve_engine
 from .batched import BatchedWavefrontEngine, batched_sw_align
 from .reference import ReferenceEngine
+from .striped import StripedEngine, striped_sw_align
 
 __all__ = [
+    "AUTO_ENGINE",
     "ExecutionEngine",
     "ReferenceEngine",
     "BatchedWavefrontEngine",
+    "StripedEngine",
     "EngineBenchResult",
+    "StripedBenchResult",
     "batched_sw_align",
+    "striped_sw_align",
     "engine_names",
     "register_engine",
     "resolve_engine",
     "run_engine_bench",
+    "run_striped_bench",
 ]
 
 
@@ -32,4 +38,8 @@ def __getattr__(name):
         from . import bench
 
         return getattr(bench, name)
+    if name in ("StripedBenchResult", "run_striped_bench"):
+        from . import striped_bench
+
+        return getattr(striped_bench, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

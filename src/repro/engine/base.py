@@ -9,7 +9,7 @@ functional side only, so swapping engines changes wall-clock speed but
 leaves every modeled millisecond, counter, metric snapshot, and trace
 byte identical (``tests/test_engine.py`` pins the invariant).
 
-Two engines ship:
+Three engines ship:
 
 ``reference``
     The per-pair faithful dataflow executor
@@ -22,10 +22,18 @@ Two engines ship:
     micro-batch is padded into one ``batch x lane`` array pair and
     scored with a handful of ``np.maximum`` passes per anti-diagonal,
     AnySeq/GPU-style.
+``striped``
+    The batched Farrar-striped sweep
+    (:class:`repro.engine.striped.StripedEngine`): the micro-batch is
+    padded into one ``batch x stripe x lane`` striped query profile
+    and all pairs' rows advance together with a vectorized lazy-F
+    fixup — the fast backend for short near-homogeneous bins.
 
 Select one by name wherever a kernel is built (``AlignmentService``,
-``WorkerSpec``/``AlignmentCluster``, ``--engine`` on the bench CLIs)
-or pass an instance for a custom backend.
+``WorkerSpec``/``AlignmentCluster``, ``--engine`` on the bench CLIs),
+pass an instance for a custom backend, or pass :data:`AUTO_ENGINE`
+(``"auto"``) on the serve/cluster layers to let the bin tuner pick
+the wall-clock winner per length bin.
 """
 
 from __future__ import annotations
@@ -35,7 +43,21 @@ from abc import ABC, abstractmethod
 from ..align.matrix import AlignmentResult
 from ..align.scoring import ScoringScheme
 
-__all__ = ["ExecutionEngine", "resolve_engine", "engine_names", "register_engine"]
+__all__ = [
+    "AUTO_ENGINE",
+    "ExecutionEngine",
+    "resolve_engine",
+    "engine_names",
+    "register_engine",
+]
+
+#: Sentinel engine spec meaning "let the serve layer pick per length
+#: bin": :class:`repro.serve.binning.BinTuner` races every registered
+#: engine on the bin's first-traffic sample and pins the wall-clock
+#: winner.  Not itself a registered engine — :func:`resolve_engine`
+#: rejects it; only engine-selection plumbing (AlignmentService,
+#: WorkerSpec/AlignmentCluster, the bench CLIs) understands it.
+AUTO_ENGINE = "auto"
 
 
 class ExecutionEngine(ABC):
@@ -89,7 +111,7 @@ def _ensure_builtins() -> None:
     without ever importing the :mod:`repro.engine` package itself.
     """
     if "reference" not in _REGISTRY:
-        from . import batched, reference  # noqa: F401
+        from . import batched, reference, striped  # noqa: F401
 
 
 def engine_names() -> tuple[str, ...]:

@@ -196,7 +196,7 @@ def _fidelity_check(
     )
     handles = service.submit_jobs(jobs)
     service.flush()
-    if service.engine.name == "reference":
+    if service.engine is not None and service.engine.name == "reference":
         identical = all(
             h.result() == ref_res
             for h, ref_res in zip(handles, reference.results)

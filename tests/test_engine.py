@@ -55,7 +55,7 @@ def _random_pairs(rng, n, hi=60, with_n=True):
 
 class TestRegistry:
     def test_builtin_names(self):
-        assert engine_names() == ("batched", "reference")
+        assert engine_names() == ("batched", "reference", "striped")
 
     def test_resolve_default_is_reference(self):
         assert isinstance(resolve_engine(None), ReferenceEngine)
@@ -150,24 +150,26 @@ class TestEngineIndependence:
     def test_kernel_timing_identical_across_engines(self, rng):
         jobs = make_jobs(_random_pairs(rng, 12, with_n=False))
         ref = SalobaKernel(engine="reference").run(jobs, GTX1650, compute_scores=True)
-        bat = SalobaKernel(engine="batched").run(jobs, GTX1650, compute_scores=True)
-        assert ref.timing == bat.timing
-        assert [r.score for r in ref.results] == [r.score for r in bat.results]
+        for name in ("batched", "striped"):
+            got = SalobaKernel(engine=name).run(jobs, GTX1650, compute_scores=True)
+            assert ref.timing == got.timing
+            assert [r.score for r in ref.results] == [r.score for r in got.results]
 
     def test_service_run_identical_across_engines(self, rng):
         pairs = _random_pairs(rng, 24, with_n=False)
         pairs += pairs[:6]  # duplicates exercise cache + coalescing
         a = _service_outcome("reference", pairs)
-        b = _service_outcome("batched", pairs)
-        assert a == b  # outcomes, clock, metrics, and trace bytes
+        for name in ("batched", "striped"):
+            # outcomes, clock, metrics, and trace bytes
+            assert _service_outcome(name, pairs) == a
 
     def test_service_identical_under_fault_injection(self, rng):
         plan = FaultPlan(seed=9, transient_rate=0.15, stall_rate=0.05,
                          overflow_rate=0.1)
         pairs = _random_pairs(rng, 30, with_n=False)
         a = _service_outcome("reference", pairs, fault_plan=plan)
-        b = _service_outcome("batched", pairs, fault_plan=plan)
-        assert a == b
+        for name in ("batched", "striped"):
+            assert _service_outcome(name, pairs, fault_plan=plan) == a
 
     def test_cluster_mixed_engines_identical_scores(self, rng):
         pairs = _random_pairs(rng, 16, with_n=False)
@@ -181,7 +183,7 @@ class TestEngineIndependence:
 
         uniform, t0 = run([WorkerSpec("w0"), WorkerSpec("w1")])
         mixed, t1 = run(
-            [WorkerSpec("w0", engine="batched"), WorkerSpec("w1")],
+            [WorkerSpec("w0", engine="batched"), WorkerSpec("w1", engine="striped")],
             engine="reference",
         )
         batched, t2 = run([WorkerSpec("w0"), WorkerSpec("w1")], engine="batched")
