@@ -1,0 +1,100 @@
+"""Multi-tenant QoS benchmark: the ISSUE-9 acceptance measurement.
+
+Replays the ``flash_crowd`` traffic scenario at a sweep of offered
+loads (fractions of empirically calibrated capacity) through a
+QoS-enabled :class:`~repro.serve.service.AlignmentService` — WFQ
+dispatch, per-tenant quotas, graceful-degradation ladder — and through
+a plain no-QoS service over *identical* traces, then renders
+per-tenant-class latency percentiles and SLO attainment vs offered
+load.  The gates: premium attainment with QoS strictly beats the
+baseline at the top load, approximate tiers engage and are explicitly
+flagged, a single-tenant no-overload QoS service stays bit-identical
+to the plain path, and the whole artifact is deterministic.  The
+result persists as ``benchmarks/results/BENCH_qos.{txt,json}``.
+
+Also runnable directly (the CI ``qos-smoke`` path)::
+
+    PYTHONPATH=src python benchmarks/bench_qos.py --quick --out /tmp/q.json
+
+which exits nonzero on any failed gate and writes the deterministic
+JSON artifact for the rerun ``cmp``.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.qos.bench import run_qos_bench
+
+#: The acceptance-bar sweep (matches the committed BENCH_qos artifact).
+BENCH_KWARGS = dict(n_requests=400, loads=(0.25, 0.5, 1.0, 2.0, 4.0))
+
+#: The CI smoke sizing: half the trace, endpoints of the sweep only.
+QUICK_KWARGS = dict(n_requests=200, loads=(0.5, 4.0))
+
+
+@pytest.fixture(scope="module")
+def res():
+    return run_qos_bench(**BENCH_KWARGS)
+
+
+def test_qos_bench_runs_and_saves(benchmark, res, save_result):
+    run_once(benchmark, run_qos_bench, **QUICK_KWARGS)
+    save_result("BENCH_qos", res.text, json_of=res)
+
+
+def test_premium_beats_baseline_under_flash_crowd(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert res.premium_gate, (
+        f"premium SLO attainment with QoS ({res.premium_attainment_qos:.3f}) "
+        f"did not beat the no-QoS baseline "
+        f"({res.premium_attainment_baseline:.3f}) at the top load"
+    )
+
+
+def test_degradation_ladder_engages_and_flags(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert res.degradation_engaged, "no approximate-tier completions at top load"
+    assert res.approx_flag_consistent, (
+        "handle tier flags disagree with QoS degradation counters"
+    )
+
+
+def test_qos_off_path_is_bit_identical(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert res.identity["clock_identical"], (
+        "single-tenant QoS service drifted the modeled clock"
+    )
+    assert res.identity["scores_identical"], (
+        "single-tenant QoS service changed scored results"
+    )
+
+
+def test_curves_deterministic(benchmark, res):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert res.rerun_deterministic, "top-load rerun was not byte-identical"
+
+
+def _main(argv=None) -> int:
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke sizing (half trace, sweep endpoints)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the deterministic JSON artifact here")
+    args = parser.parse_args(argv)
+    result = run_qos_bench(**(QUICK_KWARGS if args.quick else BENCH_KWARGS))
+    print(result.text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(result.deterministic_json() + "\n")
+        print(f"wrote {args.out}")
+    if not result.passed:
+        print("error: a QoS gate failed (see flags above)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

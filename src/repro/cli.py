@@ -20,7 +20,14 @@ Exposes the library's main entry points without writing Python:
     stderr, optional byte-stable metrics JSON and merged stage trace.
 ``serve-bench``
     Benchmark the alignment service layer against naive streaming
-    (``--trace FILE`` also exports a Chrome trace of the service run).
+    (``--trace FILE`` also exports a Chrome trace of the service run;
+    ``--trace-spec FILE`` instead replays a generated traffic trace
+    through a QoS-enabled service and reports per-tenant-class SLO
+    outcomes).
+``traffic-gen``
+    Generate a replayable multi-tenant traffic trace (JSON
+    ``TraceSpec``, byte-identical across reruns) from a named
+    scenario preset: steady / bursty / diurnal / flash_crowd.
 ``trace``
     Trace a seeded service workload: per-stage rollup table on stdout,
     Chrome trace-event JSON (chrome://tracing / Perfetto) to a file.
@@ -30,7 +37,8 @@ Exposes the library's main entry points without writing Python:
     smoke job compares across reruns).  ``--self-heal`` runs the
     fault-storm scenario with the closed-loop control plane attached
     instead (see ``repro.control``); exit 1 flags a failed healing
-    acceptance gate.
+    acceptance gate.  ``--trace-spec FILE`` drives a QoS-enabled
+    cluster with a generated traffic trace's tenants instead.
 ``heal-report``
     Run the self-healing storm benchmark and print the full audit
     trail — every detect / propose / shadow-verify / apply decision
@@ -157,6 +165,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--out", default=None, help="write the JSON result here")
     p_srv.add_argument("--trace", default=None, metavar="FILE",
                        help="also export a Chrome trace of the service run")
+    p_srv.add_argument("--trace-spec", default=None, metavar="FILE",
+                       help="replay this traffic-gen TraceSpec JSON through a "
+                            "QoS-enabled service instead of the synthetic "
+                            "stream (per-tenant-class SLO report; --out "
+                            "writes a byte-stable JSON summary)")
+
+    p_tg = sub.add_parser(
+        "traffic-gen",
+        help="generate a replayable multi-tenant traffic trace (JSON)",
+    )
+    p_tg.add_argument("scenario",
+                      choices=("steady", "bursty", "diurnal", "flash_crowd"),
+                      help="scenario preset (see repro.traffic.scenarios)")
+    p_tg.add_argument("--rate", type=float, default=50.0,
+                      help="aggregate arrival rate in requests per modeled ms")
+    p_tg.add_argument("--requests", type=int, default=400,
+                      help="number of arrival events in the trace")
+    p_tg.add_argument("--seed", type=int, default=0)
+    p_tg.add_argument("--slo-horizon-ms", type=float, default=None,
+                      help="anchor SLO targets to this horizon instead of the "
+                           "trace's own (load sweeps pass the load-1.0 horizon)")
+    p_tg.add_argument("--out", default=None, metavar="FILE",
+                      help="write the TraceSpec JSON here (default stdout)")
 
     p_tr = sub.add_parser(
         "trace",
@@ -208,6 +239,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_cl.add_argument("--audit-out", default=None, metavar="FILE",
                       help="with --self-heal: write the byte-deterministic "
                            "audit-trail JSON here")
+    p_cl.add_argument("--trace-spec", default=None, metavar="FILE",
+                      help="drive a QoS-enabled cluster with this traffic-gen "
+                           "TraceSpec's tenants (arrival times are ignored: "
+                           "the cluster loop is work-conserving; --out writes "
+                           "a byte-stable JSON summary)")
 
     p_heal = sub.add_parser(
         "heal-report",
@@ -451,10 +487,109 @@ def _cmd_map_serve(args) -> int:
     return 0
 
 
+def _load_trace_spec(path: str):
+    from .traffic import TraceSpec
+
+    with open(path) as fh:
+        return TraceSpec.from_json(fh.read())
+
+
+def _class_table(classes: dict) -> str:
+    """Render tenant_class_stats as the shared per-class table."""
+    lines = [f"{'class':>12} {'events':>6} {'done':>5} {'rej':>4} {'fail':>4} "
+             f"{'degr':>5} {'p50':>8} {'p99':>8} {'SLO':>6}"]
+    for cls, st in classes.items():
+        lat = st["latency_ms"]
+        lines.append(
+            f"{cls:>12} {st['events']:>6} {st['completed']:>5} "
+            f"{st['rejected']:>4} {st['failed']:>4} "
+            f"{sum(st['degraded'].values()):>5} "
+            f"{lat['p50']:>8.3f} {lat['p99']:>8.3f} {st['slo_attainment']:>6.2f}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_traffic_gen(args) -> int:
+    from .traffic import scenario
+
+    spec = scenario(
+        args.scenario,
+        rate_per_ms=args.rate,
+        n_requests=args.requests,
+        seed=args.seed,
+        slo_horizon_ms=args.slo_horizon_ms,
+    )
+    text = spec.to_json()
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        per_tenant = {t.name: sum(1 for e in spec.events if e.tenant == t.name)
+                      for t in spec.tenants}
+        print(f"wrote {args.out}: {spec.n_requests} events over "
+              f"{spec.horizon_ms:.3f} modeled ms, seed {spec.seed}")
+        for name, count in sorted(per_tenant.items()):
+            t = spec.tenant(name)
+            print(f"  {name}: {count} events ({t.tenant_class}, weight "
+                  f"{t.weight:g}, slo {t.slo_ms:.3f} ms)")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_serve_trace_spec(args) -> int:
+    """serve-bench --trace-spec: replay a traffic trace with QoS on."""
+    import json
+
+    from .qos.bench import tenant_class_stats
+    from .serve import AlignmentService
+    from .traffic import replay
+
+    spec = _load_trace_spec(args.trace_spec)
+    service = AlignmentService(
+        device=known_devices()[args.device],
+        compute_scores=False,
+        qos=spec.qos_policy(),
+        max_queue_depth=max(32, spec.n_requests // 2),
+        coalesce_window=24,
+    )
+    result = replay(service, spec)
+    classes = tenant_class_stats(spec, result.handles)
+    qm = service.qos_metrics()
+    print(f"replayed {spec.name!r}: {spec.n_requests} events, "
+          f"{result.accepted} accepted / {result.rejected} rejected, "
+          f"makespan {result.makespan_ms:.3f} ms")
+    print(f"ladder: final level {qm.level}, {qm.level_shifts} shift(s), "
+          f"peak pressure {qm.peak_pressure:.2f}, "
+          f"degraded {dict(qm.degraded)}, shed {qm.shed}")
+    print()
+    print(_class_table(classes))
+    if args.out:
+        payload = {
+            "spec": spec.name,
+            "seed": spec.seed,
+            "events": spec.n_requests,
+            "accepted": result.accepted,
+            "rejected": result.rejected,
+            "makespan_ms": result.makespan_ms,
+            "classes": classes,
+            "qos": qm.to_dict(),
+        }
+        with open(args.out, "w") as fh:
+            fh.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {args.out}")
+    return 0
+
+
 def _cmd_serve_bench(args) -> int:
     from .obs import Tracer, chrome_trace_json
     from .serve.bench import run_serve_bench
 
+    if args.trace_spec:
+        if args.trace:
+            print("error: --trace-spec and --trace are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        return _cmd_serve_trace_spec(args)
     tracer = Tracer() if args.trace else None
     res = run_serve_bench(
         args.requests,
@@ -537,10 +672,66 @@ def _write_heal_artifacts(result, out: str | None, audit_out: str | None) -> int
     return 0
 
 
+def _cmd_cluster_trace_spec(args) -> int:
+    """cluster-bench --trace-spec: QoS fleet fed by a traffic trace."""
+    import json
+
+    from .cluster import AlignmentCluster, WorkerSpec
+    from .qos.bench import tenant_class_stats
+
+    spec = _load_trace_spec(args.trace_spec)
+    cluster = AlignmentCluster(
+        [WorkerSpec(f"w{i}", device=known_devices()[args.device])
+         for i in range(args.workers)],
+        compute_scores=False,
+        qos=spec.qos_policy(),
+        qos_backlog_capacity=max(32, spec.n_requests // 2),
+    )
+    jobs = spec.materialize()
+    handles = [
+        cluster.submit_jobs([job], tenant=ev.tenant)[0]
+        for ev, job in zip(spec.events, jobs)
+    ]
+    metrics = cluster.run()
+    classes = tenant_class_stats(spec, handles)
+    qm = cluster.qos_metrics()
+    print(f"drove {spec.name!r} through {args.workers} worker(s): "
+          f"{metrics.completed} completed / {metrics.failed} failed, "
+          f"makespan {metrics.makespan_ms:.3f} ms "
+          f"(arrival times ignored: the cluster loop is work-conserving)")
+    print(f"fleet ladder: final level {qm['level']}, "
+          f"{qm['level_shifts']} shift(s), "
+          f"peak pressure {qm['peak_pressure']:.2f}, "
+          f"ingress rejections {qm['quota_rejections']}")
+    print()
+    print(_class_table(classes))
+    if args.out:
+        payload = {
+            "spec": spec.name,
+            "seed": spec.seed,
+            "workers": args.workers,
+            "completed": metrics.completed,
+            "failed": metrics.failed,
+            "makespan_ms": metrics.makespan_ms,
+            "classes": classes,
+            "qos": qm,
+        }
+        with open(args.out, "w") as fh:
+            fh.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {args.out}")
+    return 0
+
+
 def _cmd_cluster_bench(args) -> int:
     from .cluster import ROUTING_POLICIES
     from .cluster.bench import run_cluster_bench
 
+    if args.trace_spec:
+        if args.self_heal:
+            print("error: --trace-spec and --self-heal are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        return _cmd_cluster_trace_spec(args)
     if args.self_heal:
         from .control.bench import run_control_bench
 
@@ -633,6 +824,7 @@ _COMMANDS = {
     "map": _cmd_map,
     "map-serve": _cmd_map_serve,
     "serve-bench": _cmd_serve_bench,
+    "traffic-gen": _cmd_traffic_gen,
     "trace": _cmd_trace,
     "cluster-bench": _cmd_cluster_bench,
     "heal-report": _cmd_heal_report,

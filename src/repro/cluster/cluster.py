@@ -100,6 +100,20 @@ class AlignmentCluster:
         adaptive selection.  Scores and the modeled schedule are
         engine-independent, so heterogeneous-engine clusters stay
         bit-identical to homogeneous ones.
+    qos:
+        Optional :class:`~repro.qos.QoSPolicy`.  Quotas and overload
+        shedding are enforced **once, at the cluster ingress**
+        (rejections settle handles as ``CapacityExceeded``, counted in
+        :attr:`quota_rejections` by reason); each worker's private
+        service runs the same policy :meth:`~repro.qos.QoSPolicy.
+        without_quotas`, so WFQ lanes and the degradation ladder's
+        approximate tiers apply per worker while the bounded worker
+        submit can never reject.  A cluster-level
+        :class:`~repro.qos.OverloadController` watches the aggregate
+        ingress backlog each event-loop round and *forces* its level
+        onto every live worker (``service.set_overload_level``), so
+        the fleet degrades and recovers in lockstep rather than each
+        replica guessing from its own (always tiny) local queue.
 
     Examples
     --------
@@ -123,9 +137,11 @@ class AlignmentCluster:
         policy: str = "least_loaded",
         stealing: bool = True,
         steal_penalty_ms_per_job: float = 0.002,
+        qos_backlog_capacity: int | None = None,
         trace: bool = False,
         retry_policy: RetryPolicy | None = None,
         engine=None,
+        qos=None,
     ):
         if not specs:
             raise ValueError("a cluster needs at least one worker spec")
@@ -133,6 +149,25 @@ class AlignmentCluster:
         if len(set(names)) != len(names):
             raise ValueError(f"worker names must be unique, got {names}")
         self.scoring = scoring or ScoringScheme()
+        self.qos = qos
+        #: Ingress backlog (queued requests) regarded as pressure 1.0
+        #: by the fleet overload controller; defaults to the live
+        #: workers' combined ``max_batch_jobs``.
+        self.qos_backlog_capacity = qos_backlog_capacity
+        if qos is not None:
+            from ..qos.overload import OverloadController
+            from ..qos.tiers import SHED_LEVEL
+
+            self._worker_qos = qos.without_quotas()
+            self._fleet_overload = OverloadController(qos.overload)
+            self._shed_level = min(SHED_LEVEL, qos.overload.max_level)
+        else:
+            self._worker_qos = None
+            self._fleet_overload = None
+            self._shed_level = None
+        #: Ingress rejections by reason code (``tenant_depth``,
+        #: ``tenant_cells``, ``overload_shed``) — QoS clusters only.
+        self.quota_rejections: dict[str, int] = {}
         # Construction parameters are kept: mid-run reconfiguration
         # (and the control plane's shadow replays) build new workers
         # and whole shadow clusters from them.
@@ -170,6 +205,7 @@ class AlignmentCluster:
             retry_policy=self.retry_policy,
             tracer=Tracer() if self.traced else None,
             engine=self.default_engine,
+            qos=self._worker_qos,
         )
 
     # ----- submission ------------------------------------------------------
@@ -182,12 +218,13 @@ class AlignmentCluster:
     def stealing(self) -> bool:
         return self.stealer is not None
 
-    def _new_handle(self) -> RequestHandle:
-        handle = RequestHandle(self._next_id)
+    def _new_handle(self, tenant: str = "default") -> RequestHandle:
+        handle = RequestHandle(self._next_id, tenant=tenant)
         self._next_id += 1
         return handle
 
-    def submit(self, query, ref, *, deadline_ms: float | None = None) -> RequestHandle:
+    def submit(self, query, ref, *, deadline_ms: float | None = None,
+               tenant: str = "default") -> RequestHandle:
         """Route one ``(query, reference)`` pair onto a worker.
 
         ``deadline_ms`` is an absolute instant on the shared wall
@@ -197,10 +234,11 @@ class AlignmentCluster:
         the handle immediately as failed (``JobRejected`` taxonomy),
         mirroring the single-service behaviour; a cluster with no live
         worker fails the request with ``CapacityExceeded`` instead of
-        raising.
+        raising, and so do QoS ingress rejections (tenant quota
+        exceeded, best-effort shed at the ladder's top level).
         """
         self._submitted += 1
-        handle = self._new_handle()
+        handle = self._new_handle(tenant)
         self.handles.append(handle)
         try:
             job = ExtensionJob(ref=encode(ref), query=encode(query))
@@ -212,27 +250,76 @@ class AlignmentCluster:
                 completed_ms=0.0,
             )
             return handle
-        self._place_job(job, handle, deadline_ms=deadline_ms)
+        self._place_job(job, handle, deadline_ms=deadline_ms, tenant=tenant)
         return handle
 
     def submit_jobs(self, jobs: list[ExtensionJob], *,
-                    deadline_ms: float | None = None) -> list[RequestHandle]:
+                    deadline_ms: float | None = None,
+                    tenant: str = "default") -> list[RequestHandle]:
         """Bulk-route pre-built extension jobs (the benchmark path)."""
         out = []
         for job in jobs:
             self._submitted += 1
-            handle = self._new_handle()
+            handle = self._new_handle(tenant)
             self.handles.append(handle)
-            self._place_job(job, handle, deadline_ms=deadline_ms)
+            self._place_job(job, handle, deadline_ms=deadline_ms, tenant=tenant)
             out.append(handle)
         return out
 
+    def tenant_backlog(self, tenant: str) -> tuple[int, int]:
+        """Queued ``(requests, cells)`` for *tenant* across live workers."""
+        depth = cells = 0
+        for w in self.workers:
+            if not w.alive:
+                continue
+            for q in w._backlog.values():
+                for req in q:
+                    if req.tenant == tenant:
+                        depth += 1
+                        cells += req.est_cells
+        return depth, cells
+
+    def _ingress_reason(self, job: ExtensionJob, tenant: str) -> tuple[str, str] | None:
+        """QoS ingress gate: ``(reason, message)`` or None to admit."""
+        if self.qos is None:
+            return None
+        if (self.qos.shed
+                and self._fleet_overload.effective_level >= self._shed_level
+                and self.qos.tenant(tenant).tenant_class == "best_effort"):
+            return ("overload_shed",
+                    f"overload shed: best-effort tenant {tenant!r} refused at "
+                    f"fleet degradation level {self._fleet_overload.effective_level}")
+        policy = self.qos.tenant(tenant)
+        if policy.max_depth is None and policy.max_cells is None:
+            return None
+        depth, cells = self.tenant_backlog(tenant)
+        if policy.max_depth is not None and depth >= policy.max_depth:
+            return ("tenant_depth",
+                    f"tenant {tenant!r} already has {depth} request(s) queued "
+                    f"(quota {policy.max_depth})")
+        if policy.max_cells is not None and cells + job.cells > policy.max_cells:
+            return ("tenant_cells",
+                    f"admitting this job would put tenant {tenant!r} at "
+                    f"{cells + job.cells} queued cell(s) (quota {policy.max_cells})")
+        return None
+
     def _place_job(self, job: ExtensionJob, handle: RequestHandle, *,
-                   deadline_ms: float | None = None) -> None:
+                   deadline_ms: float | None = None,
+                   tenant: str = "default") -> None:
         req = ClusterRequest(
             job=job, handle=handle, key=job_key(job), est_cells=job.cells,
-            deadline_ms=deadline_ms,
+            deadline_ms=deadline_ms, tenant=tenant,
         )
+        why = self._ingress_reason(job, tenant)
+        if why is not None:
+            reason, message = why
+            self.quota_rejections[reason] = self.quota_rejections.get(reason, 0) + 1
+            self.ledger.settle_fail(
+                req,
+                FailureRecord(req.request_id, "CapacityExceeded", message, attempts=0),
+                completed_ms=0.0,
+            )
+            return
         try:
             self.router.place(req, self.workers)
         except CapacityExceeded as exc:
@@ -288,6 +375,7 @@ class AlignmentCluster:
                     completed_ms=worker.clock_ms,
                     service_ms=sh.service_ms,
                     from_cache=sh.from_cache,
+                    tier=sh.tier,
                 )
             else:
                 assert sh.failure is not None
@@ -342,6 +430,7 @@ class AlignmentCluster:
         while True:
             if self.stealer is not None and len(self.workers) > 1:
                 self._steal_round()
+            self._observe_fleet()
             worker = self._next_worker()
             if worker is None:
                 break
@@ -368,6 +457,23 @@ class AlignmentCluster:
             end = max((w.clock_ms for w in self.workers), default=start)
             self._emit_window(start, max(end, start), mark, on_window)
         return self.metrics()
+
+    def _observe_fleet(self) -> None:
+        """One fleet-overload round: observe the aggregate ingress
+        backlog (relative to the live workers' batch capacity) and
+        force the resulting ladder level onto every live worker so the
+        whole fleet degrades — and recovers — in lockstep."""
+        if self._fleet_overload is None:
+            return
+        capacity = self.qos_backlog_capacity or sum(
+            w.spec.max_batch_jobs for w in self.workers if w.alive
+        )
+        pressure = self.pending / capacity if capacity else 0.0
+        self._fleet_overload.observe(pressure)
+        level = self._fleet_overload.effective_level
+        for w in self.workers:
+            if w.alive:
+                w.service.set_overload_level(level)
 
     # ----- windowed rollups ------------------------------------------------
 
@@ -569,6 +675,26 @@ class AlignmentCluster:
         self.worker_by_name(name).service.set_engine(engine)
 
     # ----- observability ---------------------------------------------------
+
+    def qos_metrics(self) -> dict | None:
+        """Fleet QoS snapshot, or ``None`` when QoS is disabled.
+
+        ``{"level", "level_shifts", "peak_pressure", "quota_rejections",
+        "workers": {name: QoSMetrics.to_dict()}}`` — the fleet level is
+        the cluster controller's (every live worker is forced to it);
+        per-worker entries carry WFQ/degradation detail.
+        """
+        if self._fleet_overload is None:
+            return None
+        return {
+            "level": self._fleet_overload.effective_level,
+            "level_shifts": self._fleet_overload.shifts,
+            "peak_pressure": self._fleet_overload.peak_pressure,
+            "quota_rejections": dict(sorted(self.quota_rejections.items())),
+            "workers": {
+                w.name: w.service.qos_metrics().to_dict() for w in self.workers
+            },
+        }
 
     def metrics(self) -> ClusterMetrics:
         """Deterministic aggregate snapshot (see :mod:`.metrics`)."""

@@ -57,7 +57,8 @@ class SettlementLedger:
         return True
 
     def settle_ok(self, req: ClusterRequest, result, *, completed_ms: float,
-                  service_ms: float, from_cache: bool) -> bool:
+                  service_ms: float, from_cache: bool,
+                  tier: str = "exact") -> bool:
         if not self._claim(req.request_id):
             return False
         req.handle._resolve(
@@ -66,6 +67,7 @@ class SettlementLedger:
             wait_ms=completed_ms - service_ms,
             service_ms=service_ms,
             from_cache=from_cache,
+            tier=tier,
         )
         self.completed += 1
         return True

@@ -112,6 +112,10 @@ class ClusterRequest:
     #: instead of executed — the cluster-level SLO the control plane
     #: watches.  None = no deadline.
     deadline_ms: float | None = None
+    #: Tenant identity, carried from cluster ingress down to the
+    #: per-worker service so WFQ lanes and degradation tiers apply
+    #: fleet-wide.  Quotas are enforced at cluster ingress only.
+    tenant: str = "default"
     #: The per-worker service's handle for the current execution
     #: attempt; replaced wholesale when the request fails over.
     service_handle: RequestHandle | None = None
@@ -152,6 +156,7 @@ class ClusterWorker:
         retry_policy: RetryPolicy | None = None,
         tracer=None,
         engine=None,
+        qos=None,
     ):
         self.index = index
         self.spec = spec
@@ -166,6 +171,7 @@ class ClusterWorker:
             max_batch_jobs=spec.max_batch_jobs,
             tracer=tracer,
             engine=spec.engine if spec.engine is not None else engine,
+            qos=qos,
         )
         self.clock_ms = 0.0
         #: Wall instant this worker joined the pool (0.0 for founding
@@ -329,8 +335,11 @@ class ClusterWorker:
         before = self.service.clock_ms
         for req in batch:
             # The per-worker queue is sized to max_batch_jobs, so this
-            # bounded submit cannot reject.
-            req.service_handle = self.service.submit(req.job.query, req.job.ref)
+            # bounded submit cannot reject (with QoS, the cluster hands
+            # workers a quota-free policy for the same reason).
+            req.service_handle = self.service.submit(
+                req.job.query, req.job.ref, tenant=req.tenant
+            )
         self.service.flush()
         batch_ms = self.service.clock_ms - before
         # A degraded device does the same modeled work in more wall

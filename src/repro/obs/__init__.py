@@ -41,9 +41,13 @@ from .export import (
     rollup,
     validate_chrome_trace,
 )
+from .stats import PERCENTILES, LatencySummary, nearest_rank
 from .tracer import NULL_TRACER, NullTracer, Span, SpanEvent, Tracer, trace_launch
 
 __all__ = [
+    "LatencySummary",
+    "nearest_rank",
+    "PERCENTILES",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",

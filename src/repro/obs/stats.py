@@ -1,0 +1,61 @@
+"""Shared deterministic statistics helpers.
+
+Latency populations all over the tree (serve, pipeline, qos) are
+summarized with the **nearest-rank** percentile: exact integer-rank
+selection, no interpolation, so two runs over the same modeled-clock
+populations produce bit-identical summaries — the determinism contract
+every bench artifact relies on.  This module is the single home for
+that method; ``repro.serve.metrics`` and ``repro.pipeline.metrics``
+both consume it rather than carrying private copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["PERCENTILES", "nearest_rank", "LatencySummary"]
+
+#: Percentile grid reported for every latency population.
+PERCENTILES = (50, 90, 99)
+
+
+def nearest_rank(sorted_values: Sequence[float], pct: int) -> float:
+    """Nearest-rank percentile of an ascending population.
+
+    ``rank = ceil(pct/100 * n)`` clamped to at least 1; the value at
+    that rank is returned verbatim (deterministic, no interpolation).
+    Empty populations summarize to 0.0.
+    """
+    if not sorted_values:
+        return 0.0
+    rank = max(1, -(-pct * len(sorted_values) // 100))  # ceil
+    return sorted_values[rank - 1]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Five-number summary of one latency population (ms)."""
+
+    count: int = 0
+    p50: float = 0.0
+    p90: float = 0.0
+    p99: float = 0.0
+    max: float = 0.0
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "LatencySummary":
+        if not values:
+            return cls()
+        ordered = sorted(values)
+        return cls(
+            count=len(ordered),
+            p50=nearest_rank(ordered, 50),
+            p90=nearest_rank(ordered, 90),
+            p99=nearest_rank(ordered, 99),
+            max=ordered[-1],
+        )
+
+    def to_dict(self) -> dict:
+        return {"count": self.count, "p50": self.p50, "p90": self.p90,
+                "p99": self.p99, "max": self.max}

@@ -4,15 +4,15 @@ Everything here is computed from a :class:`~repro.pipeline.stages.
 PipelineSchedule` — pure arithmetic over modeled timestamps — so two
 runs of the same read stream snapshot **bit-identically**, and the
 JSON export (``repro map-serve --out`` / ``bench_pipeline.py``) is
-byte-stable across reruns.  Latency percentiles reuse the serving
-layer's nearest-rank :class:`~repro.serve.metrics.LatencySummary`.
+byte-stable across reruns.  Latency percentiles reuse the shared
+nearest-rank :class:`~repro.obs.stats.LatencySummary`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..serve.metrics import LatencySummary
+from ..obs.stats import LatencySummary
 from .stages import PipelineSchedule
 
 __all__ = ["StageStats", "QueueStats", "PipelineMetrics"]

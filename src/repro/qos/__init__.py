@@ -1,0 +1,75 @@
+"""repro.qos — multi-tenant SLO-aware serving with graceful degradation.
+
+This package turns the single-tenant :class:`~repro.serve.service.
+AlignmentService` into a multi-tenant system without touching its
+determinism contract:
+
+* **Tenancy** — every submission carries a tenant; per-tenant quota
+  budgets (pending depth + pending DP cells) layer on top of the
+  global admission bounds (:class:`~repro.qos.policy.TenantPolicy`).
+* **Weighted fair queueing** — dispatch across tenants uses start-time
+  fair queueing with DP cells as the work unit, so weights buy cell
+  throughput, not request counts (:class:`~repro.qos.wfq.
+  WFQAdmissionQueue`).
+* **Graceful degradation** — a hysteresis overload controller walks a
+  ladder that sheds *precision before load*: best-effort and then
+  standard tenants degrade from exact Smith-Waterman to the banded and
+  x-drop kernels as explicitly-flagged approximate tiers, and only the
+  top rung refuses best-effort admissions (:mod:`~repro.qos.tiers`,
+  :mod:`~repro.qos.overload`).
+* **SLO accounting** — per tenant class, modeled-latency percentile
+  curves and SLO attainment (:mod:`~repro.qos.metrics`), exercised by
+  ``benchmarks/bench_qos.py`` over :mod:`repro.traffic` scenarios.
+
+Everything is opt-in: a service built without ``qos=`` is exactly the
+code path that existed before this package, and a QoS-enabled service
+with one tenant and no overload is bit-identical to it (docs/QOS.md).
+"""
+
+from .metrics import QoSMetrics, QoSRecorder, TenantMetrics
+from .overload import OverloadController
+from .policy import (
+    DEFAULT_TENANT,
+    TENANT_CLASSES,
+    OverloadPolicy,
+    QoSPolicy,
+    TenantPolicy,
+    single_tenant_policy,
+)
+from .runtime import QoSState
+from .tiers import (
+    APPROX_TIERS,
+    LADDER,
+    SHED_LEVEL,
+    TIER_BANDED,
+    TIER_EXACT,
+    TIER_XDROP,
+    proxy_job,
+    score_degraded,
+    tier_for,
+)
+from .wfq import WFQAdmissionQueue
+
+__all__ = [
+    "QoSPolicy",
+    "TenantPolicy",
+    "OverloadPolicy",
+    "TENANT_CLASSES",
+    "DEFAULT_TENANT",
+    "single_tenant_policy",
+    "WFQAdmissionQueue",
+    "OverloadController",
+    "QoSState",
+    "QoSMetrics",
+    "QoSRecorder",
+    "TenantMetrics",
+    "TIER_EXACT",
+    "TIER_BANDED",
+    "TIER_XDROP",
+    "APPROX_TIERS",
+    "LADDER",
+    "SHED_LEVEL",
+    "tier_for",
+    "proxy_job",
+    "score_degraded",
+]

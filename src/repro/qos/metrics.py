@@ -1,0 +1,185 @@
+"""Per-tenant QoS metrics: dispositions, tiers, latency, SLO attainment.
+
+A QoS-enabled service keeps a :class:`QoSRecorder` next to its
+:class:`~repro.serve.metrics.MetricsRecorder`; the service-wide
+counters stay in :class:`~repro.serve.metrics.ServiceMetrics`
+unchanged, and everything tenant-shaped lives here.  Snapshots freeze
+into :class:`QoSMetrics` — like every metrics object in this tree,
+derived purely from modeled-clock quantities, so two runs of the same
+seeded workload snapshot bit-identically.
+
+SLO accounting: a completed request *meets* its tenant's SLO when its
+modeled submission-to-resolution latency is at or under ``slo_ms``;
+failed requests (deadline expiries, quarantined faults) count against
+attainment, and admission rejections are reported separately (they
+never became requests).  Approximate-tier completions count toward
+attainment but are broken out per tier in ``degraded`` — the explicit
+flag the acceptance bar requires.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..obs.stats import LatencySummary
+from .policy import QoSPolicy
+
+__all__ = ["TenantMetrics", "QoSMetrics", "QoSRecorder"]
+
+
+@dataclass(frozen=True)
+class TenantMetrics:
+    """One tenant's frozen QoS snapshot."""
+
+    name: str
+    tenant_class: str
+    weight: float
+    submitted: int
+    completed: int
+    failed: int
+    rejected: int
+    #: Completions per approximate tier (exact completions are the rest).
+    degraded: dict[str, int]
+    latency_ms: LatencySummary
+    wait_ms: LatencySummary
+    slo_ms: float | None
+    slo_met: int
+    slo_total: int
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of settled requests that met the SLO (1.0 if no SLO)."""
+        if self.slo_ms is None:
+            return 1.0
+        return self.slo_met / self.slo_total if self.slo_total else 1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "tenant_class": self.tenant_class,
+            "weight": self.weight,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "degraded": dict(self.degraded),
+            "latency_ms": self.latency_ms.to_dict(),
+            "wait_ms": self.wait_ms.to_dict(),
+            "slo_ms": self.slo_ms,
+            "slo_met": self.slo_met,
+            "slo_total": self.slo_total,
+            "slo_attainment": self.slo_attainment,
+        }
+
+
+@dataclass(frozen=True)
+class QoSMetrics:
+    """Service-wide QoS snapshot: ladder state plus per-tenant views."""
+
+    level: int
+    level_shifts: int
+    rounds: int
+    peak_pressure: float
+    #: Total completions per approximate tier across tenants.
+    degraded: dict[str, int]
+    #: Best-effort submissions refused by overload shedding.
+    shed: int
+    tenants: dict[str, TenantMetrics]
+
+    def to_dict(self) -> dict:
+        return {
+            "level": self.level,
+            "level_shifts": self.level_shifts,
+            "rounds": self.rounds,
+            "peak_pressure": self.peak_pressure,
+            "degraded": dict(self.degraded),
+            "shed": self.shed,
+            "tenants": {k: v.to_dict() for k, v in self.tenants.items()},
+        }
+
+
+@dataclass
+class _TenantAccum:
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    degraded: Counter = field(default_factory=Counter)
+    latency_ms: list[float] = field(default_factory=list)
+    wait_ms: list[float] = field(default_factory=list)
+    slo_met: int = 0
+    slo_total: int = 0
+
+
+class QoSRecorder:
+    """Mutable per-tenant accumulator behind ``service.qos_metrics()``."""
+
+    def __init__(self, policy: QoSPolicy):
+        self.policy = policy
+        self.shed = 0
+        self._tenants: dict[str, _TenantAccum] = {}
+
+    def _accum(self, tenant: str) -> _TenantAccum:
+        acc = self._tenants.get(tenant)
+        if acc is None:
+            acc = self._tenants[tenant] = _TenantAccum()
+        return acc
+
+    def record_submitted(self, tenant: str) -> None:
+        self._accum(tenant).submitted += 1
+
+    def record_rejected(self, tenant: str, *, shed: bool = False) -> None:
+        self._accum(tenant).rejected += 1
+        if shed:
+            self.shed += 1
+
+    def record_settled(self, tenant: str, *, ok: bool, tier: str,
+                       latency_ms: float, wait_ms: float) -> None:
+        """One request resolved (completed or failed), any tier."""
+        acc = self._accum(tenant)
+        if ok:
+            acc.completed += 1
+            if tier != "exact":
+                acc.degraded[tier] += 1
+        else:
+            acc.failed += 1
+        acc.latency_ms.append(latency_ms)
+        acc.wait_ms.append(wait_ms)
+        slo = self.policy.tenant(tenant).slo_ms
+        if slo is not None:
+            acc.slo_total += 1
+            if ok and latency_ms <= slo:
+                acc.slo_met += 1
+
+    def snapshot(self, controller) -> QoSMetrics:
+        tenants = {}
+        degraded_total: Counter = Counter()
+        for name in sorted(self._tenants):
+            acc = self._tenants[name]
+            pol = self.policy.tenant(name)
+            degraded_total.update(acc.degraded)
+            tenants[name] = TenantMetrics(
+                name=name,
+                tenant_class=pol.tenant_class,
+                weight=pol.weight,
+                submitted=acc.submitted,
+                completed=acc.completed,
+                failed=acc.failed,
+                rejected=acc.rejected,
+                degraded=dict(sorted(acc.degraded.items())),
+                latency_ms=LatencySummary.of(acc.latency_ms),
+                wait_ms=LatencySummary.of(acc.wait_ms),
+                slo_ms=pol.slo_ms,
+                slo_met=acc.slo_met,
+                slo_total=acc.slo_total,
+            )
+        return QoSMetrics(
+            level=controller.effective_level,
+            level_shifts=controller.shifts,
+            rounds=controller.rounds,
+            peak_pressure=controller.peak_pressure,
+            degraded=dict(sorted(degraded_total.items())),
+            shed=self.shed,
+            tenants=tenants,
+        )

@@ -1,0 +1,80 @@
+"""The overload controller: hysteresis over queue pressure.
+
+One controller per service.  At the start of every drain round the
+service reports its queue pressure — fractional occupancy of the
+admission budgets — and the controller answers with the current
+degradation-ladder level (:data:`~repro.qos.tiers.LADDER`).
+
+Escalation and recovery are both *sustained* transitions: the level
+rises one rung only after ``sustain_rounds`` consecutive rounds at or
+above ``high_water`` and falls one rung only after ``clear_rounds``
+consecutive rounds at or below ``low_water``.  Rounds in the dead band
+between the thresholds reset both streaks, which is what prevents a
+noisy queue from flapping between tiers.
+
+The cluster can pin a level with :meth:`OverloadController.force` —
+used to propagate a fleet-wide level from the cluster's ingress
+backlog down to every worker's service so all workers degrade in
+lockstep (docs/QOS.md).
+"""
+
+from __future__ import annotations
+
+from .policy import OverloadPolicy
+
+__all__ = ["OverloadController"]
+
+
+class OverloadController:
+    """Hysteresis state machine over the degradation-ladder level."""
+
+    def __init__(self, policy: OverloadPolicy | None = None):
+        self.policy = policy or OverloadPolicy()
+        self.level = 0
+        #: Lifetime count of level transitions (either direction).
+        self.shifts = 0
+        #: Rounds observed (pressure reports).
+        self.rounds = 0
+        self.peak_pressure = 0.0
+        self._above = 0
+        self._below = 0
+        self._forced: int | None = None
+
+    @property
+    def effective_level(self) -> int:
+        """The level in force: a cluster override wins over local state."""
+        return self._forced if self._forced is not None else self.level
+
+    def force(self, level: int | None) -> None:
+        """Pin the effective level (None releases the override)."""
+        if level is not None and not 0 <= level <= self.policy.max_level:
+            raise ValueError(f"forced level {level} outside [0, {self.policy.max_level}]")
+        if level is not None and level != self.effective_level:
+            self.shifts += 1
+        self._forced = level
+
+    def observe(self, pressure: float) -> int:
+        """Report one round's queue pressure; returns the effective level."""
+        self.rounds += 1
+        self.peak_pressure = max(self.peak_pressure, pressure)
+        if self._forced is not None:
+            return self._forced
+        pol = self.policy
+        if pressure >= pol.high_water:
+            self._above += 1
+            self._below = 0
+            if self._above >= pol.sustain_rounds and self.level < pol.max_level:
+                self.level += 1
+                self.shifts += 1
+                self._above = 0
+        elif pressure <= pol.low_water:
+            self._below += 1
+            self._above = 0
+            if self._below >= pol.clear_rounds and self.level > 0:
+                self.level -= 1
+                self.shifts += 1
+                self._below = 0
+        else:
+            self._above = 0
+            self._below = 0
+        return self.level

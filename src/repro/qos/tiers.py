@@ -1,0 +1,127 @@
+"""Scoring tiers and the degradation ladder.
+
+Under sustained overload the service sheds *precision*, not requests:
+a tenant's work moves from exact Smith-Waterman to the banded kernel
+(``repro.align.banded``) and then to anchored x-drop extension
+(``repro.align.xdrop``) before anything is rejected.  The ladder is a
+table — ``LADDER[level][tenant_class]`` — so each overload level is a
+total, inspectable assignment of tiers to classes:
+
+======  ========  ========  ===========
+level   premium   standard  best_effort
+======  ========  ========  ===========
+0       exact     exact     exact
+1       exact     exact     banded
+2       exact     banded    xdrop
+3       exact     xdrop     xdrop + admission shed
+======  ========  ========  ===========
+
+Only at the top level does the service start refusing best-effort
+admissions (reason ``overload_shed``); every lower level keeps
+admitting and serves explicitly-flagged approximate results instead.
+
+Modeled time for a degraded batch is charged through the **same**
+kernel/device path as exact batches: each degraded job is replaced by
+a *proxy job* whose shorter sequence is sliced to the tier's band
+width, and the proxy batch runs through ``run_isolated`` in model-only
+mode.  That keeps exact-vs-degraded modeled durations directly
+comparable (same packing, launch, and memory model) and deterministic
+— the data-dependent ``cells_computed`` of x-drop never feeds the
+clock.  Actual degraded *scores* (scored mode only) come from the
+reference banded / x-drop algorithms on the full sequences.
+"""
+
+from __future__ import annotations
+
+from ..align.banded import band_for_error_rate, banded_sw_align
+from ..align.matrix import AlignmentResult
+from ..align.scoring import ScoringScheme
+from ..align.xdrop import xdrop_extend
+from ..baselines.base import ExtensionJob
+
+__all__ = [
+    "TIER_EXACT",
+    "TIER_BANDED",
+    "TIER_XDROP",
+    "APPROX_TIERS",
+    "LADDER",
+    "SHED_LEVEL",
+    "tier_for",
+    "tier_band",
+    "proxy_job",
+    "score_degraded",
+]
+
+TIER_EXACT = "exact"
+TIER_BANDED = "banded"
+TIER_XDROP = "xdrop"
+
+#: Tiers whose results are approximate (flagged on the handle).
+APPROX_TIERS = (TIER_BANDED, TIER_XDROP)
+
+#: ``LADDER[level][tenant_class]`` — tier assignment per overload level.
+LADDER: tuple[dict[str, str], ...] = (
+    {"premium": TIER_EXACT, "standard": TIER_EXACT, "best_effort": TIER_EXACT},
+    {"premium": TIER_EXACT, "standard": TIER_EXACT, "best_effort": TIER_BANDED},
+    {"premium": TIER_EXACT, "standard": TIER_BANDED, "best_effort": TIER_XDROP},
+    {"premium": TIER_EXACT, "standard": TIER_XDROP, "best_effort": TIER_XDROP},
+)
+
+#: Levels at or above this shed best-effort admissions entirely.
+SHED_LEVEL = len(LADDER) - 1
+
+
+def tier_for(level: int, tenant_class: str) -> str:
+    """The scoring tier *tenant_class* receives at overload *level*."""
+    return LADDER[min(max(level, 0), len(LADDER) - 1)][tenant_class]
+
+
+def tier_band(job: ExtensionJob, error_rate: float) -> int:
+    """Band width used for *job* by the banded tier."""
+    return band_for_error_rate(max(job.ref_len, job.query_len), error_rate)
+
+
+def proxy_job(job: ExtensionJob, tier: str, *, error_rate: float) -> ExtensionJob:
+    """The timing proxy for running *job* at an approximate *tier*.
+
+    The shorter sequence is sliced down to the tier's effective band
+    width, so the proxy's ``cells`` reflect the reduced DP area the
+    approximate kernel actually sweeps — banded covers ``2*band + 1``
+    diagonals, x-drop's live window is typically about half that.  The
+    proxy runs through the normal kernel path in model-only mode; its
+    duration is the degraded batch's modeled cost.
+    """
+    band = tier_band(job, error_rate)
+    width = 2 * band + 1 if tier == TIER_BANDED else band + 1
+    short = min(job.ref_len, job.query_len)
+    if width >= short:
+        return job
+    if job.ref_len <= job.query_len:
+        return ExtensionJob(ref=job.ref[:width], query=job.query)
+    return ExtensionJob(ref=job.ref, query=job.query[:width])
+
+
+def score_degraded(
+    job: ExtensionJob,
+    tier: str,
+    scoring: ScoringScheme,
+    *,
+    error_rate: float,
+    xdrop_x: int,
+) -> AlignmentResult:
+    """Score *job* at an approximate *tier* (full sequences).
+
+    Banded keeps local-SW semantics inside the band; x-drop is
+    anchored (seed-extension semantics) with its score floored at 0 so
+    the result type stays comparable.  Either way the caller flags the
+    handle's ``tier`` so consumers know the semantics.
+    """
+    if tier == TIER_BANDED:
+        band = tier_band(job, error_rate)
+        return banded_sw_align(job.ref, job.query, band, scoring)
+    if tier == TIER_XDROP:
+        res = xdrop_extend(job.ref, job.query, xdrop_x, scoring)
+        return AlignmentResult(
+            score=max(res.score, 0), ref_end=res.ref_end, query_end=res.query_end
+        )
+    raise ValueError(f"not an approximate tier: {tier!r}")

@@ -1,0 +1,154 @@
+"""Weighted fair queueing across tenants, layered on admission control.
+
+:class:`WFQAdmissionQueue` is a drop-in
+:class:`~repro.serve.admission.AdmissionQueue` that keeps one priority
+heap per tenant and dispatches across tenants by **start-time fair
+queueing** (SFQ) with DP cells as the work unit:
+
+* each tenant lane carries a virtual *finish* tag;
+* a pop computes every backlogged lane's start tag
+  ``start = max(V, lane.finish)`` (``V`` is the queue-wide virtual
+  time), picks the minimum (ties broken by tenant name — total,
+  deterministic order), sets ``V = start`` and advances the winner's
+  finish by ``job.cells / weight``;
+* within a lane, order is the base queue's ``(-priority, request_id)``
+  — highest priority first, FIFO within a priority.
+
+Cells-per-weight accounting means a weight-4 tenant gets 4x the
+DP-cell *throughput* of a weight-1 tenant under contention, regardless
+of how the two slice their cells into requests — exactly the
+workload-balance currency the rest of the system (binning, routing,
+stealing) already uses.
+
+With a single backlogged tenant SFQ degenerates to the lane's own heap
+order, which is the base queue's order — the mechanism behind the
+bit-identity guarantee for single-tenant QoS-enabled services
+(docs/QOS.md).
+
+Admission adds per-tenant quota checks (reason codes ``tenant_depth``
+/ ``tenant_cells``) on top of the base queue's global ``depth`` /
+``cells`` budgets.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..resilience.errors import CapacityExceeded
+from ..serve.admission import AdmissionQueue
+from ..serve.request import AlignmentRequest
+from .policy import QoSPolicy, TenantPolicy
+
+__all__ = ["WFQAdmissionQueue"]
+
+
+class _Lane:
+    """One tenant's backlog: a priority heap plus SFQ finish tag."""
+
+    __slots__ = ("policy", "heap", "cells", "finish")
+
+    def __init__(self, policy: TenantPolicy):
+        self.policy = policy
+        self.heap: list[tuple[int, int, AlignmentRequest]] = []
+        self.cells = 0
+        self.finish = 0.0
+
+
+class WFQAdmissionQueue(AdmissionQueue):
+    """Bounded multi-tenant queue with weighted-fair dispatch."""
+
+    def __init__(self, policy: QoSPolicy, max_depth: int = 10_000,
+                 max_cells: int | None = None):
+        super().__init__(max_depth=max_depth, max_cells=max_cells)
+        self.policy = policy
+        self._lanes: dict[str, _Lane] = {}
+        self._depth = 0
+        self._vtime = 0.0
+
+    # ----- occupancy ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._depth
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    @property
+    def virtual_time(self) -> float:
+        return self._vtime
+
+    def _lane(self, tenant: str) -> _Lane:
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            lane = self._lanes[tenant] = _Lane(self.policy.tenant(tenant))
+        return lane
+
+    def pending_by_tenant(self) -> dict[str, tuple[int, int]]:
+        """``{tenant: (depth, cells)}`` for every backlogged tenant."""
+        return {
+            name: (len(lane.heap), lane.cells)
+            for name, lane in sorted(self._lanes.items())
+            if lane.heap
+        }
+
+    # ----- admission ----------------------------------------------------
+
+    def why_rejected(self, job, *, tenant: str | None = None) -> tuple[str, str] | None:
+        why = super().why_rejected(job)
+        if why is not None:
+            return why
+        if tenant is None:
+            return None
+        lane = self._lane(tenant)
+        quota = lane.policy
+        if quota.max_depth is not None and len(lane.heap) >= quota.max_depth:
+            return "tenant_depth", (
+                f"tenant {tenant!r} depth quota full "
+                f"({quota.max_depth} pending requests)"
+            )
+        if quota.max_cells is not None and lane.cells + job.cells > quota.max_cells:
+            return "tenant_cells", (
+                f"tenant {tenant!r} work quota full ({lane.cells} of "
+                f"{quota.max_cells} DP cells pending)"
+            )
+        return None
+
+    def offer(self, request: AlignmentRequest) -> None:
+        why = self.why_rejected(request.job, tenant=request.tenant)
+        if why is not None:
+            raise CapacityExceeded(why[1])
+        lane = self._lane(request.tenant)
+        heapq.heappush(
+            lane.heap, (-request.priority, request.request_id, request)
+        )
+        lane.cells += request.job.cells
+        self._depth += 1
+        self._cells += request.job.cells
+
+    # ----- dispatch -----------------------------------------------------
+
+    def pop(self) -> AlignmentRequest:
+        """Remove and return the SFQ-chosen next request.
+
+        Raises ``IndexError`` on an empty queue (same as the base).
+        """
+        chosen_name = None
+        chosen_start = 0.0
+        for name in sorted(self._lanes):
+            lane = self._lanes[name]
+            if not lane.heap:
+                continue
+            start = max(self._vtime, lane.finish)
+            if chosen_name is None or start < chosen_start:
+                chosen_name, chosen_start = name, start
+        if chosen_name is None:
+            raise IndexError("pop from an empty WFQ queue")
+        lane = self._lanes[chosen_name]
+        _, _, request = heapq.heappop(lane.heap)
+        self._vtime = chosen_start
+        lane.finish = chosen_start + request.job.cells / lane.policy.weight
+        lane.cells -= request.job.cells
+        self._depth -= 1
+        self._cells -= request.job.cells
+        return request

@@ -52,28 +52,42 @@ class AdmissionQueue:
     def queued_cells(self) -> int:
         return self._cells
 
-    def admits_job(self, job) -> str | None:
+    def why_rejected(self, job, *, tenant: str | None = None) -> tuple[str, str] | None:
+        """``(reason_code, message)`` for rejecting *job*, or None.
+
+        Reason codes attribute the refusal to the budget that tripped
+        — ``"depth"`` vs ``"cells"`` here; subclasses add per-tenant
+        codes — and feed the ``rejected_by_reason`` counters in
+        :class:`~repro.serve.metrics.ServiceMetrics`.  The *tenant*
+        keyword is accepted (and ignored) so quota-aware subclasses
+        share the call signature.
+        """
+        del tenant  # single-tenant queue: no per-tenant budgets
+        if len(self) >= self.max_depth:
+            return "depth", (
+                f"admission queue full ({self.max_depth} pending requests); "
+                "drain the service or raise max_queue_depth"
+            )
+        if self.max_cells is not None and self.queued_cells + job.cells > self.max_cells:
+            return "cells", (
+                f"admission queue work budget full ({self.queued_cells} of "
+                f"{self.max_cells} DP cells pending)"
+            )
+        return None
+
+    def admits_job(self, job, *, tenant: str | None = None) -> str | None:
         """Why a request for *job* must be rejected (None = admitted).
 
         Takes the bare job so callers can check admission *before*
         minting a request id / handle: a rejected submission must not
         consume any identifier or metrics slot.
         """
-        if len(self._heap) >= self.max_depth:
-            return (
-                f"admission queue full ({self.max_depth} pending requests); "
-                "drain the service or raise max_queue_depth"
-            )
-        if self.max_cells is not None and self._cells + job.cells > self.max_cells:
-            return (
-                f"admission queue work budget full ({self._cells} of "
-                f"{self.max_cells} DP cells pending)"
-            )
-        return None
+        why = self.why_rejected(job, tenant=tenant)
+        return why[1] if why is not None else None
 
     def admits(self, request: AlignmentRequest) -> str | None:
         """Why *request* must be rejected (None = admitted)."""
-        return self.admits_job(request.job)
+        return self.admits_job(request.job, tenant=getattr(request, "tenant", None))
 
     def offer(self, request: AlignmentRequest) -> None:
         """Enqueue *request* or raise :class:`CapacityExceeded`."""
@@ -93,4 +107,4 @@ class AdmissionQueue:
 
     def pop_upto(self, n: int) -> list[AlignmentRequest]:
         """Dequeue at most *n* requests in dispatch order."""
-        return [self.pop() for _ in range(min(n, len(self._heap)))]
+        return [self.pop() for _ in range(min(n, len(self)))]

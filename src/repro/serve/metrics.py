@@ -17,46 +17,13 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from ..obs.stats import PERCENTILES, LatencySummary, nearest_rank
+
 __all__ = ["LatencySummary", "ServiceMetrics", "MetricsRecorder"]
 
-#: Percentile grid reported for every latency population.
-PERCENTILES = (50, 90, 99)
-
-
-def _nearest_rank(sorted_values: list[float], pct: int) -> float:
-    """Nearest-rank percentile (deterministic, no interpolation)."""
-    if not sorted_values:
-        return 0.0
-    rank = max(1, -(-pct * len(sorted_values) // 100))  # ceil
-    return sorted_values[rank - 1]
-
-
-@dataclass(frozen=True)
-class LatencySummary:
-    """Five-number summary of one latency population (ms)."""
-
-    count: int = 0
-    p50: float = 0.0
-    p90: float = 0.0
-    p99: float = 0.0
-    max: float = 0.0
-
-    @classmethod
-    def of(cls, values: list[float]) -> "LatencySummary":
-        if not values:
-            return cls()
-        ordered = sorted(values)
-        return cls(
-            count=len(ordered),
-            p50=_nearest_rank(ordered, 50),
-            p90=_nearest_rank(ordered, 90),
-            p99=_nearest_rank(ordered, 99),
-            max=ordered[-1],
-        )
-
-    def to_dict(self) -> dict:
-        return {"count": self.count, "p50": self.p50, "p90": self.p90,
-                "p99": self.p99, "max": self.max}
+# Back-compat alias: the percentile helper lived here before moving to
+# repro.obs.stats; keep the old private name importable.
+_nearest_rank = nearest_rank
 
 
 @dataclass(frozen=True)
@@ -68,6 +35,11 @@ class ServiceMetrics:
     submitted / completed / failed / rejected:
         Request dispositions: ``rejected`` counts admission-control
         refusals (``CapacityExceeded``), which never become requests.
+    rejected_by_reason:
+        ``rejected`` attributed to the budget that refused: ``depth``
+        vs ``cells`` for the global queue bounds, ``tenant_depth`` /
+        ``tenant_cells`` for per-tenant quotas, ``overload_shed`` for
+        best-effort load shed at the top of the degradation ladder.
     queue_depth / queued_cells:
         Pending work at snapshot time.
     clock_ms / kernel_ms_total:
@@ -95,6 +67,7 @@ class ServiceMetrics:
     completed: int
     failed: int
     rejected: int
+    rejected_by_reason: dict[str, int]
     queue_depth: int
     queued_cells: int
     n_batches: int
@@ -134,6 +107,7 @@ class MetricsRecorder:
     completed: int = 0
     failed: int = 0
     rejected: int = 0
+    rejected_by_reason: Counter = field(default_factory=Counter)
     n_batches: int = 0
     kernel_ms_total: float = 0.0
     coalesced: int = 0
@@ -145,6 +119,11 @@ class MetricsRecorder:
     batch_sizes: Counter = field(default_factory=Counter)
     bin_jobs: Counter = field(default_factory=Counter)
     failure_counts: Counter = field(default_factory=Counter)
+
+    def record_rejection(self, reason: str) -> None:
+        """Count one admission refusal, attributed to *reason*."""
+        self.rejected += 1
+        self.rejected_by_reason[reason] += 1
 
     def record_batch(self, size: int, bin_label: str, kernel_ms: float) -> None:
         self.n_batches += 1
@@ -170,6 +149,7 @@ class MetricsRecorder:
             completed=self.completed,
             failed=self.failed,
             rejected=self.rejected,
+            rejected_by_reason=dict(sorted(self.rejected_by_reason.items())),
             queue_depth=queue_depth,
             queued_cells=queued_cells,
             n_batches=self.n_batches,

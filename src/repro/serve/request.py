@@ -49,6 +49,15 @@ class RequestHandle:
     from_cache:
         True when the result was served by the result cache (or
         coalesced onto an identical in-flight request).
+    tenant:
+        Tenant the request was submitted under (``"default"`` for the
+        single-tenant service); stamped at submission even when QoS is
+        off so callers can always group handles by tenant.
+    tier:
+        Scoring tier that produced ``result_value``: ``"exact"`` for
+        the full Smith-Waterman path, ``"banded"`` / ``"xdrop"`` when
+        the overload controller degraded this request to an
+        explicitly-marked approximate kernel (docs/QOS.md).
     """
 
     request_id: int
@@ -60,6 +69,8 @@ class RequestHandle:
     wait_ms: float = 0.0
     service_ms: float = 0.0
     from_cache: bool = False
+    tenant: str = "default"
+    tier: str = "exact"
 
     @property
     def done(self) -> bool:
@@ -69,6 +80,11 @@ class RequestHandle:
     @property
     def ok(self) -> bool:
         return self.state == DONE
+
+    @property
+    def approximate(self) -> bool:
+        """True when the result came from a degraded (non-exact) tier."""
+        return self.tier != "exact"
 
     def result(self) -> AlignmentResult | None:
         """The alignment result; raises the taxonomy error on failure.
@@ -90,13 +106,15 @@ class RequestHandle:
     # ----- resolution (service-side) -----------------------------------
 
     def _resolve(self, result: AlignmentResult | None, *, completed_ms: float,
-                 wait_ms: float, service_ms: float, from_cache: bool = False) -> None:
+                 wait_ms: float, service_ms: float, from_cache: bool = False,
+                 tier: str = "exact") -> None:
         self.state = DONE
         self.result_value = result
         self.completed_ms = completed_ms
         self.wait_ms = wait_ms
         self.service_ms = service_ms
         self.from_cache = from_cache
+        self.tier = tier
 
     def _fail(self, record: FailureRecord, *, completed_ms: float,
               wait_ms: float) -> None:
@@ -123,12 +141,17 @@ class AlignmentRequest:
         undispatched ``deadline_ms`` after submission is failed with
         ``DeadlineExceeded`` instead of being run late (the semantics
         of a queue timeout; see docs/SERVING.md).
+    tenant:
+        Tenant identity for quota accounting and weighted-fair
+        dispatch; ``"default"`` on the single-tenant path so existing
+        call sites are unchanged (docs/QOS.md).
     """
 
     job: ExtensionJob
     handle: RequestHandle = field(compare=False)
     priority: int = 0
     deadline_ms: float | None = None
+    tenant: str = "default"
 
     @property
     def request_id(self) -> int:

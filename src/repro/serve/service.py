@@ -100,6 +100,15 @@ class AlignmentService:
         gpusim phases).  Defaults to the no-op
         :data:`~repro.obs.NULL_TRACER`; tracing off costs one
         truthiness check per site.
+    qos:
+        A :class:`~repro.qos.QoSPolicy` enabling multi-tenant serving:
+        per-tenant quotas, weighted-fair dispatch across tenants
+        (:class:`~repro.qos.WFQAdmissionQueue` replaces the plain
+        admission queue), SLO accounting, and graceful degradation to
+        the banded / x-drop approximate tiers under sustained overload
+        (docs/QOS.md).  ``None`` (default) is the unchanged
+        single-tenant path; a QoS-enabled service with one tenant and
+        no overload stays bit-identical to it.
     engine:
         Exact-scoring execution backend (:mod:`repro.engine`): a
         registered name (``"reference"`` per-pair dataflow — the
@@ -145,6 +154,7 @@ class AlignmentService:
         min_bin_fill: int = 32,
         tracer=None,
         engine=None,
+        qos=None,
     ):
         if max_batch_jobs < 1:
             raise ValueError("max_batch_jobs must be positive")
@@ -163,7 +173,22 @@ class AlignmentService:
         #: its own (see ``tuner.chosen_engines``).
         self.adaptive_engine = isinstance(engine, str) and engine == AUTO_ENGINE
         self.engine = None if self.adaptive_engine else resolve_engine(engine)
-        self.queue = AdmissionQueue(max_depth=max_queue_depth, max_cells=max_queued_cells)
+        # QoS is strictly opt-in: without a policy the service keeps the
+        # plain admission queue and every QoS branch below is dead code,
+        # which is how the single-tenant path stays bit-identical.
+        if qos is not None:
+            from ..qos.runtime import QoSState
+            from ..qos.wfq import WFQAdmissionQueue
+
+            self._qos = QoSState(qos)
+            self.queue = WFQAdmissionQueue(
+                qos, max_depth=max_queue_depth, max_cells=max_queued_cells
+            )
+        else:
+            self._qos = None
+            self.queue = AdmissionQueue(
+                max_depth=max_queue_depth, max_cells=max_queued_cells
+            )
         self.binner = LengthBinner(bin_edges)
         self.tuner = BinTuner(
             self.scoring, self.config, device,
@@ -187,13 +212,16 @@ class AlignmentService:
         """Requests admitted but not yet dispatched."""
         return self.queue.depth
 
-    def _new_handle(self) -> RequestHandle:
-        handle = RequestHandle(self._next_id, submitted_ms=self.clock_ms)
+    def _new_handle(self, tenant: str = "default") -> RequestHandle:
+        handle = RequestHandle(
+            self._next_id, submitted_ms=self.clock_ms, tenant=tenant
+        )
         self._next_id += 1
         return handle
 
     def submit(self, query, ref, *, priority: int = 0,
-               deadline_ms: float | None = None) -> RequestHandle:
+               deadline_ms: float | None = None,
+               tenant: str = "default") -> RequestHandle:
         """Enqueue one ``(query, reference)`` pair.
 
         Raises :class:`CapacityExceeded` when admission control
@@ -201,52 +229,78 @@ class AlignmentService:
         enqueued and no handle exists).  Malformed sequences do *not*
         raise: the returned handle resolves immediately as failed with
         a ``JobRejected`` record, mirroring ``SalobaAligner.run``.
+
+        *tenant* is the identity used for quota accounting, fair
+        dispatch, and SLO metrics when the service has a QoS policy;
+        without one it is recorded on the handle and otherwise inert.
         """
         return self._submit(query, ref, priority=priority,
-                            deadline_ms=deadline_ms, reject_raises=True)
+                            deadline_ms=deadline_ms, tenant=tenant,
+                            reject_raises=True)
 
     def try_submit(self, query, ref, *, priority: int = 0,
-                   deadline_ms: float | None = None) -> RequestHandle | None:
+                   deadline_ms: float | None = None,
+                   tenant: str = "default") -> RequestHandle | None:
         """Like :meth:`submit` but returns ``None`` on admission
         rejection (load-shedding callers that prefer a flag to an
         exception); the rejection still counts in the metrics."""
         return self._submit(query, ref, priority=priority,
-                            deadline_ms=deadline_ms, reject_raises=False)
+                            deadline_ms=deadline_ms, tenant=tenant,
+                            reject_raises=False)
 
-    def _submit(self, query, ref, *, priority, deadline_ms, reject_raises):
+    def _reject(self, reason: str, message: str, tenant: str,
+                reject_raises: bool, *, shed: bool = False):
+        self._recorder.record_rejection(reason)
+        if self._qos is not None:
+            self._qos.record_rejected(tenant, shed=shed)
+        if reject_raises:
+            raise CapacityExceeded(message)
+        return None
+
+    def _submit(self, query, ref, *, priority, deadline_ms, tenant, reject_raises):
         try:
             job = ExtensionJob(ref=encode(ref), query=encode(query))
         except (AlignmentError, ValueError, TypeError) as exc:
             name = type(exc).__name__ if isinstance(exc, AlignmentError) else "JobRejected"
             self._recorder.submitted += 1
-            handle = self._new_handle()
+            handle = self._new_handle(tenant)
             record = FailureRecord(handle.request_id, name, str(exc), attempts=0)
             handle._fail(record, completed_ms=self.clock_ms, wait_ms=0.0)
             self._recorder.record_failure(name, 0.0)
+            if self._qos is not None:
+                self._qos.record_submitted(tenant)
+                self._qos_settled(handle)
             return handle
         # Admission is checked before any id or metrics slot is
         # allocated: a rejected submission never becomes a request, so
         # the accepted subset of a stream gets the same ids whether or
         # not rejections were interleaved.
-        why = self.queue.admits_job(job)
+        if self._qos is not None:
+            shed = self._qos.shed_reason(tenant)
+            if shed is not None:
+                return self._reject("overload_shed", shed, tenant,
+                                    reject_raises, shed=True)
+        why = self.queue.why_rejected(job, tenant=tenant)
         if why is not None:
-            self._recorder.rejected += 1
-            if reject_raises:
-                raise CapacityExceeded(why)
-            return None
+            return self._reject(why[0], why[1], tenant, reject_raises)
         self._recorder.submitted += 1
-        handle = self._new_handle()
+        if self._qos is not None:
+            self._qos.record_submitted(tenant)
+        handle = self._new_handle(tenant)
         request = AlignmentRequest(
-            job=job, handle=handle, priority=priority, deadline_ms=deadline_ms
+            job=job, handle=handle, priority=priority,
+            deadline_ms=deadline_ms, tenant=tenant,
         )
         self.queue.offer(request)
         return handle
 
     def submit_jobs(self, jobs: list[ExtensionJob], *, priority: int = 0,
-                    deadline_ms: float | None = None) -> list[RequestHandle]:
+                    deadline_ms: float | None = None,
+                    tenant: str = "default") -> list[RequestHandle]:
         """Bulk-enqueue pre-built jobs (the benchmark/mapper path)."""
         return [
-            self.submit(j.query, j.ref, priority=priority, deadline_ms=deadline_ms)
+            self.submit(j.query, j.ref, priority=priority,
+                        deadline_ms=deadline_ms, tenant=tenant)
             for j in jobs
         ]
 
@@ -270,6 +324,12 @@ class AlignmentService:
         window = self.coalesce_window if max_requests is None else max_requests
         if not self.queue.depth:
             return 0
+        level = 0
+        if self._qos is not None:
+            # One pressure observation per round, from the backlog at
+            # round start; the returned ladder level holds for the
+            # whole round so tier routing is stable within it.
+            level = self._qos.begin_round(self._queue_pressure())
         tr = self.tracer
         span = None
         if tr:
@@ -277,6 +337,7 @@ class AlignmentService:
             span = tr.begin("service.drain")
         popped = cache_hits = expired = executable = resolved = 0
         bins: dict[int, list[tuple[AlignmentRequest, bytes | None]]] = {}
+        degraded: dict[str, list[AlignmentRequest]] = {}
         while executable < window:
             got = self.queue.pop_upto(1)
             if not got:
@@ -303,21 +364,42 @@ class AlignmentService:
                         service_ms=0.0, from_cache=True,
                     )
                     self._recorder.record_completion(wait, 0.0)
+                    self._qos_settled(req.handle)
                     cache_hits += 1
                     resolved += 1
+                    continue
+            if self._qos is not None:
+                # Cache hits above stay exact for free; only work that
+                # would touch the device is considered for degradation.
+                tier = self._qos.tier_for(req.tenant)
+                if tier != "exact":
+                    degraded.setdefault(tier, []).append(req)
+                    executable += 1
                     continue
             bins.setdefault(self.binner.bin_index(req.job), []).append((req, key))
             executable += 1
         for bin_index, members in self._merge_sparse_bins(bins):
             resolved += self._run_bin(bin_index, members)
+        for tier in sorted(degraded):
+            resolved += self._run_degraded(tier, degraded[tier])
         if span is not None:
             span.attrs.update(
                 popped=popped, cache_hits=cache_hits, expired=expired,
                 executable=executable, resolved=resolved,
             )
+            if self._qos is not None:
+                span.attrs["level"] = level
+                span.attrs["degraded"] = sum(len(v) for v in degraded.values())
             tr.sync(self.clock_ms)
             tr.end(span)
         return resolved
+
+    def _queue_pressure(self) -> float:
+        """Fractional occupancy of the admission budgets (0..1+)."""
+        pressure = self.queue.depth / self.queue.max_depth
+        if self.queue.max_cells:
+            pressure = max(pressure, self.queue.queued_cells / self.queue.max_cells)
+        return pressure
 
     def _merge_sparse_bins(
         self, bins: dict[int, list[tuple[AlignmentRequest, bytes | None]]]
@@ -365,6 +447,17 @@ class AlignmentService:
         record = FailureRecord(req.request_id, error, message, attempts=attempts)
         req.handle._fail(record, completed_ms=self.clock_ms, wait_ms=wait)
         self._recorder.record_failure(error, wait)
+        self._qos_settled(req.handle)
+
+    def _qos_settled(self, handle: RequestHandle) -> None:
+        """Mirror one resolved handle into the per-tenant QoS metrics."""
+        if self._qos is None:
+            return
+        self._qos.record_settled(
+            handle.tenant, ok=handle.ok, tier=handle.tier,
+            latency_ms=handle.completed_ms - handle.submitted_ms,
+            wait_ms=handle.wait_ms,
+        )
 
     def _run_bin(self, bin_index: int,
                  members: list[tuple[AlignmentRequest, bytes | None]]) -> int:
@@ -398,6 +491,8 @@ class AlignmentService:
                 requests=len(members), leaders=len(leaders),
                 followers=len(followers),
             )
+            if self._qos is not None:
+                bin_span.attrs["tenants"] = sorted({r.tenant for r, _ in members})
         cap = self._bin_batch_sizes.get(bin_index, self.max_batch_jobs)
         for lo in range(0, len(leaders), cap):
             chunk = leaders[lo : lo + cap]
@@ -457,14 +552,104 @@ class AlignmentService:
             record = replace(rec, job_index=req.request_id)
             req.handle._fail(record, completed_ms=completed_ms, wait_ms=wait)
             self._recorder.record_failure(record.error, wait)
+            self._qos_settled(req.handle)
             return
         req.handle._resolve(
             result, completed_ms=completed_ms, wait_ms=wait,
             service_ms=batch_ms, from_cache=from_cache,
         )
         self._recorder.record_completion(wait, batch_ms)
+        self._qos_settled(req.handle)
         if not from_cache and self.cache is not None and key is not None:
             self.cache.put(key, result, scored=self.compute_scores)
+
+    def _run_degraded(self, tier: str, members: list[AlignmentRequest]) -> int:
+        """Serve one approximate tier's round (docs/QOS.md).
+
+        Modeled time comes from *proxy jobs* — each job's shorter
+        sequence sliced to the tier's band width — run through the
+        same kernel / ``run_isolated`` path as exact batches in
+        model-only mode, so degraded durations are directly comparable
+        to exact ones and fully deterministic (x-drop's data-dependent
+        cell count never feeds the clock).  Scores (scored mode) come
+        from the reference banded / x-drop algorithms on the full
+        sequences, and the handle's ``tier`` flags the result as
+        approximate.  Degraded results never enter the result cache —
+        cache entries are exact by contract.
+        """
+        assert self._qos is not None
+        tr = self.tracer
+        proxied = [(req, self._qos.proxy_job(tier, req.job)) for req in members]
+        bins: dict[int, list[tuple[AlignmentRequest, ExtensionJob]]] = {}
+        for req, proxy in proxied:
+            bins.setdefault(self.binner.bin_index(proxy), []).append((req, proxy))
+        resolved = 0
+        tier_span = None
+        if tr:
+            tier_span = tr.begin(
+                "tier.run", tier=tier, requests=len(members),
+                tenants=sorted({r.tenant for r in members}),
+            )
+        for bin_index in sorted(bins):
+            group = bins[bin_index]
+            cap = self._bin_batch_sizes.get(bin_index, self.max_batch_jobs)
+            for lo in range(0, len(group), cap):
+                chunk = group[lo : lo + cap]
+                jobs = [proxy for _, proxy in chunk]
+                batch_span = None
+                if tr:
+                    batch_span = tr.begin(
+                        "batch", bin=bin_index, jobs=len(jobs), tier=tier
+                    )
+                kernel = self.tuner.kernel_for(bin_index, jobs)
+                outcome = run_isolated(
+                    kernel, jobs, self.device,
+                    policy=self.retry_policy,
+                    compute_scores=False,
+                    scoring=self.scoring,
+                    tracer=tr,
+                )
+                start_ms = self.clock_ms
+                batch_ms = outcome.total_ms
+                self.clock_ms += batch_ms
+                if batch_span is not None:
+                    batch_span.attrs["batch_ms"] = batch_ms
+                    tr.sync(self.clock_ms)
+                    tr.end(batch_span)
+                self._recorder.record_batch(
+                    len(jobs), f"{tier}:{self.binner.label(bin_index)}", batch_ms
+                )
+                n_fallback = sum(1 for r in outcome.failures.recovered if r.fallback)
+                self._recorder.fallbacks += n_fallback
+                self._recorder.retries_recovered += (
+                    len(outcome.failures.recovered) - n_fallback
+                )
+                failed = {rec.job_index: rec for rec in outcome.failures.entries}
+                for local, (req, _) in enumerate(chunk):
+                    rec = failed.get(local)
+                    wait = start_ms - req.submitted_ms
+                    if rec is not None:
+                        record = replace(rec, job_index=req.request_id)
+                        req.handle._fail(
+                            record, completed_ms=self.clock_ms, wait_ms=wait
+                        )
+                        self._recorder.record_failure(record.error, wait)
+                        self._qos_settled(req.handle)
+                        resolved += 1
+                        continue
+                    result = None
+                    if self.compute_scores:
+                        result = self._qos.score(tier, req.job, self.scoring)
+                    req.handle._resolve(
+                        result, completed_ms=self.clock_ms, wait_ms=wait,
+                        service_ms=batch_ms, tier=tier,
+                    )
+                    self._recorder.record_completion(wait, batch_ms)
+                    self._qos_settled(req.handle)
+                    resolved += 1
+        if tier_span is not None:
+            tr.end(tier_span)
+        return resolved
 
     # ----- mid-run reconfiguration -----------------------------------------
 
@@ -533,6 +718,27 @@ class AlignmentService:
                 "engine": self.tuner.chosen_engines[bin_index],
             }
         return report
+
+    def qos_metrics(self):
+        """Per-tenant QoS snapshot, or ``None`` when QoS is disabled.
+
+        Returns a :class:`~repro.qos.QoSMetrics`: ladder level and
+        shift count, per-tier degradation totals, shed count, and one
+        :class:`~repro.qos.TenantMetrics` per tenant seen.
+        """
+        return self._qos.snapshot() if self._qos is not None else None
+
+    def set_overload_level(self, level: int | None) -> None:
+        """Pin (or with ``None`` release) the degradation-ladder level.
+
+        The cluster uses this to propagate a fleet-wide overload level
+        from its ingress backlog down to every worker's service, so
+        workers degrade in lockstep.  No-op guard: raises when QoS is
+        disabled.
+        """
+        if self._qos is None:
+            raise ValueError("service has no QoS policy to force a level on")
+        self._qos.controller.force(level)
 
     def metrics(self) -> ServiceMetrics:
         """Deterministic snapshot of the service's lifetime counters."""

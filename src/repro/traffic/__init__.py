@@ -1,0 +1,37 @@
+"""repro.traffic — a seeded generative workload model on the modeled clock.
+
+Benches drove the serving stack with fixed synthetic streams; this
+package generates *traffic*: arrival processes (Poisson, MMPP-style
+bursty, diurnal sinusoid, flash-crowd step — :mod:`~repro.traffic.
+arrivals`) composed with per-tenant mixes over the ``repro.datasets``
+DATASET_A/B profiles, priorities, and deadline distributions
+(:class:`~repro.traffic.trace.TenantTraffic`), frozen into a
+replayable :class:`~repro.traffic.trace.TraceSpec` whose JSON is
+byte-identical across reruns.
+
+:func:`~repro.traffic.replay.replay` drives any
+:class:`~repro.serve.service.AlignmentService` (QoS-enabled or plain)
+through a spec by jumping the modeled clock between arrivals;
+:mod:`~repro.traffic.scenarios` names the canonical presets
+(steady / bursty / diurnal / flash_crowd) used by ``repro
+traffic-gen``, ``serve-bench --trace-spec``, and the QoS bench.
+"""
+
+from .arrivals import ARRIVAL_KINDS, ArrivalProcess
+from .replay import ReplayResult, replay
+from .scenarios import SCENARIOS, scenario, scenario_tenants
+from .trace import TenantTraffic, TraceEvent, TraceSpec, generate_trace
+
+__all__ = [
+    "ArrivalProcess",
+    "ARRIVAL_KINDS",
+    "TenantTraffic",
+    "TraceEvent",
+    "TraceSpec",
+    "generate_trace",
+    "SCENARIOS",
+    "scenario",
+    "scenario_tenants",
+    "replay",
+    "ReplayResult",
+]

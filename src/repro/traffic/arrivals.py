@@ -1,0 +1,160 @@
+"""Seeded arrival processes on the modeled clock.
+
+Four canonical shapes, all emitting absolute arrival times in modeled
+milliseconds from one ``numpy`` generator — a ``(seed, parameters)``
+pair fixes the sequence exactly, which is what makes a generated
+:class:`~repro.traffic.trace.TraceSpec` byte-identical across reruns:
+
+* ``poisson`` — homogeneous Poisson (i.i.d. exponential gaps);
+* ``bursty`` — a 2-state MMPP: the rate alternates between
+  ``rate * burst_factor`` and ``rate / burst_factor`` with
+  exponentially distributed state dwells (competing-exponential
+  simulation: a gap crossing the dwell boundary advances to the
+  boundary and redraws at the new rate);
+* ``diurnal`` — inhomogeneous Poisson with a sinusoidal rate
+  ``rate * (1 + amplitude * sin(2*pi*t/period))``, sampled by
+  Lewis-Shedler thinning against the peak rate;
+* ``flash_crowd`` — baseline Poisson with a step to
+  ``rate * burst_factor`` during ``[surge_at_ms, surge_at_ms +
+  surge_ms)``, also sampled by thinning.
+
+The process is a frozen dataclass so it serializes into the trace
+spec; :meth:`ArrivalProcess.scaled` multiplies the base rate for
+offered-load sweeps without touching the shape parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["ARRIVAL_KINDS", "ArrivalProcess"]
+
+ARRIVAL_KINDS = ("poisson", "bursty", "diurnal", "flash_crowd")
+
+
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """One tenant's arrival shape (rates in requests per modeled ms)."""
+
+    kind: str = "poisson"
+    rate_per_ms: float = 0.05
+    #: bursty: high/low rate multiplier; flash_crowd: surge multiplier.
+    burst_factor: float = 6.0
+    #: bursty: mean dwell in each MMPP state (ms).
+    dwell_ms: float = 400.0
+    #: diurnal: relative amplitude in [0, 1).
+    amplitude: float = 0.8
+    #: diurnal: sinusoid period (ms).
+    period_ms: float = 4000.0
+    #: flash_crowd: surge window start / duration (ms).
+    surge_at_ms: float = 1000.0
+    surge_ms: float = 800.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"unknown arrival kind {self.kind!r}; expected one of {ARRIVAL_KINDS}"
+            )
+        if self.rate_per_ms <= 0:
+            raise ValueError("rate_per_ms must be positive")
+        if self.burst_factor < 1:
+            raise ValueError("burst_factor must be >= 1")
+        if not 0 <= self.amplitude < 1:
+            raise ValueError("amplitude must be in [0, 1)")
+        if self.period_ms <= 0 or self.dwell_ms <= 0 or self.surge_ms <= 0:
+            raise ValueError("durations must be positive")
+        if self.surge_at_ms < 0:
+            raise ValueError("surge_at_ms cannot be negative")
+
+    def scaled(self, factor: float) -> "ArrivalProcess":
+        """Same shape at ``rate * factor`` (offered-load sweeps)."""
+        if factor <= 0:
+            raise ValueError("load factor must be positive")
+        return replace(self, rate_per_ms=self.rate_per_ms * factor)
+
+    # ----- sampling -----------------------------------------------------
+
+    def rate_at(self, t_ms: float) -> float:
+        """Instantaneous rate at modeled time *t_ms*."""
+        if self.kind == "poisson":
+            return self.rate_per_ms
+        if self.kind == "diurnal":
+            return self.rate_per_ms * (
+                1.0 + self.amplitude * math.sin(2.0 * math.pi * t_ms / self.period_ms)
+            )
+        if self.kind == "flash_crowd":
+            in_surge = self.surge_at_ms <= t_ms < self.surge_at_ms + self.surge_ms
+            return self.rate_per_ms * (self.burst_factor if in_surge else 1.0)
+        raise ValueError(f"rate_at undefined for kind {self.kind!r}")
+
+    @property
+    def peak_rate(self) -> float:
+        if self.kind == "poisson":
+            return self.rate_per_ms
+        if self.kind == "diurnal":
+            return self.rate_per_ms * (1.0 + self.amplitude)
+        return self.rate_per_ms * self.burst_factor
+
+    def sample(self, rng: np.random.Generator, n: int) -> list[float]:
+        """*n* absolute arrival times (ms), ascending."""
+        if n <= 0:
+            return []
+        if self.kind == "bursty":
+            return self._sample_mmpp(rng, n)
+        if self.kind == "poisson":
+            gaps = rng.exponential(1.0 / self.rate_per_ms, size=n)
+            return list(np.cumsum(gaps))
+        return self._sample_thinning(rng, n)
+
+    def _sample_thinning(self, rng: np.random.Generator, n: int) -> list[float]:
+        # Lewis-Shedler: candidate stream at the peak rate, keep each
+        # candidate with probability rate(t) / peak.
+        peak = self.peak_rate
+        out: list[float] = []
+        t = 0.0
+        while len(out) < n:
+            t += float(rng.exponential(1.0 / peak))
+            if float(rng.random()) * peak <= self.rate_at(t):
+                out.append(t)
+        return out
+
+    def _sample_mmpp(self, rng: np.random.Generator, n: int) -> list[float]:
+        rate_hi = self.rate_per_ms * self.burst_factor
+        rate_lo = self.rate_per_ms / self.burst_factor
+        out: list[float] = []
+        t = 0.0
+        high = False  # start calm; the first dwell boundary flips it
+        boundary = float(rng.exponential(self.dwell_ms))
+        while len(out) < n:
+            rate = rate_hi if high else rate_lo
+            gap = float(rng.exponential(1.0 / rate))
+            if t + gap >= boundary:
+                # The candidate gap crosses a state switch: advance to
+                # the boundary and redraw at the new state's rate (the
+                # exponential's memorylessness makes this exact).
+                t = boundary
+                high = not high
+                boundary = t + float(rng.exponential(self.dwell_ms))
+                continue
+            t += gap
+            out.append(t)
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "rate_per_ms": self.rate_per_ms,
+            "burst_factor": self.burst_factor,
+            "dwell_ms": self.dwell_ms,
+            "amplitude": self.amplitude,
+            "period_ms": self.period_ms,
+            "surge_at_ms": self.surge_at_ms,
+            "surge_ms": self.surge_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ArrivalProcess":
+        return cls(**payload)

@@ -1,0 +1,78 @@
+"""Replay a trace spec against an :class:`AlignmentService`.
+
+The service clock only advances when batches execute, so an
+open-loop arrival process needs a driver: :func:`replay` walks the
+event list, jumps the service clock forward to the next arrival when
+the service is idle (the modeled equivalent of waiting for traffic),
+submits every arrival whose time has come, and drains whenever work is
+pending.  Submissions use ``try_submit`` so admission rejections
+(quota, shed, queue bounds) become ``None`` entries rather than
+aborting the replay — open-loop clients do not retry.
+
+The same driver serves QoS-enabled and plain services (tenant identity
+is recorded on handles either way), which is how the QoS bench runs
+its with/without comparisons over identical workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..serve.request import RequestHandle
+from ..serve.service import AlignmentService
+from .trace import TraceSpec
+
+__all__ = ["ReplayResult", "replay"]
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of one trace replay.
+
+    ``handles[i]`` corresponds to ``spec.events[i]``; ``None`` marks
+    an admission rejection.  ``makespan_ms`` is the service clock when
+    the last request settled minus the clock at replay start.
+    """
+
+    spec: TraceSpec
+    handles: list[RequestHandle | None]
+    makespan_ms: float
+
+    @property
+    def accepted(self) -> int:
+        return sum(1 for h in self.handles if h is not None)
+
+    @property
+    def rejected(self) -> int:
+        return len(self.handles) - self.accepted
+
+
+def replay(service: AlignmentService, spec: TraceSpec) -> ReplayResult:
+    """Drive *service* through *spec*'s arrivals on the modeled clock."""
+    jobs = spec.materialize()
+    handles: list[RequestHandle | None] = []
+    start_ms = service.clock_ms
+    i = 0
+    n = len(spec.events)
+    while i < n or service.pending:
+        if not service.pending and i < n:
+            # Idle service: jump to the next arrival (clocks never run
+            # backwards — a backlogged burst may already be past it).
+            next_at = start_ms + spec.events[i].at_ms
+            if service.clock_ms < next_at:
+                service.clock_ms = next_at
+        while i < n and start_ms + spec.events[i].at_ms <= service.clock_ms:
+            ev = spec.events[i]
+            job = jobs[i]
+            handles.append(service.try_submit(
+                job.query, job.ref,
+                priority=ev.priority,
+                deadline_ms=ev.deadline_ms,
+                tenant=ev.tenant,
+            ))
+            i += 1
+        if service.pending:
+            service.drain()
+    return ReplayResult(
+        spec=spec, handles=handles, makespan_ms=service.clock_ms - start_ms
+    )

@@ -1,0 +1,140 @@
+"""Named scenario presets for the traffic generator.
+
+Each preset composes the same three-tenant population — a premium
+interactive tenant, a standard tenant, and a best-effort batch tenant
+— and varies the *shape* of the aggregate load:
+
+* ``steady`` — every tenant Poisson at its share of the base rate;
+* ``bursty`` — the batch tenant becomes a 2-state MMPP that slams the
+  queue in dwells;
+* ``diurnal`` — standard and batch ride a sinusoidal day/night cycle;
+* ``flash_crowd`` — the batch tenant steps to ``burst_factor`` times
+  its rate for a surge window (the scenario the QoS acceptance bar is
+  judged on: premium SLO attainment must stay above the no-QoS
+  baseline while the crowd hammers the service).
+
+Rates are expressed as one aggregate ``rate_per_ms`` split by tenant
+``fraction``, so a single knob sweeps offered load; ``scenario()``
+returns a fully materialized, replayable
+:class:`~repro.traffic.trace.TraceSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .arrivals import ArrivalProcess
+from .trace import TenantTraffic, TraceSpec, generate_trace
+
+__all__ = ["SCENARIOS", "SLO_FRACTIONS", "scenario", "scenario_tenants"]
+
+#: Shares, weights, and mixes of the canonical tenant population.
+_BASE_TENANTS = (
+    TenantTraffic(
+        name="prio-lab", tenant_class="premium", weight=4.0, fraction=0.2,
+        b_fraction=0.05, duplicate_fraction=0.10,
+    ),
+    TenantTraffic(
+        name="clinic", tenant_class="standard", weight=2.0, fraction=0.3,
+        b_fraction=0.15, duplicate_fraction=0.15,
+    ),
+    TenantTraffic(
+        name="batch-reseq", tenant_class="best_effort", weight=1.0, fraction=0.5,
+        b_fraction=0.30, duplicate_fraction=0.20,
+    ),
+)
+
+#: SLO target per class, as a fraction of the anchoring horizon.
+SLO_FRACTIONS = {"premium": 0.4, "standard": 0.8, "best_effort": 2.0}
+
+
+def _steady(rate: float, horizon: float) -> tuple[TenantTraffic, ...]:
+    del horizon
+    return tuple(
+        replace(t, arrivals=ArrivalProcess(kind="poisson",
+                                           rate_per_ms=rate * t.fraction))
+        for t in _BASE_TENANTS
+    )
+
+
+def _bursty(rate: float, horizon: float) -> tuple[TenantTraffic, ...]:
+    out = []
+    for t in _BASE_TENANTS:
+        kind = "bursty" if t.tenant_class == "best_effort" else "poisson"
+        out.append(replace(t, arrivals=ArrivalProcess(
+            kind=kind, rate_per_ms=rate * t.fraction,
+            burst_factor=6.0, dwell_ms=horizon / 10.0,
+        )))
+    return tuple(out)
+
+
+def _diurnal(rate: float, horizon: float) -> tuple[TenantTraffic, ...]:
+    out = []
+    for t in _BASE_TENANTS:
+        kind = "poisson" if t.tenant_class == "premium" else "diurnal"
+        out.append(replace(t, arrivals=ArrivalProcess(
+            kind=kind, rate_per_ms=rate * t.fraction,
+            amplitude=0.8, period_ms=horizon / 2.0,
+        )))
+    return tuple(out)
+
+
+def _flash_crowd(rate: float, horizon: float) -> tuple[TenantTraffic, ...]:
+    out = []
+    for t in _BASE_TENANTS:
+        kind = "flash_crowd" if t.tenant_class == "best_effort" else "poisson"
+        out.append(replace(t, arrivals=ArrivalProcess(
+            kind=kind, rate_per_ms=rate * t.fraction,
+            burst_factor=8.0,
+            surge_at_ms=horizon / 4.0, surge_ms=horizon / 3.0,
+        )))
+    return tuple(out)
+
+
+SCENARIOS = {
+    "steady": _steady,
+    "bursty": _bursty,
+    "diurnal": _diurnal,
+    "flash_crowd": _flash_crowd,
+}
+
+
+def scenario_tenants(name: str, *, rate_per_ms: float, n_requests: int,
+                     slo_horizon_ms: float | None = None) -> tuple[TenantTraffic, ...]:
+    """The preset tenant population at aggregate *rate_per_ms*.
+
+    Time constants (surge window, MMPP dwell, diurnal period) scale
+    with the nominal horizon ``n_requests / rate_per_ms``, so the same
+    scenario *shape* holds at every offered load: a flash crowd always
+    erupts a quarter of the way into the trace, whatever the rate.
+
+    SLO targets are :data:`SLO_FRACTIONS` of *slo_horizon_ms*, which
+    defaults to the trace's own horizon.  Offered-load sweeps pass the
+    load-1.0 horizon so the SLO bar stays fixed while only the load
+    moves — otherwise higher loads would also mean tighter SLOs.
+    """
+    try:
+        build = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; expected one of {sorted(SCENARIOS)}"
+        ) from None
+    if n_requests < 1:
+        raise ValueError("n_requests must be positive")
+    horizon = n_requests / rate_per_ms
+    anchor = slo_horizon_ms if slo_horizon_ms is not None else horizon
+    return tuple(
+        replace(t, slo_ms=SLO_FRACTIONS[t.tenant_class] * anchor)
+        for t in build(rate_per_ms, horizon)
+    )
+
+
+def scenario(name: str, *, rate_per_ms: float, n_requests: int, seed: int = 0,
+             slo_horizon_ms: float | None = None) -> TraceSpec:
+    """Generate the named preset as a replayable trace."""
+    return generate_trace(
+        name,
+        scenario_tenants(name, rate_per_ms=rate_per_ms,
+                         n_requests=n_requests, slo_horizon_ms=slo_horizon_ms),
+        n_requests=n_requests, seed=seed,
+    )

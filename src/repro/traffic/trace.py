@@ -1,0 +1,343 @@
+"""Replayable traffic traces: the generative workload model's output.
+
+A :class:`TraceSpec` is the whole workload, frozen: per-tenant traffic
+descriptions (:class:`TenantTraffic`) plus the fully materialized
+event list (:class:`TraceEvent`) — one arrival per event with its
+modeled arrival time, tenant, job *shape* (query/reference lengths
+drawn from the tenant's DATASET_A/B mix), priority, deadline, and an
+optional duplicate marker.  Two properties make it the contract
+between the generator and every consumer (replay driver, serve-bench,
+cluster-bench, CI):
+
+* **byte-identical JSON** — :meth:`TraceSpec.to_json` sorts keys and
+  contains only values computed deterministically from ``(tenants,
+  seed, n_requests)``, so regenerating or round-tripping a spec
+  reproduces the same bytes;
+* **content on demand** — events store lengths, not sequences; the
+  actual base content of event *i* comes from
+  ``np.random.default_rng([seed, i])`` at :meth:`materialize` time
+  (duplicates reuse their ``dup_of`` target's content), so a spec
+  stays small while job content is still pinned by the spec alone.
+
+Job shapes follow the serving bench's conventions over the
+:mod:`repro.datasets` profiles: A-shaped jobs are fixed
+``DATASET_A.read_length`` queries with a reference window up to
+``gap_margin`` longer; B-shaped jobs draw log-normal
+``(mean_length, sigma)`` queries capped at ``b_max_length``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.profiles import DATASET_A, DATASET_B
+from ..baselines.base import ExtensionJob
+from .arrivals import ArrivalProcess
+
+__all__ = ["TenantTraffic", "TraceEvent", "TraceSpec", "generate_trace"]
+
+#: Trace JSON schema version (bump on incompatible changes).
+TRACE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TenantTraffic:
+    """One tenant's traffic description inside a scenario.
+
+    Attributes
+    ----------
+    name / tenant_class / weight / slo_ms:
+        Carried into the matching :class:`~repro.qos.TenantPolicy`
+        (:meth:`TraceSpec.qos_policy`).
+    fraction:
+        This tenant's share of the scenario's total requests
+        (normalized across tenants at generation time).
+    arrivals:
+        The tenant's arrival process.
+    b_fraction:
+        Probability an event is B-shaped (PacBio-like long job) rather
+        than A-shaped (Illumina-like short job).
+    b_max_length:
+        Length cap applied to B-shaped queries (keeps pure-Python
+        scoring affordable; the distribution's head is what matters).
+    priority:
+        Within-tenant dispatch priority stamped on every event.
+    deadline_ms / deadline_jitter:
+        Queue-wait deadline per event: ``deadline_ms * (1 + U(-j, +j))``
+        with the tenant's own draw stream, or no deadline when None.
+    duplicate_fraction:
+        Probability an event resubmits the tenant's previous job
+        content (cache/coalescing pressure, as in the serving bench).
+    """
+
+    name: str
+    tenant_class: str = "standard"
+    weight: float = 1.0
+    fraction: float = 1.0
+    arrivals: ArrivalProcess = field(default_factory=ArrivalProcess)
+    b_fraction: float = 0.1
+    b_max_length: int = 2000
+    priority: int = 0
+    deadline_ms: float | None = None
+    deadline_jitter: float = 0.0
+    duplicate_fraction: float = 0.0
+    slo_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.fraction <= 0:
+            raise ValueError("tenant request fraction must be positive")
+        if not 0 <= self.b_fraction <= 1:
+            raise ValueError("b_fraction must be in [0, 1]")
+        if not 0 <= self.duplicate_fraction <= 1:
+            raise ValueError("duplicate_fraction must be in [0, 1]")
+        if not 0 <= self.deadline_jitter < 1:
+            raise ValueError("deadline_jitter must be in [0, 1)")
+        if self.b_max_length < DATASET_A.read_length:
+            raise ValueError("b_max_length below the A-profile read length")
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "tenant_class": self.tenant_class,
+            "weight": self.weight,
+            "fraction": self.fraction,
+            "arrivals": self.arrivals.to_dict(),
+            "b_fraction": self.b_fraction,
+            "b_max_length": self.b_max_length,
+            "priority": self.priority,
+            "deadline_ms": self.deadline_ms,
+            "deadline_jitter": self.deadline_jitter,
+            "duplicate_fraction": self.duplicate_fraction,
+            "slo_ms": self.slo_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TenantTraffic":
+        payload = dict(payload)
+        payload["arrivals"] = ArrivalProcess.from_dict(payload["arrivals"])
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One arrival: who, when, and what shape of work."""
+
+    index: int
+    at_ms: float
+    tenant: str
+    qlen: int
+    rlen: int
+    priority: int = 0
+    deadline_ms: float | None = None
+    #: Index of the earlier event whose job content this one repeats.
+    dup_of: int | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "at_ms": self.at_ms,
+            "tenant": self.tenant,
+            "qlen": self.qlen,
+            "rlen": self.rlen,
+            "priority": self.priority,
+            "deadline_ms": self.deadline_ms,
+            "dup_of": self.dup_of,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceEvent":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A complete, replayable workload trace."""
+
+    name: str
+    seed: int
+    tenants: tuple[TenantTraffic, ...]
+    events: tuple[TraceEvent, ...]
+
+    def __post_init__(self) -> None:
+        if isinstance(self.tenants, list):
+            object.__setattr__(self, "tenants", tuple(self.tenants))
+        if isinstance(self.events, list):
+            object.__setattr__(self, "events", tuple(self.events))
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.events)
+
+    @property
+    def horizon_ms(self) -> float:
+        return self.events[-1].at_ms if self.events else 0.0
+
+    def tenant(self, name: str) -> TenantTraffic:
+        for t in self.tenants:
+            if t.name == name:
+                return t
+        raise KeyError(f"no tenant {name!r} in trace {self.name!r}")
+
+    # ----- serialization ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": TRACE_VERSION,
+            "name": self.name,
+            "seed": self.seed,
+            "tenants": [t.to_dict() for t in self.tenants],
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON — byte-identical across reruns."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=None,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceSpec":
+        version = payload.get("version", TRACE_VERSION)
+        if version != TRACE_VERSION:
+            raise ValueError(f"unsupported trace version {version}")
+        return cls(
+            name=payload["name"],
+            seed=payload["seed"],
+            tenants=tuple(TenantTraffic.from_dict(t) for t in payload["tenants"]),
+            events=tuple(TraceEvent.from_dict(e) for e in payload["events"]),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TraceSpec":
+        return cls.from_dict(json.loads(text))
+
+    # ----- materialization ----------------------------------------------
+
+    def materialize(self) -> list[ExtensionJob]:
+        """The event jobs, in event order.
+
+        Event *i*'s content comes from ``default_rng([seed, i])`` —
+        independent of every other event, so the same spec always
+        yields the same bases and a spec subset materializes
+        identically.  Duplicate events share their target's arrays.
+        """
+        jobs: list[ExtensionJob] = []
+        for ev in self.events:
+            if ev.dup_of is not None:
+                jobs.append(jobs[ev.dup_of])
+                continue
+            rng = np.random.default_rng([self.seed, ev.index])
+            query = rng.integers(0, 4, size=ev.qlen, dtype=np.uint8)
+            ref = rng.integers(0, 4, size=ev.rlen, dtype=np.uint8)
+            jobs.append(ExtensionJob(ref=ref, query=query))
+        return jobs
+
+    def qos_policy(self, **overrides):
+        """A :class:`~repro.qos.QoSPolicy` matching this trace's tenants.
+
+        Carries each tenant's class, WFQ weight, and SLO into a
+        :class:`~repro.qos.TenantPolicy` (quotas stay unset — set them
+        per deployment); keyword *overrides* pass through to
+        :class:`~repro.qos.QoSPolicy`.
+        """
+        from ..qos.policy import QoSPolicy, TenantPolicy
+
+        return QoSPolicy(
+            tenants=tuple(
+                TenantPolicy(
+                    name=t.name, tenant_class=t.tenant_class,
+                    weight=t.weight, slo_ms=t.slo_ms,
+                )
+                for t in self.tenants
+            ),
+            **overrides,
+        )
+
+
+def generate_trace(
+    name: str,
+    tenants: tuple[TenantTraffic, ...] | list[TenantTraffic],
+    *,
+    n_requests: int,
+    seed: int = 0,
+) -> TraceSpec:
+    """Generate a :class:`TraceSpec` from per-tenant traffic models.
+
+    Request counts split across tenants by normalized ``fraction``
+    (largest-remainder rounding so the counts sum exactly to
+    *n_requests*).  Each tenant draws its arrivals and job shapes from
+    its own ``default_rng([seed, tenant_index])`` stream; the merged
+    event list is ordered by ``(at_ms, tenant, per-tenant sequence)``
+    and re-indexed.  Duplicates resolve to the *previous* event of the
+    same tenant (the "user retries the last request" pattern).
+    """
+    tenants = tuple(tenants)
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    if n_requests < 1:
+        raise ValueError("n_requests must be positive")
+    total_fraction = sum(t.fraction for t in tenants)
+    raw = [n_requests * t.fraction / total_fraction for t in tenants]
+    counts = [int(x) for x in raw]
+    remainders = sorted(
+        range(len(tenants)), key=lambda i: (-(raw[i] - counts[i]), i)
+    )
+    for i in remainders[: n_requests - sum(counts)]:
+        counts[i] += 1
+
+    protos: list[tuple[float, str, int, dict]] = []
+    for t_index, (tenant, count) in enumerate(zip(tenants, counts)):
+        rng = np.random.default_rng([seed, t_index])
+        times = tenant.arrivals.sample(rng, count)
+        for k, at in enumerate(times):
+            if float(rng.random()) < tenant.b_fraction:
+                qlen = int(
+                    np.clip(
+                        rng.lognormal(np.log(DATASET_B.mean_length), DATASET_B.sigma),
+                        DATASET_A.read_length,
+                        tenant.b_max_length,
+                    )
+                )
+                rlen = qlen + int(rng.integers(50, DATASET_B.gap_margin + 1))
+            else:
+                qlen = DATASET_A.read_length
+                rlen = qlen + int(rng.integers(20, DATASET_A.gap_margin + 1))
+            deadline = tenant.deadline_ms
+            if deadline is not None and tenant.deadline_jitter:
+                deadline = deadline * (
+                    1.0 + tenant.deadline_jitter * float(rng.uniform(-1.0, 1.0))
+                )
+            duplicate = (
+                k > 0 and float(rng.random()) < tenant.duplicate_fraction
+            )
+            protos.append((
+                float(at), tenant.name, k,
+                {"qlen": qlen, "rlen": rlen, "priority": tenant.priority,
+                 "deadline_ms": deadline, "duplicate": duplicate},
+            ))
+
+    protos.sort(key=lambda p: (p[0], p[1], p[2]))
+    events: list[TraceEvent] = []
+    last_by_tenant: dict[str, int] = {}
+    for index, (at, tenant_name, _, meta) in enumerate(protos):
+        dup_of = None
+        if meta["duplicate"] and tenant_name in last_by_tenant:
+            dup_of = last_by_tenant[tenant_name]
+            target = events[dup_of]
+            # Chase a duplicate-of-a-duplicate to its original so
+            # materialization never recurses.
+            if target.dup_of is not None:
+                dup_of = target.dup_of
+                target = events[dup_of]
+            qlen, rlen = target.qlen, target.rlen
+        else:
+            qlen, rlen = meta["qlen"], meta["rlen"]
+        events.append(TraceEvent(
+            index=index, at_ms=at, tenant=tenant_name,
+            qlen=qlen, rlen=rlen, priority=meta["priority"],
+            deadline_ms=meta["deadline_ms"], dup_of=dup_of,
+        ))
+        last_by_tenant[tenant_name] = index
+    return TraceSpec(name=name, seed=seed, tenants=tenants, events=tuple(events))

@@ -97,6 +97,54 @@ class TestCommands:
         assert "--self-heal" in capsys.readouterr().err
 
 
+class TestTrafficCommands:
+    def test_traffic_gen_stdout_is_trace_json(self, capsys):
+        from repro.traffic import TraceSpec
+
+        assert main(["traffic-gen", "steady", "--rate", "40",
+                     "--requests", "30"]) == 0
+        spec = TraceSpec.from_json(capsys.readouterr().out)
+        assert spec.n_requests == 30 and spec.name == "steady"
+
+    def test_traffic_gen_byte_identical(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["traffic-gen", "flash_crowd", "--rate", "60",
+                     "--requests", "40", "--out", str(a)]) == 0
+        assert main(["traffic-gen", "flash_crowd", "--rate", "60",
+                     "--requests", "40", "--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_serve_bench_replays_trace_spec(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        out_path = tmp_path / "replay.json"
+        assert main(["traffic-gen", "flash_crowd", "--rate", "80",
+                     "--requests", "40", "--out", str(spec_path)]) == 0
+        assert main(["serve-bench", "--trace-spec", str(spec_path),
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 'flash_crowd'" in out and "ladder" in out
+        assert out_path.exists()
+
+    def test_serve_bench_trace_spec_excludes_chrome_trace(self, capsys):
+        assert main(["serve-bench", "--trace-spec", "s.json",
+                     "--trace", "t.json"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_cluster_bench_drives_trace_spec(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        assert main(["traffic-gen", "bursty", "--rate", "60",
+                     "--requests", "30", "--out", str(spec_path)]) == 0
+        assert main(["cluster-bench", "--trace-spec", str(spec_path),
+                     "--workers", "2"]) == 0
+        assert "fleet ladder" in capsys.readouterr().out
+
+    def test_cluster_bench_trace_spec_excludes_self_heal(self, capsys):
+        assert main(["cluster-bench", "--trace-spec", "s.json",
+                     "--self-heal"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
 class _StubHealResult:
     """A ControlBenchResult stand-in for fast CLI-path tests."""
 

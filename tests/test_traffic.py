@@ -1,0 +1,172 @@
+"""Tests for the generative traffic model: arrival processes, trace
+generation and byte-identical serialization, materialization, scenario
+presets, and the open-loop replay driver."""
+
+import numpy as np
+import pytest
+
+from repro.qos import QoSPolicy
+from repro.serve import AlignmentService
+from repro.traffic import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    TenantTraffic,
+    TraceSpec,
+    generate_trace,
+    replay,
+    scenario,
+)
+
+
+class TestArrivals:
+    def test_all_kinds_sample_sorted_and_deterministic(self):
+        for kind in ARRIVAL_KINDS:
+            proc = ArrivalProcess(kind=kind, rate_per_ms=2.0)
+            a = np.asarray(proc.sample(np.random.default_rng(5), 200))
+            b = np.asarray(proc.sample(np.random.default_rng(5), 200))
+            assert len(a) == 200
+            assert (np.diff(a) >= 0).all(), f"{kind} arrivals not sorted"
+            assert (a >= 0).all()
+            np.testing.assert_array_equal(a, b)
+
+    def test_mean_rate_roughly_matches(self):
+        proc = ArrivalProcess(kind="poisson", rate_per_ms=4.0)
+        times = np.asarray(proc.sample(np.random.default_rng(0), 4000))
+        measured = len(times) / times[-1]
+        assert measured == pytest.approx(4.0, rel=0.1)
+
+    def test_flash_crowd_surges(self):
+        proc = ArrivalProcess(
+            kind="flash_crowd", rate_per_ms=1.0, burst_factor=10.0,
+            surge_at_ms=100.0, surge_ms=100.0,
+        )
+        assert proc.rate_at(50.0) == 1.0
+        assert proc.rate_at(150.0) == 10.0
+        assert proc.rate_at(250.0) == 1.0
+        times = np.asarray(proc.sample(np.random.default_rng(1), 600))
+        surge = ((times >= 100.0) & (times < 200.0)).sum()
+        # The 100 ms surge window holds the bulk of the arrivals.
+        assert surge > 300
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalProcess(kind="nope")
+        with pytest.raises(ValueError):
+            ArrivalProcess(rate_per_ms=0.0)
+        with pytest.raises(ValueError):
+            ArrivalProcess(kind="diurnal", amplitude=1.5)
+
+    def test_round_trip(self):
+        proc = ArrivalProcess(kind="bursty", rate_per_ms=3.0, burst_factor=5.0)
+        assert ArrivalProcess.from_dict(proc.to_dict()) == proc
+
+
+class TestTraceSpec:
+    def _spec(self, n=60, seed=0):
+        tenants = (
+            TenantTraffic(name="a", tenant_class="premium", fraction=0.4,
+                          arrivals=ArrivalProcess(rate_per_ms=2.0),
+                          duplicate_fraction=0.2),
+            TenantTraffic(name="b", tenant_class="best_effort", fraction=0.6,
+                          arrivals=ArrivalProcess(rate_per_ms=3.0),
+                          b_fraction=0.5, b_max_length=600),
+        )
+        return generate_trace("t", tenants, n_requests=n, seed=seed)
+
+    def test_json_byte_identical_across_reruns(self):
+        assert self._spec().to_json() == self._spec().to_json()
+
+    def test_json_round_trip(self):
+        spec = self._spec()
+        again = TraceSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.to_json() == spec.to_json()
+
+    def test_events_sorted_and_fractions_respected(self):
+        spec = self._spec(n=100)
+        ats = [e.at_ms for e in spec.events]
+        assert ats == sorted(ats)
+        counts = {"a": 0, "b": 0}
+        for e in spec.events:
+            counts[e.tenant] += 1
+        assert counts == {"a": 40, "b": 60}
+
+    def test_seed_changes_trace(self):
+        assert self._spec(seed=0).to_json() != self._spec(seed=1).to_json()
+
+    def test_materialize_deterministic_and_dup_shared(self):
+        spec = self._spec()
+        jobs1 = spec.materialize()
+        jobs2 = spec.materialize()
+        assert len(jobs1) == spec.n_requests
+        for j1, j2 in zip(jobs1, jobs2):
+            np.testing.assert_array_equal(j1.query, j2.query)
+            np.testing.assert_array_equal(j1.ref, j2.ref)
+        dups = [e for e in spec.events if e.dup_of is not None]
+        assert dups, "duplicate_fraction produced no duplicates"
+        for e in dups:
+            orig = spec.events[e.dup_of]
+            assert orig.dup_of is None  # dup chains collapse to originals
+            np.testing.assert_array_equal(
+                jobs1[e.index].query, jobs1[orig.index].query
+            )
+
+    def test_qos_policy_carries_classes_and_weights(self):
+        policy = self._spec().qos_policy()
+        assert isinstance(policy, QoSPolicy)
+        assert policy.tenant("a").tenant_class == "premium"
+        assert policy.tenant("b").tenant_class == "best_effort"
+        assert policy.tenant("a").max_depth is None  # no quotas from traffic
+
+
+class TestScenarios:
+    def test_presets_generate_and_are_seeded(self):
+        for name in ("steady", "bursty", "diurnal", "flash_crowd"):
+            spec = scenario(name, rate_per_ms=50.0, n_requests=80)
+            assert spec.n_requests == 80
+            assert {t.name for t in spec.tenants} == \
+                {"prio-lab", "clinic", "batch-reseq"}
+            assert spec.to_json() == scenario(
+                name, rate_per_ms=50.0, n_requests=80
+            ).to_json()
+
+    def test_slo_anchor_fixes_targets_across_loads(self):
+        low = scenario("steady", rate_per_ms=10.0, n_requests=50,
+                       slo_horizon_ms=5.0)
+        high = scenario("steady", rate_per_ms=40.0, n_requests=50,
+                        slo_horizon_ms=5.0)
+        for t in low.tenants:
+            assert t.slo_ms == high.tenant(t.name).slo_ms
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            scenario("rush_hour", rate_per_ms=1.0, n_requests=10)
+
+
+class TestReplay:
+    def test_replay_settles_every_event_deterministically(self):
+        spec = scenario("flash_crowd", rate_per_ms=80.0, n_requests=60)
+
+        def run():
+            svc = AlignmentService(compute_scores=False,
+                                   qos=spec.qos_policy(),
+                                   max_queue_depth=30, coalesce_window=16)
+            res = replay(svc, spec)
+            return res
+
+        res = run()
+        assert len(res.handles) == spec.n_requests
+        assert all(h.done for h in res.handles if h is not None)
+        assert res.accepted + res.rejected == spec.n_requests
+        again = run()
+        assert again.makespan_ms == res.makespan_ms
+        assert [h is None for h in again.handles] == \
+            [h is None for h in res.handles]
+
+    def test_clock_jumps_to_arrivals_but_never_backwards(self):
+        spec = scenario("steady", rate_per_ms=5.0, n_requests=10)
+        svc = AlignmentService(compute_scores=False)
+        svc.clock_ms = 100.0  # pre-advanced service
+        res = replay(svc, spec)
+        assert svc.clock_ms >= 100.0
+        assert res.accepted == 10
