@@ -59,7 +59,7 @@ from .align import ScoringScheme, align_with_traceback, sw_align
 from .baselines import all_baselines, make_jobs
 from .bench.experiments import EXPERIMENTS, run_experiment
 from .core import SUBWARP_SIZES, SalobaConfig, SalobaKernel
-from .engine import engine_names
+from .engine import AUTO_ENGINE, resolve_engine
 from .gpusim import known_devices
 from .resilience import AlignmentError, FaultPlan
 from .seqs import read_fasta, read_fastq
@@ -158,10 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--seed", type=int, default=0)
     p_srv.add_argument("--device", default="GTX1650", choices=sorted(known_devices()))
     p_srv.add_argument("--engine", default="reference",
-                       choices=(*engine_names(), "auto"),
-                       help="exact-scoring backend for the service run, or "
-                            "'auto' to let each length bin pick its own "
-                            "(scores identical either way; see repro.engine)")
+                       help="scoring backend for the service run (any "
+                            "registered name, optionally with bound params "
+                            "like 'banded:band=16'), or 'auto' to let each "
+                            "length bin race the exact local engines "
+                            "(see repro.engine)")
     p_srv.add_argument("--out", default=None, help="write the JSON result here")
     p_srv.add_argument("--trace", default=None, metavar="FILE",
                        help="also export a Chrome trace of the service run")
@@ -225,10 +226,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_cl.add_argument("--seed", type=int, default=0)
     p_cl.add_argument("--device", default="GTX1650", choices=sorted(known_devices()))
     p_cl.add_argument("--engine", default="reference",
-                      choices=(*engine_names(), "auto"),
-                      help="exact-scoring backend on every worker, or 'auto' "
-                           "for per-bin adaptive selection on each worker "
-                           "(scores identical either way; see repro.engine)")
+                      help="scoring backend on every worker (any registered "
+                           "name, optionally with bound params like "
+                           "'banded:band=16'), or 'auto' for per-bin "
+                           "adaptive selection on each worker "
+                           "(see repro.engine)")
     p_cl.add_argument("--scored-pairs", type=int, default=24,
                       help="scored fidelity-check workload size (0 skips it)")
     p_cl.add_argument("--out", default=None, metavar="FILE",
@@ -275,6 +277,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--quick", action="store_true", help="smaller batches")
     p_rep.add_argument("--out", default=None, help="write markdown here")
     return parser
+
+
+def _engine_arg(spec: str) -> str:
+    """Validate an ``--engine`` value against the registry.
+
+    ``"auto"`` passes through (the serve/cluster layers understand
+    it); anything else must resolve — including any ``:key=value``
+    bound parameters — or the command fails with the taxonomy exit
+    code 2 (an :class:`AlignmentError`), never a traceback.
+    Validation happens here instead of an argparse ``choices`` list so
+    parameterized specs like ``banded:band=16`` stay expressible.
+    """
+    if spec == AUTO_ENGINE:
+        return spec
+    try:
+        resolve_engine(spec)
+    except (TypeError, ValueError) as exc:
+        raise AlignmentError(f"--engine: {exc}") from None
+    return spec
 
 
 def _cmd_align(args) -> int:
@@ -598,7 +619,7 @@ def _cmd_serve_bench(args) -> int:
         seed=args.seed,
         device=known_devices()[args.device],
         tracer=tracer,
-        engine=args.engine,
+        engine=_engine_arg(args.engine),
     )
     print(res.text)
     if args.out:
@@ -610,7 +631,7 @@ def _cmd_serve_bench(args) -> int:
             fh.write(chrome_trace_json(tracer, process_name="repro serve-bench"))
         print(f"wrote {args.trace} (load in chrome://tracing or ui.perfetto.dev)")
     if not res.scored_identical:
-        print("error: service results diverged from the reference path",
+        print("error: service results diverged from the engine contract",
               file=sys.stderr)
         return 1
     return 0
@@ -766,7 +787,7 @@ def _cmd_cluster_bench(args) -> int:
         device=known_devices()[args.device],
         policies=policies,
         scored_pairs=args.scored_pairs,
-        engine=args.engine,
+        engine=_engine_arg(args.engine),
     )
     print(res.text)
     if args.out:
@@ -774,7 +795,7 @@ def _cmd_cluster_bench(args) -> int:
             fh.write(res.to_json() + "\n")
         print(f"wrote {args.out}")
     if not res.scored_identical:
-        print("error: cluster results diverged from the reference path",
+        print("error: cluster results diverged from the engine contract",
               file=sys.stderr)
         return 1
     return 0

@@ -12,9 +12,11 @@ number is how much of the ``static_hash`` imbalance gap stealing closes
 while keeping hash affinity's cache behaviour.
 
 **Fidelity (scored).** A small scored workload runs through *every*
-combination and must produce bit-identical scores to the single-device
-reference path — placement and stealing may only change the modeled
-schedule, never a result.
+combination and must produce bit-identical results to the engine's
+contract — exact local engines against the single-device reference
+path, bounded/alternative-endpoint engines against their own direct
+``score_batch`` output (see ``_fidelity_check``) — placement and
+stealing may only change the modeled schedule, never a result.
 
 Everything is seeded and modeled, so rerunning the benchmark yields a
 byte-identical JSON artifact (the CI ``cluster-smoke`` job ``cmp``\\ s
@@ -33,6 +35,7 @@ from ..baselines.base import ExtensionJob
 from ..core.config import SalobaConfig
 from ..core.batching import BatchRunner
 from ..core.kernel import SalobaKernel
+from ..engine import AUTO_ENGINE, ExecutionEngine, resolve_engine
 from ..gpusim.device import GTX1650, DeviceProfile
 from ..serve.bench import mixed_stream
 from .cluster import AlignmentCluster
@@ -85,7 +88,7 @@ class ClusterBenchResult:
             f"  scored fidelity: {self.scored_checked} pairs x "
             f"{len(self.rows)} schedules "
             f"{'bit-identical' if self.scored_identical else 'MISMATCH'} "
-            "vs reference path",
+            "vs the engine contract",
         ]
         return "\n".join(lines)
 
@@ -106,12 +109,23 @@ def _fidelity_check(
     seed: int,
     engine=None,
 ) -> tuple[int, bool]:
-    """Scores must be bit-identical under every schedule.
+    """Results must match the engine's contract under every schedule.
 
-    Scores only: the optimal *endpoint* can legitimately differ when
-    several cells tie at the maximum score, because each worker's
-    auto-tuned subwarp scans the matrix in a different order than the
-    reference kernel.  The maximum itself is scan-order-invariant.
+    What "fidelity" means is read off the engine's capability
+    descriptor, mirroring :func:`repro.serve.bench._fidelity_check`:
+
+    * **exact local** engines (``auto`` and ``None`` included) must
+      produce bit-identical *scores* to the single-device reference
+      path — the optimal endpoint can legitimately differ when
+      several cells tie at the maximum, because each worker's
+      auto-tuned subwarp scans the matrix in a different order; the
+      maximum itself is scan-order-invariant;
+    * **bounded or alternative-endpoint** engines compute a different
+      quantity than the reference oracle, so every schedule's results
+      must instead be bit-identical — endpoints included — to the
+      engine's own direct ``score_batch`` output (all such engines
+      are grouping-invariant, so placement and stealing still may
+      only change the modeled schedule, never a result).
     """
     if n <= 0:
         return 0, True
@@ -124,10 +138,22 @@ def _fidelity_check(
         for _ in range(max(n // 2, 1))
     ]
     jobs = unique + [unique[int(i)] for i in rng.integers(0, len(unique), n - len(unique))]
-    reference = BatchRunner(
-        SalobaKernel(scoring, config), device, batch_size=len(jobs)
-    ).run_resilient(jobs, compute_scores=True)
-    assert reference.results is not None
+    eng = None
+    if engine is not None and engine != AUTO_ENGINE:
+        eng = engine if isinstance(engine, ExecutionEngine) else resolve_engine(engine)
+    if eng is not None and not (
+        eng.capabilities.exactness == "exact"
+        and eng.capabilities.endpoints == "local"
+    ):
+        expected = eng.score_batch(jobs, scoring, config=config)
+        compare = lambda h, exp: h.result() == exp  # noqa: E731
+    else:
+        reference = BatchRunner(
+            SalobaKernel(scoring, config), device, batch_size=len(jobs)
+        ).run_resilient(jobs, compute_scores=True)
+        assert reference.results is not None
+        expected = reference.results
+        compare = lambda h, exp: h.result().score == exp.score  # noqa: E731
     for policy, stealing in combos:
         cl = AlignmentCluster(
             [WorkerSpec(f"w{i}", device=device) for i in range(n_workers)],
@@ -137,10 +163,7 @@ def _fidelity_check(
         )
         handles = cl.submit_jobs(jobs)
         cl.run()
-        if not all(
-            h.result().score == ref_res.score
-            for h, ref_res in zip(handles, reference.results)
-        ):
+        if not all(compare(h, exp) for h, exp in zip(handles, expected)):
             return len(jobs), False
     return len(jobs), True
 

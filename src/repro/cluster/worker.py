@@ -72,13 +72,17 @@ class WorkerSpec:
     cache_bytes / max_batch_jobs:
         Forwarded to the worker's private :class:`AlignmentService`.
     engine:
-        Per-worker exact-scoring backend (:mod:`repro.engine` name or
-        instance, or :data:`~repro.engine.AUTO_ENGINE` (``"auto"``)
-        for per-bin adaptive selection on this worker).  ``None``
-        defers to the cluster-wide default
+        Per-worker scoring backend: any registered :mod:`repro.engine`
+        name — optionally with bound parameters, ``"banded:band=16"``
+        — an :class:`~repro.engine.ExecutionEngine` instance, or
+        :data:`~repro.engine.AUTO_ENGINE` (``"auto"``) for per-bin
+        adaptive selection over the exact local engines on this
+        worker.  ``None`` defers to the cluster-wide default
         (:class:`~repro.cluster.cluster.AlignmentCluster`'s ``engine``
         argument).  Heterogeneous clusters may mix engines freely:
-        scores and the modeled schedule are engine-independent.
+        with exact engines, scores and the modeled schedule are
+        engine-independent (bounded engines trade scores per their
+        capability descriptor — the modeled schedule still is).
     """
 
     name: str

@@ -58,6 +58,14 @@ class SalobaKernel(ExtensionKernel):
         #: timing below never consults it, so every engine charges the
         #: identical gpusim cost.
         self.engine = resolve_engine(engine)
+        #: Banded mode computes a different (band-restricted) score,
+        #: which no full-table engine reproduces; it routes through the
+        #: registered banded engine at the config's fixed band
+        #: regardless of the exact engine selected above.
+        self._band_engine = (
+            resolve_engine("banded", band=self.config.band)
+            if self.config.band else None
+        )
         if self.config.subwarp_size != WARP_SIZE:
             self.name = f"SALoBa(s={self.config.subwarp_size})"
         if self.config.band:
@@ -187,13 +195,6 @@ class SalobaKernel(ExtensionKernel):
     # ----- exact mode -------------------------------------------------------
 
     def _exact_scores(self, jobs: list[ExtensionJob]) -> list[AlignmentResult]:
-        if self.config.band:
-            # Banded mode computes a different (band-restricted) score,
-            # which no full-table engine reproduces; it keeps its own
-            # per-pair reference path regardless of the engine.
-            from ..align.banded import banded_sw_align
-
-            return [
-                banded_sw_align(j.ref, j.query, self.config.band, self.scoring) for j in jobs
-            ]
+        if self._band_engine is not None:
+            return self._band_engine.score_batch(jobs, self.scoring, config=self.config)
         return self.engine.score_batch(jobs, self.scoring, config=self.config)

@@ -22,7 +22,7 @@ from ..baselines.base import ExtensionJob
 from .metrics import QoSMetrics, QoSRecorder
 from .overload import OverloadController
 from .policy import QoSPolicy
-from .tiers import SHED_LEVEL, proxy_job, score_degraded, tier_for
+from .tiers import SHED_LEVEL, proxy_job, score_degraded, tier_for, tier_params
 
 __all__ = ["QoSState"]
 
@@ -73,6 +73,18 @@ class QoSState:
               scoring: ScoringScheme) -> AlignmentResult:
         return score_degraded(
             job, tier, scoring,
+            error_rate=self.policy.banded_error_rate,
+            xdrop_x=self.policy.xdrop_x,
+        )
+
+    def params(self, tier: str, job: ExtensionJob) -> dict[str, int]:
+        """The bound parameters *job* was scored under at *tier*.
+
+        Stamped onto the degraded handle's ``tier_params`` so results
+        from two different bounds can never be conflated downstream.
+        """
+        return tier_params(
+            job, tier,
             error_rate=self.policy.banded_error_rate,
             xdrop_x=self.policy.xdrop_x,
         )

@@ -1,11 +1,11 @@
 """Scoring tiers and the degradation ladder.
 
 Under sustained overload the service sheds *precision*, not requests:
-a tenant's work moves from exact Smith-Waterman to the banded kernel
-(``repro.align.banded``) and then to anchored x-drop extension
-(``repro.align.xdrop``) before anything is rejected.  The ladder is a
-table — ``LADDER[level][tenant_class]`` — so each overload level is a
-total, inspectable assignment of tiers to classes:
+a tenant's work moves from exact Smith-Waterman to the band-restricted
+kernel and then to anchored x-drop extension before anything is
+rejected.  The ladder is a table — ``LADDER[level][tenant_class]`` —
+so each overload level is a total, inspectable assignment of tiers to
+classes:
 
 ======  ========  ========  ===========
 level   premium   standard  best_effort
@@ -20,6 +20,18 @@ Only at the top level does the service start refusing best-effort
 admissions (reason ``overload_shed``); every lower level keeps
 admitting and serves explicitly-flagged approximate results instead.
 
+The approximate tiers are not hard-coded imports: each tier resolves
+to a registered execution engine by **capability query**
+(:func:`repro.engine.find_engines`) — the banded tier wants a bounded
+local engine parameterized by ``band``, the x-drop tier a bounded
+anchored engine parameterized by ``x`` — and scores through
+``score_batch`` like any other backend.  The engines themselves
+(:mod:`repro.engine.variants`) are bit-identical to the historical
+per-pair algorithms, so degraded results are byte-reproducible across
+the refactor.  :func:`tier_params` reports the effective bound
+parameters per job; results and cache keys carry them so two different
+bounds can never be conflated.
+
 Modeled time for a degraded batch is charged through the **same**
 kernel/device path as exact batches: each degraded job is replaced by
 a *proxy job* whose shorter sequence is sliced to the tier's band
@@ -28,16 +40,15 @@ mode.  That keeps exact-vs-degraded modeled durations directly
 comparable (same packing, launch, and memory model) and deterministic
 — the data-dependent ``cells_computed`` of x-drop never feeds the
 clock.  Actual degraded *scores* (scored mode only) come from the
-reference banded / x-drop algorithms on the full sequences.
+resolved engines on the full sequences.
 """
 
 from __future__ import annotations
 
-from ..align.banded import band_for_error_rate, banded_sw_align
 from ..align.matrix import AlignmentResult
 from ..align.scoring import ScoringScheme
-from ..align.xdrop import xdrop_extend
 from ..baselines.base import ExtensionJob
+from ..engine import ExecutionEngine, find_engines, resolve_engine
 
 __all__ = [
     "TIER_EXACT",
@@ -47,7 +58,10 @@ __all__ = [
     "LADDER",
     "SHED_LEVEL",
     "tier_for",
+    "tier_engine_name",
+    "tier_engine",
     "tier_band",
+    "tier_params",
     "proxy_job",
     "score_degraded",
 ]
@@ -70,15 +84,64 @@ LADDER: tuple[dict[str, str], ...] = (
 #: Levels at or above this shed best-effort admissions entirely.
 SHED_LEVEL = len(LADDER) - 1
 
+#: Capability query per approximate tier: what the ladder needs from
+#: the engine registry, not which module implements it.
+_TIER_QUERIES: dict[str, dict[str, object]] = {
+    TIER_BANDED: dict(exactness="bounded", endpoints="local", requires=("band",)),
+    TIER_XDROP: dict(exactness="bounded", endpoints="anchored", requires=("x",)),
+}
+
 
 def tier_for(level: int, tenant_class: str) -> str:
     """The scoring tier *tenant_class* receives at overload *level*."""
     return LADDER[min(max(level, 0), len(LADDER) - 1)][tenant_class]
 
 
+def tier_engine_name(tier: str) -> str:
+    """The registered engine name backing an approximate *tier*.
+
+    Resolved by capability query, so a faster registered drop-in with
+    the same descriptor is picked up without touching the ladder.
+    """
+    try:
+        query = _TIER_QUERIES[tier]
+    except KeyError:
+        raise ValueError(f"not an approximate tier: {tier!r}") from None
+    names = find_engines(**query)
+    if not names:
+        raise ValueError(f"no registered engine satisfies tier {tier!r}: {query}")
+    return names[0]
+
+
+def tier_engine(tier: str, *, error_rate: float, xdrop_x: int) -> ExecutionEngine:
+    """A configured engine instance for an approximate *tier*."""
+    name = tier_engine_name(tier)
+    if tier == TIER_BANDED:
+        return resolve_engine(name, error_rate=error_rate)
+    return resolve_engine(name, x=xdrop_x)
+
+
 def tier_band(job: ExtensionJob, error_rate: float) -> int:
     """Band width used for *job* by the banded tier."""
-    return band_for_error_rate(max(job.ref_len, job.query_len), error_rate)
+    engine = tier_engine(TIER_BANDED, error_rate=error_rate, xdrop_x=0)
+    return engine.band_for_job(job)
+
+
+def tier_params(
+    job: ExtensionJob, tier: str, *, error_rate: float, xdrop_x: int
+) -> dict[str, int]:
+    """The effective bound parameters for *job* at an approximate *tier*.
+
+    ``{"band": b}`` for the banded tier (sized per job from
+    *error_rate*), ``{"x": xdrop_x}`` for x-drop.  Degraded results
+    carry this mapping in their metadata and the result cache keys on
+    it — two different bounds are two different results.
+    """
+    if tier == TIER_BANDED:
+        return {"band": tier_band(job, error_rate)}
+    if tier == TIER_XDROP:
+        return {"x": xdrop_x}
+    raise ValueError(f"not an approximate tier: {tier!r}")
 
 
 def proxy_job(job: ExtensionJob, tier: str, *, error_rate: float) -> ExtensionJob:
@@ -114,14 +177,9 @@ def score_degraded(
     Banded keeps local-SW semantics inside the band; x-drop is
     anchored (seed-extension semantics) with its score floored at 0 so
     the result type stays comparable.  Either way the caller flags the
-    handle's ``tier`` so consumers know the semantics.
+    handle's ``tier`` so consumers know the semantics.  Scoring goes
+    through the tier's registered engine and is bit-identical —
+    endpoints included — to the historical per-pair algorithms.
     """
-    if tier == TIER_BANDED:
-        band = tier_band(job, error_rate)
-        return banded_sw_align(job.ref, job.query, band, scoring)
-    if tier == TIER_XDROP:
-        res = xdrop_extend(job.ref, job.query, xdrop_x, scoring)
-        return AlignmentResult(
-            score=max(res.score, 0), ref_end=res.ref_end, query_end=res.query_end
-        )
-    raise ValueError(f"not an approximate tier: {tier!r}")
+    engine = tier_engine(tier, error_rate=error_rate, xdrop_x=xdrop_x)
+    return engine.score_batch([job], scoring)[0]

@@ -27,17 +27,31 @@ from ..baselines.base import ExtensionJob
 from ..core.batching import BatchRunner
 from ..core.config import SUBWARP_SIZES, SalobaConfig
 from ..core.kernel import SalobaKernel
-from ..engine.base import AUTO_ENGINE, engine_names, resolve_engine
+from ..engine.base import AUTO_ENGINE, find_engines, resolve_engine
 from ..gpusim.device import DeviceProfile
 from ..obs.tracer import NULL_TRACER
 from ..resilience.errors import AlignmentError, CapacityExceeded
 from ..resilience.faults import FaultPlan
 
-__all__ = ["DEFAULT_BIN_EDGES", "LengthBinner", "BinTuner"]
+__all__ = ["DEFAULT_BIN_EDGES", "LengthBinner", "BinTuner", "race_candidates"]
 
 #: Geometric upper edges (bp); jobs longer than the last edge share a
 #: tail bin.  Chosen to straddle the paper's Fig. 6 length sweep.
 DEFAULT_BIN_EDGES = (128, 256, 512, 1024, 2048, 4096)
+
+
+def race_candidates() -> tuple[str, ...]:
+    """Engine names eligible for the per-bin auto-race, sorted.
+
+    The serve path's exact contract: engines that are bit-identical on
+    scores to the full-table local affine optimum.  Queried from the
+    registry by capability, not hard-coded — a newly registered exact
+    local backend joins the race automatically, while bounded or
+    alternative-endpoint backends (banded, x-drop, semiglobal, NW)
+    are excluded because their *results* differ and a wall-clock race
+    must never change scores.
+    """
+    return find_engines(exactness="exact", gap_model="affine", endpoints="local")
 
 
 class LengthBinner:
@@ -219,14 +233,21 @@ class BinTuner:
         return kernel
 
     def _race_engines(self, sample: list[ExtensionJob]):
-        """Wall-clock-race the registered engines on the bin sample.
+        """Wall-clock-race the eligible registered engines on the bin
+        sample.
 
         Returns ``(winner_name, wall_ms_by_name, skipped_names)``.
-        Engines differ only in host wall-clock speed (scores are
-        bit-identical by contract), so throughput is the *only* axis
-        to pick on and a real timing is the honest measurement — it is
-        machine-dependent, which is why the choice never leaks into
-        the modeled clock or metrics.
+        Only engines whose capability descriptor matches the serve
+        path's contract — exact, affine-gap, local endpoints
+        (:func:`race_candidates`) — enter the race: the registry also
+        carries bounded and alternative-endpoint backends (banded,
+        x-drop, semiglobal, NW) whose *results* differ, and letting
+        one of those win on speed would silently change scores.
+        Eligible engines differ only in host wall-clock speed (scores
+        are bit-identical by contract), so throughput is the *only*
+        axis to pick on and a real timing is the honest measurement —
+        it is machine-dependent, which is why the choice never leaks
+        into the modeled clock or metrics.
 
         The race runs in two stages because engine ranking is batch-
         size-dependent (the batched engines amortize per-row Python
@@ -269,7 +290,7 @@ class BinTuner:
 
         final_size = min(len(sample), self.engine_sample_cap)
         screen_size = min(4, final_size)
-        screen_t = heat(engine_names(), sample[:screen_size])
+        screen_t = heat(race_candidates(), sample[:screen_size])
         timings.update(screen_t)
         if not screen_t:
             return "reference", timings, skipped

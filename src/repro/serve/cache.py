@@ -35,21 +35,38 @@ _ENTRY_OVERHEAD_BYTES = 96
 _HEADER = struct.Struct("<5i2q")
 
 
-def cache_key(job: ExtensionJob, scoring: ScoringScheme) -> bytes:
+def cache_key(
+    job: ExtensionJob,
+    scoring: ScoringScheme,
+    *,
+    tier: str = "exact",
+    params: dict[str, int] | None = None,
+) -> bytes:
     """Content address of one job under one scoring scheme.
 
     The unpacked lengths are part of the header because 4-bit packing
     pads to word boundaries: two sequences differing only in trailing
     length could otherwise pack to identical words.
+
+    Approximate-tier results are keyed on *tier* AND its bound
+    parameters (``{"band": b}`` / ``{"x": x}``): a banded score at
+    band 8 and one at band 16 are different results and must never
+    share an entry.  The exact tier contributes no suffix, so exact
+    keys are byte-identical to the historical single-tier format.
     """
     header = _HEADER.pack(
         scoring.match, scoring.mismatch, scoring.alpha, scoring.beta,
         scoring.n_score, job.ref_len, job.query_len,
     )
+    suffix = b""
+    if tier != "exact" or params:
+        parts = "".join(f";{k}={v}" for k, v in sorted((params or {}).items()))
+        suffix = b"\x00" + tier.encode("utf-8") + parts.encode("utf-8")
     return (
         header
         + pack(job.ref, bits=4).tobytes()
         + pack(job.query, bits=4).tobytes()
+        + suffix
     )
 
 

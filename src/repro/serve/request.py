@@ -58,6 +58,12 @@ class RequestHandle:
         the full Smith-Waterman path, ``"banded"`` / ``"xdrop"`` when
         the overload controller degraded this request to an
         explicitly-marked approximate kernel (docs/QOS.md).
+    tier_params:
+        The bound parameters the approximate tier scored under —
+        ``{"band": b}`` / ``{"x": x}`` — empty for exact results.  Two
+        results at the same tier but different bounds are different
+        results; this mapping is what distinguishes them (and what the
+        result cache keys on).
     """
 
     request_id: int
@@ -71,6 +77,7 @@ class RequestHandle:
     from_cache: bool = False
     tenant: str = "default"
     tier: str = "exact"
+    tier_params: dict[str, int] = field(default_factory=dict)
 
     @property
     def done(self) -> bool:
@@ -107,7 +114,8 @@ class RequestHandle:
 
     def _resolve(self, result: AlignmentResult | None, *, completed_ms: float,
                  wait_ms: float, service_ms: float, from_cache: bool = False,
-                 tier: str = "exact") -> None:
+                 tier: str = "exact",
+                 tier_params: dict[str, int] | None = None) -> None:
         self.state = DONE
         self.result_value = result
         self.completed_ms = completed_ms
@@ -115,6 +123,7 @@ class RequestHandle:
         self.service_ms = service_ms
         self.from_cache = from_cache
         self.tier = tier
+        self.tier_params = dict(tier_params) if tier_params else {}
 
     def _fail(self, record: FailureRecord, *, completed_ms: float,
               wait_ms: float) -> None:

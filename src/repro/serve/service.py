@@ -572,10 +572,15 @@ class AlignmentService:
         model-only mode, so degraded durations are directly comparable
         to exact ones and fully deterministic (x-drop's data-dependent
         cell count never feeds the clock).  Scores (scored mode) come
-        from the reference banded / x-drop algorithms on the full
-        sequences, and the handle's ``tier`` flags the result as
-        approximate.  Degraded results never enter the result cache —
-        cache entries are exact by contract.
+        from the tier's capability-resolved engine on the full
+        sequences (:func:`repro.qos.tiers.tier_engine`), and the
+        handle's ``tier`` plus ``tier_params`` — the effective
+        ``band`` / ``x`` bound — flag the result as approximate and
+        say which bound produced it, so two different bounds can never
+        be conflated by downstream keying.  Degraded results never
+        enter the result cache — cache entries are exact by contract
+        (and :func:`repro.serve.cache.cache_key` refuses to conflate
+        tiers regardless).
         """
         assert self._qos is not None
         tr = self.tracer
@@ -643,6 +648,7 @@ class AlignmentService:
                     req.handle._resolve(
                         result, completed_ms=self.clock_ms, wait_ms=wait,
                         service_ms=batch_ms, tier=tier,
+                        tier_params=self._qos.params(tier, req.job),
                     )
                     self._recorder.record_completion(wait, batch_ms)
                     self._qos_settled(req.handle)

@@ -29,7 +29,7 @@ from repro.gpusim import GTX1650
 from repro.obs import Tracer
 from repro.resilience import CapacityExceeded
 from repro.serve import AlignmentService
-from repro.serve.binning import BinTuner
+from repro.serve.binning import BinTuner, race_candidates
 
 SCHEMES = [
     ScoringScheme(),
@@ -234,21 +234,23 @@ class TestAdaptiveSelection:
         tuner = _tuner(engine_sample_cap=6)
         sample = make_jobs(_random_pairs(rng, 8, hi=40, with_n=False))
         winner, timings, skipped = tuner._race_engines(sample)
-        assert winner in engine_names()
+        assert winner in race_candidates()
         assert winner in timings and not skipped
-        # the screen covers every engine even when the final reraces two
-        assert set(timings) == set(engine_names())
+        # the screen covers every eligible engine even when the final
+        # reraces two; bounded / non-local backends never enter
+        assert set(timings) == set(race_candidates())
+        assert race_candidates() == ("batched", "pruned", "reference", "striped")
 
     def test_kernel_for_pins_winner_and_traces_choice(self, rng):
         tracer = Tracer()
         tuner = _tuner(tracer=tracer, engine_sample_cap=6)
         sample = make_jobs(_random_pairs(rng, 8, hi=40, with_n=False))
         kernel = tuner.kernel_for(0, sample)
-        assert tuner.chosen_engines[0] == kernel.engine.name in engine_names()
-        assert set(tuner.engine_probe_ms[0]) == set(engine_names())
+        assert tuner.chosen_engines[0] == kernel.engine.name in race_candidates()
+        assert set(tuner.engine_probe_ms[0]) == set(race_candidates())
         (span,) = _bin_tune_spans(tracer)
         assert span.attrs["engine"] == kernel.engine.name
-        assert set(span.attrs["engine_wall_ms"]) == set(engine_names())
+        assert set(span.attrs["engine_wall_ms"]) == set(race_candidates())
         assert span.attrs["engine_skipped"] == []
         # the pin is sticky: no re-race on later traffic
         assert tuner.kernel_for(0, sample) is kernel
@@ -275,7 +277,7 @@ class TestAdaptiveSelection:
             )
         winner, timings, skipped = _tuner()._race_engines(sample)
         assert winner == "reference"
-        assert timings == {} and sorted(skipped) == list(engine_names())
+        assert timings == {} and sorted(skipped) == list(race_candidates())
 
     def test_service_auto_mode_selects_per_bin(self, rng):
         svc = AlignmentService(engine=AUTO_ENGINE, compute_scores=True)
